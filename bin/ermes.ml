@@ -1,0 +1,432 @@
+(* ermes — command-line front-end to the compositional-HLS toolkit.
+
+   Subcommands mirror the methodology of the paper: analyze (TMG cycle time
+   and critical cycle), order (channel reordering), simulate (cycle-accurate
+   rendezvous simulation), dse (the full exploration loop), plus generators
+   and DOT export. *)
+
+module System = Ermes_slm.System
+module Soc_format = Ermes_slm.Soc_format
+module Sim = Ermes_slm.Sim
+module To_tmg = Ermes_slm.To_tmg
+module Tmg = Ermes_tmg.Tmg
+module Ratio = Ermes_tmg.Ratio
+module Perf = Ermes_core.Perf
+module Order = Ermes_core.Order
+module Explore = Ermes_core.Explore
+module Frontier = Ermes_core.Frontier
+
+open Cmdliner
+
+(* Every subcommand accepts -v/-vv to surface the library's log sources. *)
+let verbosity =
+  let env = Cmd.Env.info "ERMES_VERBOSITY" in
+  Logs_cli.level ~env ()
+
+let setup_logs level =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level level
+
+let load path =
+  match Soc_format.parse_file path with
+  | Ok sys -> (
+    match System.validate sys with
+    | Ok () -> Ok sys
+    | Error e -> Error (Printf.sprintf "%s: invalid system: %s" path e))
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline ("ermes: " ^ msg);
+    exit 1
+
+let save out sys =
+  match out with
+  | None -> print_string (Soc_format.print sys)
+  | Some path ->
+    Soc_format.write_file path sys;
+    Printf.printf "wrote %s\n" path
+
+(* ---- common arguments -------------------------------------------------- *)
+
+let with_logs term = Term.(const (fun () f -> f) $ (const setup_logs $ verbosity) $ term)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.soc" ~doc:"System description.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Output file (default: stdout).")
+
+(* ---- analyze ----------------------------------------------------------- *)
+
+let print_analysis sys a =
+  Format.printf "%a@." (Perf.pp_analysis sys) a;
+  Format.printf "critical cycle: %s@." (String.concat " -> " a.Perf.critical_cycle)
+
+let analyze_cmd =
+  let simulate =
+    Arg.(value & flag & info [ "simulate" ] ~doc:"Cross-check with the discrete-event simulator.")
+  in
+  let slack =
+    Arg.(value & flag & info [ "slack" ] ~doc:"Report per-process latency slack (sensitivity).")
+  in
+  let run file simulate slack =
+    let sys = or_die (load file) in
+    (match Perf.analyze sys with
+     | Ok a ->
+       print_analysis sys a;
+       if slack then begin
+         Format.printf "latency slack (extra cycles before the cycle time degrades):@.";
+         List.iter
+           (fun (p, s) ->
+             Format.printf "  %-16s %a@." (System.process_name sys p) Perf.pp_slack s)
+           (Perf.latency_slack sys)
+       end;
+       if simulate then begin
+         match Sim.steady_cycle_time sys with
+         | Ok (Some r) ->
+           Format.printf "simulated steady-state cycle time: %a (%s)@." Ratio.pp r
+             (if Ratio.equal r a.Perf.cycle_time then "matches the analysis"
+              else "DIFFERS from the analysis")
+         | Ok None -> Format.printf "simulation: periodicity not reached; raise rounds@."
+         | Error d -> Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d
+       end
+     | Error f ->
+       Format.printf "%a@." (Perf.pp_failure sys) f;
+       exit 2)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Cycle time and critical cycle of a system (TMG + Howard).")
+    (with_logs Term.(const run $ file_arg $ simulate $ slack))
+
+(* ---- order ------------------------------------------------------------- *)
+
+let order_cmd =
+  let strategy =
+    let strategies = Arg.enum [ ("optimize", `Optimize); ("conservative", `Conservative); ("unsafe", `Unsafe) ] in
+    Arg.(value & opt strategies `Optimize & info [ "strategy" ] ~docv:"S"
+           ~doc:"$(b,optimize) (Algorithm 1 with safety check, default), $(b,conservative) \
+                 (latency-blind deadlock-free baseline), or $(b,unsafe) (raw Algorithm 1).")
+  in
+  let refine =
+    Arg.(value & opt (some int) None & info [ "refine" ] ~docv:"N"
+           ~doc:"After ordering, run up to N local-search analyses to close the remaining gap.")
+  in
+  let run file strategy refine out =
+    let sys = or_die (load file) in
+    let before =
+      match Perf.analyze sys with
+      | Ok a -> Some a.Perf.cycle_time
+      | Error _ -> None
+    in
+    (match strategy with
+     | `Conservative -> Order.conservative sys
+     | `Unsafe -> ignore (Order.apply sys)
+     | `Optimize -> (
+       match before with
+       | None ->
+         (* Deadlocked input: fall back to a live baseline first. *)
+         Order.conservative sys;
+         (match Order.apply_safe sys with
+          | Order.Applied _ | Order.Kept_incumbent _ -> ())
+       | Some _ -> (
+         match Order.apply_safe sys with
+         | Order.Applied _ -> ()
+         | Order.Kept_incumbent `Would_deadlock ->
+           Printf.eprintf "note: optimized order would deadlock; kept the incumbent\n"
+         | Order.Kept_incumbent `Would_regress ->
+           Printf.eprintf "note: optimized order would be slower; kept the incumbent\n")));
+    (match refine with
+     | Some budget when Perf.analyze sys |> Result.is_ok ->
+       let evals = Order.local_search ~max_evaluations:budget sys in
+       Format.eprintf "local search: %d analyses@." evals
+     | Some _ | None -> ());
+    (match (before, Perf.analyze sys) with
+     | Some b, Ok a ->
+       Format.eprintf "cycle time: %a -> %a@." Ratio.pp b Ratio.pp a.Perf.cycle_time
+     | None, Ok a ->
+       Format.eprintf "cycle time: deadlock -> %a@." Ratio.pp a.Perf.cycle_time
+     | _, Error f -> Format.eprintf "result: %a@." (Perf.pp_failure sys) f);
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "order" ~doc:"Reorder the put/get statements (paper §4).")
+    (with_logs Term.(const run $ file_arg $ strategy $ refine $ output_arg))
+
+(* ---- simulate ---------------------------------------------------------- *)
+
+let simulate_cmd =
+  let rounds =
+    Arg.(value & opt int 64 & info [ "rounds" ] ~docv:"N" ~doc:"Sink iterations to simulate.")
+  in
+  let run file rounds =
+    let sys = or_die (load file) in
+    match Sim.steady_cycle_time ~rounds sys with
+    | Ok (Some r) ->
+      Format.printf "steady-state cycle time: %a (throughput %a)@." Ratio.pp r Ratio.pp
+        (Ratio.inv r)
+    | Ok None ->
+      Format.printf "no exact periodicity within %d rounds; raise --rounds@." rounds
+    | Error d ->
+      Format.printf "%a@." (Sim.pp_deadlock sys) d;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Cycle-accurate rendezvous simulation.")
+    (with_logs Term.(const run $ file_arg $ rounds))
+
+(* ---- dse --------------------------------------------------------------- *)
+
+let dse_cmd =
+  let tct =
+    Arg.(required & opt (some int) None & info [ "tct" ] ~docv:"CYCLES" ~doc:"Target cycle time.")
+  in
+  let no_reorder =
+    Arg.(value & flag & info [ "no-reorder" ] ~doc:"Disable the channel-reordering stage (ablation).")
+  in
+  let run file tct no_reorder out =
+    let sys = or_die (load file) in
+    let trace = Explore.run ~reorder:(not no_reorder) ~tct sys in
+    Format.printf "%a@." Explore.pp_trace trace;
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"Design-space exploration: IP selection (ILP) + channel reordering (paper §5).")
+    (with_logs Term.(const run $ file_arg $ tct $ no_reorder $ output_arg))
+
+(* ---- generate / mpeg2 -------------------------------------------------- *)
+
+let generate_cmd =
+  let processes =
+    Arg.(value & opt int 26 & info [ "processes" ] ~docv:"N" ~doc:"Worker process count.")
+  in
+  let channels =
+    Arg.(value & opt int 60 & info [ "channels" ] ~docv:"M" ~doc:"Target channel count.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"PRNG seed.") in
+  let run processes channels seed out =
+    let sys = Ermes_synth.Generate.scaled ~seed ~processes ~channels () in
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic SoC benchmark (paper §6 scalability study).")
+    (with_logs Term.(const run $ processes $ channels $ seed $ output_arg))
+
+let mpeg2_cmd =
+  let selection =
+    let selections = Arg.enum [ ("fastest", `Fastest); ("median", `Median); ("smallest", `Smallest) ] in
+    Arg.(value & opt selections `Fastest & info [ "select" ] ~docv:"S" ~doc:"Initial implementation selection.")
+  in
+  let run selection out =
+    let sys = Ermes_mpeg2.Soc.build () in
+    (match selection with
+     | `Fastest -> Ermes_mpeg2.Soc.select_fastest sys
+     | `Median -> Ermes_mpeg2.Soc.select_median sys
+     | `Smallest -> Ermes_mpeg2.Soc.select_smallest sys);
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "mpeg2" ~doc:"Emit the MPEG-2 encoder case study (26 processes, 60 channels).")
+    (with_logs Term.(const run $ selection $ output_arg))
+
+(* ---- fifo -------------------------------------------------------------- *)
+
+let fifo_cmd =
+  let depth =
+    Arg.(required & opt (some int) None & info [ "depth" ] ~docv:"K" ~doc:"FIFO depth (>= 1).")
+  in
+  let channels =
+    Arg.(value & opt_all string [] & info [ "channel" ] ~docv:"NAME"
+           ~doc:"Buffer only this channel (repeatable; default: every channel).")
+  in
+  let critical =
+    Arg.(value & flag & info [ "critical" ] ~doc:"Buffer only the channels on the current critical cycle.")
+  in
+  let run file depth channels critical out =
+    let sys = or_die (load file) in
+    let targets =
+      if critical then
+        match Perf.analyze sys with
+        | Ok a -> a.Perf.critical_channels
+        | Error f ->
+          Format.eprintf "cannot find the critical cycle: %a@." (Perf.pp_failure sys) f;
+          exit 2
+      else if channels = [] then System.channels sys
+      else
+        List.map
+          (fun n ->
+            match System.find_channel sys n with
+            | Some c -> c
+            | None ->
+              prerr_endline ("ermes: unknown channel " ^ n);
+              exit 1)
+          channels
+    in
+    List.iter (fun c -> System.set_channel_kind sys c (System.Fifo depth)) targets;
+    (match Perf.analyze sys with
+     | Ok a -> Format.eprintf "buffered %d channels; cycle time %a@." (List.length targets) Ratio.pp a.Perf.cycle_time
+     | Error f -> Format.eprintf "buffered %d channels; %a@." (List.length targets) (Perf.pp_failure sys) f);
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "fifo" ~doc:"Replace blocking channels with bounded FIFOs (buffer sizing).")
+    (with_logs Term.(const run $ file_arg $ depth $ channels $ critical $ output_arg))
+
+(* ---- frontier ----------------------------------------------------------- *)
+
+let frontier_cmd =
+  let run file =
+    let sys = or_die (load file) in
+    let frontier = Frontier.system_pareto sys in
+    Format.printf "%d system-level Pareto points:@." (List.length frontier);
+    List.iter
+      (fun (p : Frontier.point) ->
+        Format.printf "  CT=%-12s area=%.4f mm2@." (Ratio.to_string p.Frontier.cycle_time)
+          p.Frontier.area)
+      frontier
+  in
+  Cmd.v
+    (Cmd.info "frontier" ~doc:"System-level Pareto frontier over the implementation sets.")
+    (with_logs Term.(const run $ file_arg))
+
+(* ---- oracle -------------------------------------------------------------- *)
+
+let oracle_cmd =
+  let limit =
+    Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Refuse beyond this many order combinations.")
+  in
+  let run file limit =
+    let sys = or_die (load file) in
+    match Ermes_core.Oracle.search ~limit sys with
+    | Some res ->
+      Format.printf "best cycle time over %d order combinations: %a (%d deadlock)@."
+        res.Ermes_core.Oracle.evaluated Ratio.pp res.Ermes_core.Oracle.best_cycle_time
+        res.Ermes_core.Oracle.deadlocked
+    | None -> Format.printf "every order combination deadlocks@."
+    | exception Invalid_argument m ->
+      prerr_endline ("ermes: " ^ m);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "oracle" ~doc:"Exhaustive statement-order search (small systems only).")
+    (with_logs Term.(const run $ file_arg $ limit))
+
+(* ---- report ------------------------------------------------------------- *)
+
+let report_cmd =
+  let frontier =
+    Arg.(value & flag & info [ "frontier" ] ~doc:"Append the system-level Pareto frontier.")
+  in
+  let run file frontier out =
+    let sys = or_die (load file) in
+    match Ermes_core.Report.markdown ~frontier sys with
+    | Error m ->
+      prerr_endline ("ermes: " ^ m);
+      exit 2
+    | Ok text -> (
+      match out with
+      | None -> print_string text
+      | Some path ->
+        Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+        Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Markdown design report: performance, slack, area, frontier.")
+    (with_logs Term.(const run $ file_arg $ frontier $ output_arg))
+
+(* ---- buffers -------------------------------------------------------------- *)
+
+let buffers_cmd =
+  let tct =
+    Arg.(required & opt (some int) None & info [ "tct" ] ~docv:"CYCLES" ~doc:"Target cycle time.")
+  in
+  let max_slots =
+    Arg.(value & opt int 64 & info [ "max-slots" ] ~docv:"N" ~doc:"Storage budget in FIFO slots.")
+  in
+  let run file tct max_slots out =
+    let sys = or_die (load file) in
+    let r = Ermes_core.Buffer_opt.size ~max_slots ~tct sys in
+    List.iter
+      (fun (s : Ermes_core.Buffer_opt.step) ->
+        Format.eprintf "  %s -> fifo(%d): cycle time %a@."
+          (System.channel_name sys s.Ermes_core.Buffer_opt.channel)
+          s.Ermes_core.Buffer_opt.new_depth Ratio.pp s.Ermes_core.Buffer_opt.cycle_time)
+      r.Ermes_core.Buffer_opt.steps;
+    Format.eprintf "%d slots added; cycle time %a; target %s@."
+      r.Ermes_core.Buffer_opt.slots_added Ratio.pp r.Ermes_core.Buffer_opt.final_cycle_time
+      (if r.Ermes_core.Buffer_opt.met then "met" else "missed");
+    save out sys
+  in
+  Cmd.v
+    (Cmd.info "buffers" ~doc:"Automatic FIFO sizing toward a target cycle time.")
+    (with_logs Term.(const run $ file_arg $ tct $ max_slots $ output_arg))
+
+(* ---- rtl --------------------------------------------------------------- *)
+
+let rtl_cmd =
+  let verify =
+    Arg.(value & flag & info [ "verify" ] ~doc:"Co-simulate the generated RTL against the analysis before writing.")
+  in
+  let run file verify out =
+    let sys = or_die (load file) in
+    let rtl = Ermes_rtl.Soc_rtl.build sys in
+    if verify then begin
+      match (Ermes_rtl.Soc_rtl.measured_cycle_time sys, Perf.analyze sys) with
+      | Some rtl_ct, Ok a ->
+        Format.eprintf "RTL steady-state cycle time %a; analysis %a (%s)@." Ratio.pp rtl_ct
+          Ratio.pp a.Perf.cycle_time
+          (if Ratio.equal rtl_ct a.Perf.cycle_time then "match" else "MISMATCH")
+      | None, Error f -> Format.eprintf "RTL stalls and the analysis agrees: %a@." (Perf.pp_failure sys) f
+      | None, Ok _ -> Format.eprintf "warning: RTL stalled but the analysis found a cycle time@."
+      | Some _, Error _ -> Format.eprintf "warning: RTL ran but the analysis reports deadlock@."
+    end;
+    let text = Ermes_rtl.Emit.to_verilog rtl.Ermes_rtl.Soc_rtl.design in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "rtl" ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel handshakes).")
+    (with_logs Term.(const run $ file_arg $ verify $ output_arg))
+
+(* ---- dot --------------------------------------------------------------- *)
+
+let dot_cmd =
+  let tmg = Arg.(value & flag & info [ "tmg" ] ~doc:"Render the timed marked graph instead of the process graph.") in
+  let run file tmg_flag out =
+    let sys = or_die (load file) in
+    let text =
+      if tmg_flag then Tmg.to_dot (To_tmg.build sys).To_tmg.tmg else System.to_dot sys
+    in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+      Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Graphviz export of the system or its TMG.")
+    (with_logs Term.(const run $ file_arg $ tmg $ output_arg))
+
+let () =
+  let doc = "compositional high-level synthesis of communication-centric SoCs (DAC'14)" in
+  let info = Cmd.info "ermes" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [
+                      analyze_cmd;
+                      order_cmd;
+                      simulate_cmd;
+                      dse_cmd;
+                      generate_cmd;
+                      mpeg2_cmd;
+                      fifo_cmd;
+                      frontier_cmd;
+                      oracle_cmd;
+                      report_cmd;
+                      buffers_cmd;
+                      rtl_cmd;
+                      dot_cmd;
+                    ]))

@@ -1,0 +1,205 @@
+(* A second case study: a streaming radix-2 FFT pipeline.
+
+   The MPEG-2 encoder is the paper's case study; this example shows the same
+   flow on a different workload built entirely through the public API:
+
+     1. a functional radix-2 decimation-in-time FFT, checked against a naive
+        O(n^2) DFT;
+     2. behavioral descriptions of its pipeline stages (bit-reversal, log2 N
+        butterfly stages, magnitude post-processing), characterized by the
+        mini-HLS into per-stage Pareto sets;
+     3. the streaming SoC: src -> bitrev -> stage_1 .. stage_k -> mag -> snk,
+        analyzed, reordered and explored exactly like the paper's system.
+
+   Run with: dune exec examples/fft_pipeline.exe *)
+
+module System = Ermes_slm.System
+module Behavior = Ermes_hls.Behavior
+module Op = Ermes_hls.Op
+module Design = Ermes_hls.Design
+module Perf = Ermes_core.Perf
+module Explore = Ermes_core.Explore
+module Ratio = Ermes_tmg.Ratio
+
+(* ---- 1. the functional FFT -------------------------------------------------- *)
+
+let n = 256
+let stages = 8 (* log2 n *)
+
+let bit_reverse bits i =
+  let r = ref 0 in
+  for b = 0 to bits - 1 do
+    if i land (1 lsl b) <> 0 then r := !r lor (1 lsl (bits - 1 - b))
+  done;
+  !r
+
+(* In-place radix-2 DIT FFT over complex floats (re, im arrays). *)
+let fft re im =
+  let len = Array.length re in
+  let bits = stages in
+  for i = 0 to len - 1 do
+    let j = bit_reverse bits i in
+    if j > i then begin
+      let t = re.(i) in re.(i) <- re.(j); re.(j) <- t;
+      let t = im.(i) in im.(i) <- im.(j); im.(j) <- t
+    end
+  done;
+  let m = ref 2 in
+  while !m <= len do
+    let half = !m / 2 in
+    let step = -2. *. Float.pi /. float_of_int !m in
+    for k = 0 to (len / !m) - 1 do
+      for j = 0 to half - 1 do
+        let wr = cos (step *. float_of_int j) and wi = sin (step *. float_of_int j) in
+        let a = (k * !m) + j and b = (k * !m) + j + half in
+        let tr = (wr *. re.(b)) -. (wi *. im.(b)) in
+        let ti = (wr *. im.(b)) +. (wi *. re.(b)) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti
+      done
+    done;
+    m := !m * 2
+  done
+
+let naive_dft re im =
+  let len = Array.length re in
+  let out_re = Array.make len 0. and out_im = Array.make len 0. in
+  for k = 0 to len - 1 do
+    for t = 0 to len - 1 do
+      let angle = -2. *. Float.pi *. float_of_int (k * t) /. float_of_int len in
+      out_re.(k) <- out_re.(k) +. (re.(t) *. cos angle) -. (im.(t) *. sin angle);
+      out_im.(k) <- out_im.(k) +. (re.(t) *. sin angle) +. (im.(t) *. cos angle)
+    done
+  done;
+  (out_re, out_im)
+
+let check_fft () =
+  let re = Array.init n (fun i -> sin (0.1 *. float_of_int i) +. (0.5 *. cos (0.31 *. float_of_int i))) in
+  let im = Array.make n 0. in
+  let want_re, want_im = naive_dft re im in
+  fft re im;
+  let err = ref 0. in
+  for i = 0 to n - 1 do
+    err := Float.max !err (Float.abs (re.(i) -. want_re.(i)));
+    err := Float.max !err (Float.abs (im.(i) -. want_im.(i)))
+  done;
+  !err
+
+(* ---- 2. behavioral models ---------------------------------------------------- *)
+
+(* One butterfly: 4 loads, complex rotation (4 mul + 2 add), combine
+   (4 add), 4 stores. *)
+let butterfly_body =
+  let b = ref [] and id = ref 0 in
+  let emit ?(deps = []) cls =
+    b := Op.op ~deps cls :: !b;
+    incr id;
+    !id - 1
+  in
+  let la = emit Op.Mem and lb = emit Op.Mem and lc = emit Op.Mem and ld = emit Op.Mem in
+  let m1 = emit ~deps:[ lc ] Op.Mul and m2 = emit ~deps:[ ld ] Op.Mul in
+  let m3 = emit ~deps:[ lc ] Op.Mul and m4 = emit ~deps:[ ld ] Op.Mul in
+  let tr = emit ~deps:[ m1; m2 ] Op.Add and ti = emit ~deps:[ m3; m4 ] Op.Add in
+  let s1 = emit ~deps:[ la; tr ] Op.Add and s2 = emit ~deps:[ lb; ti ] Op.Add in
+  let s3 = emit ~deps:[ la; tr ] Op.Add and s4 = emit ~deps:[ lb; ti ] Op.Add in
+  ignore (emit ~deps:[ s1 ] Op.Mem);
+  ignore (emit ~deps:[ s2 ] Op.Mem);
+  ignore (emit ~deps:[ s3 ] Op.Mem);
+  ignore (emit ~deps:[ s4 ] Op.Mem);
+  Array.of_list (List.rev !b)
+
+let stage_behavior i =
+  Behavior.make ~local_words:(2 * n)
+    (Printf.sprintf "fft_stage%d" i)
+    [ Behavior.loop ~label:"butterflies" ~trip:(n / 2) butterfly_body ]
+
+let bitrev_behavior =
+  Behavior.make ~local_words:(2 * n) "bitrev"
+    [
+      Behavior.loop ~label:"permute" ~trip:n
+        [| Op.op Op.Mem; Op.op ~deps:[ 0 ] Op.Logic; Op.op ~deps:[ 1 ] Op.Mem |];
+    ]
+
+let mag_behavior =
+  Behavior.make "magnitude"
+    [
+      Behavior.loop ~label:"mag" ~trip:n
+        [|
+          Op.op Op.Mem; Op.op Op.Mem;
+          Op.op ~deps:[ 0 ] Op.Mul; Op.op ~deps:[ 1 ] Op.Mul;
+          Op.op ~deps:[ 2; 3 ] Op.Add; Op.op ~deps:[ 4 ] Op.Mem;
+        |];
+    ]
+
+(* ---- 3. the streaming SoC ----------------------------------------------------- *)
+
+let build_system () =
+  let sys = System.create ~name:"fft_pipeline" () in
+  let impls_of b =
+    List.map
+      (fun (p : Design.point) ->
+        {
+          System.tag = Printf.sprintf "u%d%s" p.Design.knobs.Design.unroll
+            (if p.Design.knobs.Design.pipelined then "p" else "");
+          latency = p.Design.latency;
+          area = p.Design.area *. 1e-6;
+        })
+      (Design.pareto_frontier b)
+  in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let bitrev = System.add_process sys ~impls:(impls_of bitrev_behavior) "bitrev" in
+  let stage =
+    Array.init stages (fun i ->
+        System.add_process sys ~impls:(impls_of (stage_behavior i)) (Printf.sprintf "stage%d" i))
+  in
+  let mag = System.add_process sys ~impls:(impls_of mag_behavior) "mag" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  (* One frame = n complex samples = 2n words; 16 words per beat. *)
+  let frame = 2 * n / 16 in
+  let ch name a b = ignore (System.add_channel sys ~name ~src:a ~dst:b ~latency:frame) in
+  ch "in" src bitrev;
+  ch "c0" bitrev stage.(0);
+  for i = 0 to stages - 2 do
+    ch (Printf.sprintf "c%d" (i + 1)) stage.(i) stage.(i + 1)
+  done;
+  ch "cm" stage.(stages - 1) mag;
+  ch "out" mag snk;
+  sys
+
+let () =
+  Format.printf "== functional check ==@.";
+  Format.printf "radix-2 FFT vs naive DFT, n=%d: max abs error %.2e@." n (check_fft ());
+
+  Format.printf "@.== characterization ==@.";
+  let sys = build_system () in
+  List.iter
+    (fun p ->
+      if not (System.is_source sys p || System.is_sink sys p) then
+        let impls = System.impls sys p in
+        Format.printf "  %-8s %d Pareto points, latency %d..%d cycles@."
+          (System.process_name sys p) (Array.length impls)
+          impls.(0).System.latency
+          impls.(Array.length impls - 1).System.latency)
+    (System.processes sys);
+
+  Format.printf "@.== analysis ==@.";
+  (match Perf.analyze sys with
+   | Ok a ->
+     Format.printf "fastest configuration: cycle time %a (one %d-point FFT frame per %a cycles)@."
+       Ratio.pp a.Perf.cycle_time n Ratio.pp a.Perf.cycle_time;
+     Format.printf "critical: %s@."
+       (String.concat " " (List.map (System.process_name sys) a.Perf.critical_processes))
+   | Error f -> Format.printf "%a@." (Perf.pp_failure sys) f);
+
+  Format.printf "@.== exploration: halve the area ==@.";
+  let initial_area = System.total_area sys in
+  let ct0 = Perf.cycle_time_exn sys in
+  let tct = 4 * (Ratio.num ct0 / Ratio.den ct0) in
+  let trace = Explore.run ~tct sys in
+  Format.printf "%a@." Explore.pp_trace trace;
+  Format.printf "area %.4f -> %.4f mm2 (%.0f%%) for a %.2fx cycle-time relaxation@."
+    initial_area (Explore.final_area trace)
+    (100. *. ((Explore.final_area trace /. initial_area) -. 1.))
+    (Ratio.to_float (Explore.final_cycle_time trace) /. Ratio.to_float ct0)

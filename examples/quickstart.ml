@@ -1,0 +1,67 @@
+(* Quickstart: build a four-stage system with a fork/join, watch a careless
+   statement order serialize it (25% throughput loss), let the
+   channel-ordering algorithm recover the optimum, and cross-check the
+   analytic cycle time against the cycle-accurate simulator.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module System = Ermes_slm.System
+module Sim = Ermes_slm.Sim
+module Perf = Ermes_core.Perf
+module Order = Ermes_core.Order
+module Ratio = Ermes_tmg.Ratio
+
+let () =
+  (* A producer fans out to two parallel filters that re-join at a merger:
+         src -> split -> (fir, iir) -> merge -> snk                         *)
+  let sys = System.create ~name:"quickstart" () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let split = System.add_simple_process sys ~latency:2 ~area:0.02 "split" in
+  let fir = System.add_simple_process sys ~latency:12 ~area:0.08 "fir" in
+  let iir = System.add_simple_process sys ~latency:5 ~area:0.05 "iir" in
+  let merge = System.add_simple_process sys ~latency:3 ~area:0.03 "merge" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  let ch name src dst latency = System.add_channel sys ~name ~src ~dst ~latency in
+  let _in = ch "in" src split 4 in
+  let a = ch "a" split fir 2 in
+  let b = ch "b" split iir 2 in
+  let x = ch "x" fir merge 2 in
+  let y = ch "y" iir merge 2 in
+  let _out = ch "out" merge snk 4 in
+
+  (* The blocking protocol makes statement order performance-critical: have
+     [split] feed the quick IIR branch first while [merge] insists on reading
+     the slow FIR branch first. Nothing deadlocks — but the slow branch now
+     sits on every cycle together with the fast one, and the cycle time
+     degrades from 16 to 20 (25% throughput loss). *)
+  System.set_put_order sys split [ b; a ];
+  System.set_get_order sys merge [ x; y ];
+  let report label =
+    match Perf.analyze sys with
+    | Ok an ->
+      Format.printf "%-28s cycle time %a (throughput %a), critical: %s@." label
+        Ratio.pp an.Perf.cycle_time Ratio.pp (Perf.throughput an)
+        (String.concat " " (List.map (System.process_name sys) an.Perf.critical_processes))
+    | Error f -> Format.printf "%-28s %a@." label (Perf.pp_failure sys) f
+  in
+  report "careless orders:";
+
+  (* The optimizing algorithm reorders every process's puts and gets. *)
+  ignore (Order.apply sys);
+  report "after channel ordering:";
+  Format.printf "split now writes: %s; merge now reads: %s@."
+    (String.concat " " (List.map (System.channel_name sys) (System.put_order sys split)))
+    (String.concat " " (List.map (System.channel_name sys) (System.get_order sys merge)));
+
+  (* Independent evidence: execute the rendezvous protocol cycle by cycle. *)
+  (match Sim.steady_cycle_time ~rounds:64 sys with
+   | Ok (Some measured) ->
+     Format.printf "simulated steady-state cycle time: %a@." Ratio.pp measured
+   | Ok None -> Format.printf "simulation reached no steady state (raise rounds)@."
+   | Error d -> Format.printf "%a@." (Sim.pp_deadlock sys) d);
+
+  (* The serial-process bottleneck: even though fir (12) dominates, the
+     cycle time exceeds it because split and merge serialize their I/O. *)
+  Format.printf "@.The FIR stage alone takes 12 cycles + 4 channel cycles, yet the pipeline@.";
+  Format.printf "cannot beat the analytic bound above: the serial put/get statements of@.";
+  Format.printf "split and merge are part of every cycle through the fork/join.@."

@@ -1,0 +1,65 @@
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type step = { channel : System.channel; new_depth : int; cycle_time : Ratio.t }
+
+type result = {
+  steps : step list;
+  slots_added : int;
+  final_cycle_time : Ratio.t;
+  met : bool;
+}
+
+let analyze_exn sys =
+  match Perf.analyze sys with
+  | Ok a -> a
+  | Error f -> Format.kasprintf failwith "Buffer_opt: %a" (Perf.pp_failure sys) f
+
+let depth_of sys c =
+  match System.channel_kind sys c with System.Rendezvous -> 0 | System.Fifo d -> d
+
+let set_depth sys c d =
+  System.set_channel_kind sys c (if d = 0 then System.Rendezvous else System.Fifo d)
+
+let size ?(max_slots = 64) ~tct sys =
+  let steps = ref [] in
+  let slots = ref 0 in
+  let current = ref (analyze_exn sys) in
+  let target = Ratio.of_int tct in
+  let continue_ = ref true in
+  while
+    !continue_ && !slots < max_slots && Ratio.(!current.Perf.cycle_time > target)
+  do
+    (* Candidate channels: those on the critical cycle (buffering elsewhere
+       cannot move the maximum cycle ratio). *)
+    let base_ct = !current.Perf.cycle_time in
+    let best = ref None in
+    List.iter
+      (fun c ->
+        let d = depth_of sys c in
+        set_depth sys c (d + 1);
+        (match Perf.analyze sys with
+         | Ok a ->
+           if Ratio.(a.Perf.cycle_time < base_ct) then begin
+             match !best with
+             | Some (_, _, ct) when Ratio.(ct <= a.Perf.cycle_time) -> ()
+             | _ -> best := Some (c, d + 1, a.Perf.cycle_time)
+           end
+         | Error _ -> ());
+        set_depth sys c d)
+      !current.Perf.critical_channels;
+    match !best with
+    | None -> continue_ := false
+    | Some (c, d, ct) ->
+      set_depth sys c d;
+      incr slots;
+      steps := { channel = c; new_depth = d; cycle_time = ct } :: !steps;
+      current := analyze_exn sys
+  done;
+  let final = !current.Perf.cycle_time in
+  {
+    steps = List.rev !steps;
+    slots_added = !slots;
+    final_cycle_time = final;
+    met = Ratio.(final <= target);
+  }

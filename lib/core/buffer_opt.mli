@@ -1,0 +1,37 @@
+(** Automatic FIFO sizing (beyond the paper).
+
+    The related-work section contrasts the paper's reordering with
+    dataflow-style designs whose "communication channels [are] based on
+    FIFOs, which must be carefully sized". This module automates that
+    sizing: starting from the current channel kinds, it greedily buffers the
+    channel that improves the cycle time most per added slot until the
+    target cycle time is met (or no buffering helps), so a designer can
+    trade storage for throughput only where it pays.
+
+    Each step considers the channels on the current critical cycle, tries
+    depth +1 on each (a rendezvous channel becomes a depth-1 FIFO), and
+    keeps the best strict improvement. Monotone; terminates at the target,
+    at [max_slots], or when buffering stops helping (a critical cycle made
+    only of data dependences cannot be bought off with storage). *)
+
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type step = {
+  channel : System.channel;
+  new_depth : int;
+  cycle_time : Ratio.t;  (** after this step *)
+}
+
+type result = {
+  steps : step list;  (** in application order *)
+  slots_added : int;
+  final_cycle_time : Ratio.t;
+  met : bool;
+}
+
+val size : ?max_slots:int -> tct:int -> System.t -> result
+(** [size ~tct sys] mutates the channel kinds of [sys]. [max_slots] (default
+    64) bounds the total added storage.
+    @raise Failure if the system deadlocks under its current orders (FIFO
+    insertion never introduces deadlock, so a live start stays live). *)

@@ -1,0 +1,71 @@
+(** The ERMES design-space exploration loop (paper §5, Fig. 5).
+
+    Iterates {e performance analysis} → {e IP optimization} (ILP selection of
+    micro-architectures) → {e channel reordering} until nothing changes:
+
+    - given the current cycle time CT and the target TCT, the performance
+      slack is sp = TCT − CT;
+    - sp > 0: {e area recovery} — shrink implementations without letting the
+      critical cycle overshoot the target;
+    - sp ≤ 0: {e timing optimization} — speed up the processes on the
+      critical cycle;
+    - after every selection change the channel-ordering algorithm re-runs
+      (latencies changed, so the optimal orders may have);
+    - configurations already visited are discarded (the paper's "constraints
+      to discard the configurations already optimized"), which guarantees
+      termination and stops the area/timing oscillation once it revisits a
+      state.
+
+    The per-iteration (cycle time, area) trace is exactly what the paper's
+    Fig. 6 plots. *)
+
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type action =
+  | Initial  (** state before the first optimization step *)
+  | Timing_optimization
+  | Area_recovery
+  | Converged  (** the closing iteration that confirmed no further change *)
+
+type step = {
+  iteration : int;
+  action : action;
+  changes : Ilp_select.change list;  (** implementation switches this step *)
+  reordered : bool;  (** whether reordering changed any statement order *)
+  cycle_time : Ratio.t;
+  area : float;  (** total area after the step, mm² *)
+}
+
+type trace = {
+  tct : int;  (** the target cycle time, cycles *)
+  steps : step list;  (** oldest first; head is the [Initial] step *)
+  met : bool;  (** final cycle time ≤ target *)
+}
+
+val run :
+  ?max_iterations:int -> ?reorder:bool -> ?area_budget:float -> tct:int -> System.t -> trace
+(** [run ~tct sys] mutates [sys] (selections and statement orders) and
+    returns the exploration trace. [reorder] (default true) controls the
+    channel-reordering stage — disabling it isolates the ILP contribution
+    (ablation). [area_budget] (mm²) activates the paper's dual formulation:
+    timing-optimization steps may not push the total area of the critical
+    processes beyond the budget minus the area of the others (i.e. the whole
+    system stays within budget). [max_iterations] defaults to 16.
+    @raise Failure if an analysis reports deadlock (cannot happen when the
+    input orders are deadlock-free: implementation selection never changes
+    the marking structure). *)
+
+val reorder_only : System.t -> Ratio.t * Ratio.t
+(** Apply just the channel-ordering algorithm, keeping the incumbent order
+    when the heuristic would regress; returns (cycle time before, after),
+    with after ≤ before always. Mutates the system's orders. This is the
+    paper's M1 experiment: reordering alone, no change to the computational
+    parts. *)
+
+val final_cycle_time : trace -> Ratio.t
+val final_area : trace -> float
+
+val pp_trace : Format.formatter -> trace -> unit
+(** One row per iteration: action, cycle time, area — the data behind
+    Fig. 6. *)

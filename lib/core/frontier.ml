@@ -1,0 +1,92 @@
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type point = { selection : int array; cycle_time : Ratio.t; area : float }
+
+let select sys point =
+  Array.iteri (fun p i -> System.select sys p i) point.selection
+
+(* Per-process choice at scalarization weight theta, latency and area each
+   normalized to the process's own [min, max] range. *)
+let choose_at sys theta =
+  let pick p =
+    let impls = System.impls sys p in
+    let lats = Array.map (fun (i : System.impl) -> float_of_int i.latency) impls in
+    let areas = Array.map (fun (i : System.impl) -> i.area) impls in
+    let lo a = Array.fold_left min a.(0) a and hi a = Array.fold_left max a.(0) a in
+    let norm lo_ hi_ v = if hi_ > lo_ then (v -. lo_) /. (hi_ -. lo_) else 0. in
+    let score i =
+      (theta *. norm (lo lats) (hi lats) lats.(i))
+      +. ((1. -. theta) *. norm (lo areas) (hi areas) areas.(i))
+    in
+    let best = ref 0 in
+    Array.iteri (fun i _ -> if score i < score !best then best := i) impls;
+    System.select sys p !best
+  in
+  List.iter pick (System.processes sys)
+
+let system_pareto ?(steps = 33) sys =
+  if steps < 2 then invalid_arg "Frontier.system_pareto: need at least 2 steps";
+  let saved = Ilp_select.selection_vector sys in
+  let points = ref [] in
+  for k = 0 to steps - 1 do
+    (* theta = 1 first so the fastest configuration is always sampled. *)
+    let theta = 1. -. (float_of_int k /. float_of_int (steps - 1)) in
+    choose_at sys theta;
+    match Perf.analyze sys with
+    | Ok a ->
+      points :=
+        {
+          selection = Ilp_select.selection_vector sys;
+          cycle_time = a.Perf.cycle_time;
+          area = System.total_area sys;
+        }
+        :: !points
+    | Error _ -> ()
+  done;
+  Array.iteri (fun p i -> System.select sys p i) saved;
+  (* Non-dominated filter on (cycle time, area). *)
+  let all = !points in
+  let dominates a b =
+    Ratio.(a.cycle_time <= b.cycle_time)
+    && a.area <= b.area
+    && (Ratio.(a.cycle_time < b.cycle_time) || a.area < b.area)
+  in
+  let keep =
+    List.filter (fun p -> not (List.exists (fun q -> dominates q p) all)) all
+  in
+  let keep =
+    List.sort_uniq
+      (fun a b ->
+        match Ratio.compare a.cycle_time b.cycle_time with
+        | 0 -> compare a.area b.area
+        | c -> c)
+      keep
+  in
+  (* Collapse equal cycle times to the cheapest. *)
+  let rec dedup = function
+    | a :: (b :: _ as rest) when Ratio.equal a.cycle_time b.cycle_time ->
+      a :: dedup (List.filter (fun q -> not (Ratio.equal q.cycle_time a.cycle_time)) rest)
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  dedup keep
+
+let fastest = function
+  | [] -> invalid_arg "Frontier.fastest: empty frontier"
+  | p :: rest ->
+    List.fold_left
+      (fun best q -> if Ratio.(q.cycle_time < best.cycle_time) then q else best)
+      p rest
+
+let at_cycle_time_ratio frontier r =
+  let f = fastest frontier in
+  let target = r *. Ratio.to_float f.cycle_time in
+  match frontier with
+  | [] -> invalid_arg "Frontier.at_cycle_time_ratio: empty frontier"
+  | p :: rest ->
+    List.fold_left
+      (fun best q ->
+        let d x = Float.abs (Ratio.to_float x.cycle_time -. target) in
+        if d q < d best then q else best)
+      p rest

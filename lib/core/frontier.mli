@@ -1,0 +1,38 @@
+(** System-level Pareto-optimal implementations (the Liu–Carloni
+    compositional DSE step the paper builds on — its reference [11]).
+
+    The paper's two starting points M1 and M2 are members of "a set of
+    Pareto-optimal implementations for the overall system" obtained without
+    touching the statement orders. This module reconstructs such a set by a
+    scalarization sweep: for each weight θ ∈ [0,1], every process selects the
+    implementation minimizing θ·latency + (1−θ)·area (each normalized to the
+    process's own range), the system is analyzed under its current orders,
+    and the non-dominated (cycle time, area) points are kept. θ = 1 yields
+    the all-fastest configuration (the paper's M1). *)
+
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type point = {
+  selection : int array;  (** implementation index per process *)
+  cycle_time : Ratio.t;
+  area : float;  (** mm² *)
+}
+
+val system_pareto : ?steps:int -> System.t -> point list
+(** [system_pareto sys] sweeps [steps] (default 33) scalarization weights and
+    returns the non-dominated configurations sorted by increasing cycle
+    time. The system's selections are restored before returning; statement
+    orders are never touched. Configurations whose analysis deadlocks are
+    skipped (cannot happen when the current orders are deadlock-free). *)
+
+val select : System.t -> point -> unit
+(** Install a frontier point's selections. *)
+
+val fastest : point list -> point
+(** Minimum cycle time (the paper's M1). @raise Invalid_argument on []. *)
+
+val at_cycle_time_ratio : point list -> float -> point
+(** [at_cycle_time_ratio frontier r]: the point whose cycle time is closest
+    to [r] × the fastest point's cycle time — used to pick an M2 analog at
+    the paper's M2/M1 ratio (3597/1906 ≈ 1.89). *)

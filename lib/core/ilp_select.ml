@@ -1,0 +1,197 @@
+module System = Ermes_slm.System
+module Lp = Ermes_ilp.Lp
+module Branch_bound = Ermes_ilp.Branch_bound
+
+type change = { process : System.process; from_impl : int; to_impl : int }
+
+let apply_changes sys changes =
+  List.iter (fun c -> System.select sys c.process c.to_impl) changes
+
+let selection_vector sys =
+  Array.of_list (List.map (System.selected sys) (System.processes sys))
+
+(* Variable layout: one block of binaries per participating process, one per
+   implementation. *)
+type layout = {
+  nvars : int;
+  blocks : (System.process * (int * int) array) list;
+      (* process, (impl index, var id) per admissible implementation *)
+}
+
+(* [admissible sys p i] filters the candidate implementations; the current
+   selection is always admitted so the one-of-each rows stay feasible. *)
+let make_layout ?(admissible = fun _ _ _ -> true) sys participants =
+  let next = ref 0 in
+  let blocks =
+    List.map
+      (fun p ->
+        let k = Array.length (System.impls sys p) in
+        let keep =
+          List.filter
+            (fun i -> i = System.selected sys p || admissible sys p i)
+            (List.init k Fun.id)
+        in
+        let vars =
+          Array.of_list
+            (List.map (fun i -> let v = !next in incr next; (i, v)) keep)
+        in
+        (p, vars))
+      participants
+  in
+  { nvars = !next; blocks }
+
+let one_of_each layout =
+  List.map
+    (fun (_, vars) ->
+      Lp.row (Array.to_list (Array.map (fun (_, v) -> (v, 1.)) vars)) Lp.Eq 1.)
+    layout.blocks
+
+(* Extract the chosen implementation per process from an ILP solution. *)
+let changes_of_solution sys layout x =
+  List.filter_map
+    (fun (p, vars) ->
+      let chosen = ref (-1) in
+      Array.iter (fun (i, v) -> if x.(v) > 0.5 then chosen := i) vars;
+      assert (!chosen >= 0);
+      if !chosen <> System.selected sys p then
+        Some { process = p; from_impl = System.selected sys p; to_impl = !chosen }
+      else None)
+    layout.blocks
+
+let latency_gain sys p i = System.latency sys p - (System.impls sys p).(i).System.latency
+let area_gain sys p i = System.area sys p -. (System.impls sys p).(i).System.area
+
+let solve_or_keep sys layout lp ~min_objective =
+  match Branch_bound.solve lp with
+  | Branch_bound.Optimal { x; objective } when objective > min_objective ->
+    changes_of_solution sys layout x
+  | Branch_bound.Optimal _ -> []
+  | Branch_bound.Infeasible ->
+    (* Reachable when an external constraint (the dual formulation's area
+       budget) excludes even the current selection: nothing to change. *)
+    []
+  | Branch_bound.Unbounded -> assert false
+
+let gain_row sys layout =
+  Lp.row
+    (List.concat_map
+       (fun (p, vars) ->
+         Array.to_list
+           (Array.map (fun (i, v) -> (v, float_of_int (latency_gain sys p i))) vars))
+       layout.blocks)
+
+(* The system cycle time can never drop below a process's own cycle: its
+   latency plus the process-side cost of every channel it touches. *)
+let process_cycle_floor sys p impl_latency =
+  let gets =
+    List.fold_left (fun acc c -> acc + System.get_side_latency sys c) 0 (System.get_order sys p)
+  in
+  let puts =
+    List.fold_left (fun acc c -> acc + System.put_side_latency sys c) 0 (System.put_order sys p)
+  in
+  impl_latency + gets + puts
+
+let area_recovery ?tct sys ~critical ~slack =
+  if slack < 0 then invalid_arg "Ilp_select.area_recovery: negative slack";
+  let admissible =
+    match tct with
+    | None -> fun _ _ _ -> true
+    | Some t ->
+      fun sys p i ->
+        process_cycle_floor sys p (System.impls sys p).(i).System.latency <= t
+  in
+  let participants = System.processes sys in
+  let layout = make_layout ~admissible sys participants in
+  let costs = Array.make layout.nvars 0. in
+  List.iter
+    (fun (p, vars) ->
+      Array.iter (fun (i, v) -> costs.(v) <- area_gain sys p i) vars)
+    layout.blocks;
+  let critical_set = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.replace critical_set p ()) critical;
+  let budget_row =
+    let coeffs =
+      List.concat_map
+        (fun (p, vars) ->
+          if Hashtbl.mem critical_set p then
+            Array.to_list
+              (Array.map (fun (i, v) -> (v, float_of_int (- latency_gain sys p i))) vars)
+          else [])
+        layout.blocks
+    in
+    Lp.row coeffs Lp.Le (float_of_int slack)
+  in
+  let lp = Lp.make Lp.Maximize costs (budget_row :: one_of_each layout) in
+  solve_or_keep sys layout lp ~min_objective:1e-9
+
+let area_budget_row sys layout budget =
+  Lp.row
+    (List.concat_map
+       (fun (p, vars) ->
+         Array.to_list
+           (Array.map (fun (i, v) -> (v, (System.impls sys p).(i).System.area)) vars))
+       layout.blocks)
+    Lp.Le budget
+
+(* Maximize the cumulative latency gain of the critical processes (the
+   fallback when no selection can reach the target). *)
+let max_gain sys layout ?area_budget () =
+  let costs = Array.make layout.nvars 0. in
+  (* Latency gain dominates; a small area-gain term picks the cheapest among
+     equally fast selections (latency gains are integers, area gains well
+     below 1e3 mm², so 1e-6 cannot flip a latency decision). *)
+  List.iter
+    (fun (p, vars) ->
+      Array.iter
+        (fun (i, v) ->
+          costs.(v) <-
+            float_of_int (latency_gain sys p i) +. (1e-6 *. area_gain sys p i))
+        vars)
+    layout.blocks;
+  let rows = one_of_each layout in
+  let rows =
+    match area_budget with
+    | None -> rows
+    | Some budget -> area_budget_row sys layout budget :: rows
+  in
+  let lp = Lp.make Lp.Maximize costs rows in
+  (* Require a strictly positive latency improvement: the epsilon area term
+     alone must not trigger churn. *)
+  solve_or_keep sys layout lp ~min_objective:0.5
+
+(* Minimize total area subject to reaching the needed gain: the literal
+   reading of "minimize the difference CT - TCT" once the difference can be
+   driven to zero — go exactly fast enough, as cheaply as possible. *)
+let min_area_with_gain sys layout ?area_budget ~needed () =
+  let costs = Array.make layout.nvars 0. in
+  List.iter
+    (fun (p, vars) ->
+      Array.iter
+        (fun (i, v) -> costs.(v) <- (System.impls sys p).(i).System.area)
+        vars)
+    layout.blocks;
+  let rows = gain_row sys layout Lp.Ge (float_of_int needed) :: one_of_each layout in
+  let rows =
+    match area_budget with
+    | None -> rows
+    | Some budget -> area_budget_row sys layout budget :: rows
+  in
+  let lp = Lp.make Lp.Minimize costs rows in
+  match Branch_bound.solve lp with
+  | Branch_bound.Optimal { x; _ } -> Some (changes_of_solution sys layout x)
+  | Branch_bound.Infeasible -> None
+  | Branch_bound.Unbounded -> assert false
+
+let timing_optimization ?area_budget ?needed_gain sys ~critical =
+  match critical with
+  | [] -> []
+  | _ ->
+    let layout = make_layout sys critical in
+    (match needed_gain with
+     | Some needed when needed > 0 -> (
+       match min_area_with_gain sys layout ?area_budget ~needed () with
+       | Some changes -> changes
+       | None ->
+         (* The target is out of reach: get as close as possible. *)
+         max_gain sys layout ?area_budget ())
+     | Some _ | None -> max_gain sys layout ?area_budget ())

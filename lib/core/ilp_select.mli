@@ -1,0 +1,60 @@
+(** ILP formulations for implementation selection (paper §5).
+
+    Binary variables x₍p,i₎ select implementation [i] for process [p]
+    (exactly one per process). The {e latency gain} l₍p,i₎ is the current
+    latency of [p] minus the latency of [i]; the {e area gain} a₍p,i₎
+    likewise for area. Both problems are solved exactly with the
+    branch-and-bound ILP solver (the paper used GLPK).
+
+    - {e Area recovery} (performance slack sp > 0): maximize the total area
+      gain over {e all} processes, subject to the cumulative latency loss of
+      the processes on the critical cycle not exceeding the slack. Latencies
+      of off-cycle processes are unconstrained — a new critical cycle may
+      emerge, which the next iteration of the methodology detects and
+      repairs (exactly the oscillation visible in the paper's Fig. 6).
+    - {e Timing optimization} (sp ≤ 0): maximize the cumulative latency gain
+      of the processes on the critical cycle, with the total area gain as an
+      epsilon-weighted tie-break (the cheapest among the fastest), optionally
+      under an area budget (the dual formulation the paper mentions and
+      omits). *)
+
+module System = Ermes_slm.System
+
+type change = {
+  process : System.process;
+  from_impl : int;
+  to_impl : int;
+}
+
+val apply_changes : System.t -> change list -> unit
+
+val selection_vector : System.t -> int array
+(** Current implementation index per process. *)
+
+val area_recovery :
+  ?tct:int -> System.t -> critical:System.process list -> slack:int -> change list
+(** Changes with positive total area gain, or [[]] when no recovery is
+    possible. When [tct] is given, candidate implementations whose own
+    process cycle (implementation latency plus the latencies of every
+    channel the process touches — an unconditional lower bound on the system
+    cycle time through that process) already exceeds [tct] are excluded:
+    selecting one could never keep the target, only hand the violation to a
+    later iteration. The currently selected implementation is always kept as
+    a candidate so the formulation stays feasible.
+    @raise Invalid_argument if [slack < 0]. *)
+
+val timing_optimization :
+  ?area_budget:float ->
+  ?needed_gain:int ->
+  System.t ->
+  critical:System.process list ->
+  change list
+(** When [needed_gain] is given (the latency gain that brings the critical
+    cycle exactly to the target: critical delay − TCT·tokens), selects the
+    {e minimum-area} configuration achieving at least that gain — the
+    literal reading of the paper's "minimize the difference CT − TCT".
+    When it is absent or unreachable, falls back to maximizing the
+    cumulative latency gain (fastest possible). Returns [[]] when the
+    critical processes are already at their fastest implementations.
+    [area_budget] bounds the total area of the critical processes after the
+    change (the dual formulation the paper mentions). *)

@@ -1,0 +1,71 @@
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type result = {
+  best_cycle_time : Ratio.t;
+  best_system : System.t;
+  evaluated : int;
+  deadlocked : int;
+}
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let search ?(limit = 100_000) sys =
+  let combos = System.order_combinations sys in
+  if combos > float_of_int limit then
+    invalid_arg
+      (Printf.sprintf "Oracle.search: %.3g order combinations exceed the limit of %d"
+         combos limit);
+  let work = System.copy sys in
+  (* Per-process choice lists: all (get-order, put-order) pairs. *)
+  let choices =
+    List.map
+      (fun p ->
+        let gets = permutations (System.get_order work p) in
+        let puts = permutations (System.put_order work p) in
+        (p, List.concat_map (fun g -> List.map (fun o -> (g, o)) puts) gets))
+      (System.processes work)
+  in
+  let best = ref None in
+  let evaluated = ref 0 and deadlocked = ref 0 in
+  let evaluate () =
+    incr evaluated;
+    match Perf.analyze work with
+    | Ok a ->
+      let better =
+        match !best with
+        | None -> true
+        | Some (ct, _) -> Ratio.(a.Perf.cycle_time < ct)
+      in
+      if better then best := Some (a.Perf.cycle_time, System.copy work)
+    | Error (Perf.Deadlock _) -> incr deadlocked
+    | Error Perf.No_cycle -> ()
+  in
+  let rec enumerate = function
+    | [] -> evaluate ()
+    | (p, opts) :: rest ->
+      List.iter
+        (fun (g, o) ->
+          System.set_get_order work p g;
+          System.set_put_order work p o;
+          enumerate rest)
+        opts
+  in
+  enumerate choices;
+  match !best with
+  | None -> None
+  | Some (ct, s) ->
+    Some
+      {
+        best_cycle_time = ct;
+        best_system = s;
+        evaluated = !evaluated;
+        deadlocked = !deadlocked;
+      }

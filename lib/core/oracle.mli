@@ -1,0 +1,27 @@
+(** Exhaustive statement-order search.
+
+    The brute-force baseline the paper argues against ("there are simply too
+    many possible ordering combinations to consider"): enumerate every
+    combination of per-process get and put orders, analyze each, and report
+    the best. Cost is ∏ₚ |in(p)|!·|out(p)|! analyses, so this is only usable
+    on small systems — which is exactly its role: ground truth for the
+    ordering algorithm in tests and the optimality-gap ablation bench. *)
+
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+type result = {
+  best_cycle_time : Ratio.t;
+  best_system : System.t;  (** a copy carrying one optimal order combination *)
+  evaluated : int;  (** total order combinations analyzed *)
+  deadlocked : int;  (** how many of them deadlock *)
+}
+
+val permutations : 'a list -> 'a list list
+(** All permutations, in lexicographic position order. *)
+
+val search : ?limit:int -> System.t -> result option
+(** [search sys] tries every order combination (the input system is not
+    modified). [None] if every combination deadlocks.
+    @param limit refuse (raise [Invalid_argument]) beyond this many
+    combinations (default 100_000). *)

@@ -1,0 +1,57 @@
+module System = Ermes_slm.System
+module Ratio = Ermes_tmg.Ratio
+
+let markdown ?(frontier = false) sys =
+  match Perf.analyze sys with
+  | Error f -> Error (Format.asprintf "%a" (Perf.pp_failure sys) f)
+  | Ok a ->
+    let buf = Buffer.create 2048 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    pf "# Design report: %s\n\n" (System.name sys);
+    pf "- processes: %d (%d sources, %d sinks)\n" (System.process_count sys)
+      (List.length (System.sources sys))
+      (List.length (System.sinks sys));
+    pf "- channels: %d\n" (System.channel_count sys);
+    pf "- statement-order combinations: %.3g\n\n" (System.order_combinations sys);
+    pf "## Performance\n\n";
+    pf "- cycle time: **%s** cycles per iteration\n" (Ratio.to_string a.Perf.cycle_time);
+    pf "- throughput: %s iterations per cycle\n" (Ratio.to_string (Perf.throughput a));
+    pf "- critical cycle: %s\n\n" (String.concat " -> " a.Perf.critical_cycle);
+    pf "## Latency slack\n\n";
+    pf "Extra cycles each element can absorb before the cycle time degrades.\n\n";
+    pf "| process | latency | slack |\n|---|---|---|\n";
+    List.iter
+      (fun (p, s) ->
+        pf "| %s | %d | %s |\n" (System.process_name sys p) (System.latency sys p)
+          (Format.asprintf "%a" Perf.pp_slack s))
+      (Perf.latency_slack sys);
+    pf "\n| channel | latency | kind | slack |\n|---|---|---|---|\n";
+    List.iter
+      (fun (c, s) ->
+        pf "| %s | %d | %s | %s |\n" (System.channel_name sys c)
+          (System.channel_latency sys c)
+          (match System.channel_kind sys c with
+           | System.Rendezvous -> "rendezvous"
+           | System.Fifo d -> Printf.sprintf "fifo(%d)" d)
+          (Format.asprintf "%a" Perf.pp_slack s))
+      (Perf.channel_slack sys);
+    pf "\n## Area\n\n";
+    pf "Total: **%.4f mm2**\n\n" (System.total_area sys);
+    pf "| process | implementation | latency | area (mm2) |\n|---|---|---|---|\n";
+    List.iter
+      (fun p ->
+        let impls = System.impls sys p in
+        let i = System.selected sys p in
+        pf "| %s | %s (%d/%d) | %d | %.4f |\n" (System.process_name sys p)
+          impls.(i).System.tag (i + 1) (Array.length impls) (System.latency sys p)
+          (System.area sys p))
+      (System.processes sys);
+    if frontier then begin
+      pf "\n## System-level Pareto frontier\n\n";
+      pf "| cycle time | area (mm2) |\n|---|---|\n";
+      List.iter
+        (fun (pt : Frontier.point) ->
+          pf "| %s | %.4f |\n" (Ratio.to_string pt.Frontier.cycle_time) pt.Frontier.area)
+        (Frontier.system_pareto sys)
+    end;
+    Ok (Buffer.contents buf)

@@ -1,0 +1,15 @@
+(** Human-readable design reports.
+
+    Bundles the analyses a designer acts on — cycle time, throughput, the
+    critical cycle, per-process and per-channel latency slack, the area
+    breakdown and (optionally) the system-level Pareto frontier — into one
+    Markdown document. This is the artifact the [ermes report] subcommand
+    emits. *)
+
+module System = Ermes_slm.System
+
+val markdown : ?frontier:bool -> System.t -> (string, string) result
+(** [markdown sys] renders the report for the system's current orders and
+    selections. [frontier] (default false) appends the system-level Pareto
+    frontier (costs one analysis per scalarization sample). [Error] carries
+    the deadlock/degenerate-system diagnostic instead of a report. *)

@@ -1,0 +1,126 @@
+type vertex = int
+type arc = int
+
+type ('v, 'a) arc_record = { src : vertex; dst : vertex; mutable alabel : 'a }
+
+type ('v, 'a) vertex_record = {
+  mutable vlabel : 'v;
+  out_arcs : arc Vec.t;
+  in_arcs : arc Vec.t;
+}
+
+type ('v, 'a) t = {
+  verts : ('v, 'a) vertex_record Vec.t;
+  arc_recs : ('v, 'a) arc_record Vec.t;
+}
+
+let create () = { verts = Vec.create (); arc_recs = Vec.create () }
+
+let add_vertex g label =
+  Vec.push g.verts { vlabel = label; out_arcs = Vec.create (); in_arcs = Vec.create () }
+
+let check_vertex g v fn =
+  if v < 0 || v >= Vec.length g.verts then
+    invalid_arg (Printf.sprintf "Digraph.%s: unknown vertex %d" fn v)
+
+let add_arc g ~src ~dst label =
+  check_vertex g src "add_arc";
+  check_vertex g dst "add_arc";
+  let a = Vec.push g.arc_recs { src; dst; alabel = label } in
+  ignore (Vec.push (Vec.get g.verts src).out_arcs a);
+  ignore (Vec.push (Vec.get g.verts dst).in_arcs a);
+  a
+
+let vertex_count g = Vec.length g.verts
+let arc_count g = Vec.length g.arc_recs
+
+let vertex_label g v =
+  check_vertex g v "vertex_label";
+  (Vec.get g.verts v).vlabel
+
+let set_vertex_label g v l =
+  check_vertex g v "set_vertex_label";
+  (Vec.get g.verts v).vlabel <- l
+
+let check_arc g a fn =
+  if a < 0 || a >= Vec.length g.arc_recs then
+    invalid_arg (Printf.sprintf "Digraph.%s: unknown arc %d" fn a)
+
+let arc_label g a =
+  check_arc g a "arc_label";
+  (Vec.get g.arc_recs a).alabel
+
+let set_arc_label g a l =
+  check_arc g a "set_arc_label";
+  (Vec.get g.arc_recs a).alabel <- l
+
+let arc_src g a =
+  check_arc g a "arc_src";
+  (Vec.get g.arc_recs a).src
+
+let arc_dst g a =
+  check_arc g a "arc_dst";
+  (Vec.get g.arc_recs a).dst
+
+let arc_ends g a = (arc_src g a, arc_dst g a)
+
+let out_arcs g v =
+  check_vertex g v "out_arcs";
+  Vec.to_list (Vec.get g.verts v).out_arcs
+
+let in_arcs g v =
+  check_vertex g v "in_arcs";
+  Vec.to_list (Vec.get g.verts v).in_arcs
+
+let out_degree g v =
+  check_vertex g v "out_degree";
+  Vec.length (Vec.get g.verts v).out_arcs
+
+let in_degree g v =
+  check_vertex g v "in_degree";
+  Vec.length (Vec.get g.verts v).in_arcs
+
+let succs g v = List.map (arc_dst g) (out_arcs g v)
+let preds g v = List.map (arc_src g) (in_arcs g v)
+
+let vertices g = List.init (vertex_count g) Fun.id
+let arcs g = List.init (arc_count g) Fun.id
+
+let iter_vertices f g =
+  for v = 0 to vertex_count g - 1 do
+    f v
+  done
+
+let iter_arcs f g =
+  for a = 0 to arc_count g - 1 do
+    f a
+  done
+
+let fold_vertices f g acc =
+  let acc = ref acc in
+  iter_vertices (fun v -> acc := f v !acc) g;
+  !acc
+
+let fold_arcs f g acc =
+  let acc = ref acc in
+  iter_arcs (fun a -> acc := f a !acc) g;
+  !acc
+
+let find_arc g ~src ~dst =
+  List.find_opt (fun a -> arc_dst g a = dst) (out_arcs g src)
+
+let map_labels ~vertex ~arc g =
+  let g' = create () in
+  iter_vertices (fun v -> ignore (add_vertex g' (vertex (vertex_label g v)))) g;
+  iter_arcs
+    (fun a -> ignore (add_arc g' ~src:(arc_src g a) ~dst:(arc_dst g a) (arc (arc_label g a))))
+    g;
+  g'
+
+let reverse g =
+  let g' = create () in
+  iter_vertices (fun v -> ignore (add_vertex g' (vertex_label g v))) g;
+  iter_arcs
+    (fun a -> ignore (add_arc g' ~src:(arc_dst g a) ~dst:(arc_src g a) (arc_label g a)))
+    g;
+  g'

@@ -1,0 +1,39 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let attrs_to_string = function
+  | [] -> ""
+  | attrs ->
+    let pair (k, v) = Printf.sprintf "%s=\"%s\"" k (escape v) in
+    " [" ^ String.concat ", " (List.map pair attrs) ^ "]"
+
+let to_string ?(name = "g") ?(vertex_attrs = fun _ -> []) ?(arc_attrs = fun _ -> [])
+    ~vertex_name g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  let emit_vertex v =
+    Buffer.add_string buf
+      (Printf.sprintf "  \"%s\"%s;\n" (escape (vertex_name v))
+         (attrs_to_string (vertex_attrs v)))
+  in
+  let emit_arc a =
+    let s, d = Digraph.arc_ends g a in
+    Buffer.add_string buf
+      (Printf.sprintf "  \"%s\" -> \"%s\"%s;\n"
+         (escape (vertex_name s))
+         (escape (vertex_name d))
+         (attrs_to_string (arc_attrs a)))
+  in
+  Digraph.iter_vertices emit_vertex g;
+  Digraph.iter_arcs emit_arc g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

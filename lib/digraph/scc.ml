@@ -1,0 +1,86 @@
+type result = { component : int array; count : int }
+
+(* Iterative Tarjan: the classic recursive formulation rewritten with an
+   explicit frame stack so 10k-vertex graphs cannot overflow the call stack. *)
+let compute g =
+  let n = Digraph.vertex_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let component = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comp_count = ref 0 in
+  let visit root =
+    if index.(root) >= 0 then ()
+    else begin
+      let frames = ref [] in
+      let push_frame v =
+        index.(v) <- !next_index;
+        lowlink.(v) <- !next_index;
+        incr next_index;
+        stack := v :: !stack;
+        on_stack.(v) <- true;
+        frames := (v, ref (Digraph.succs g v)) :: !frames
+      in
+      push_frame root;
+      while !frames <> [] do
+        match !frames with
+        | [] -> ()
+        | (v, rest) :: parent_frames ->
+          (match !rest with
+           | w :: more ->
+             rest := more;
+             if index.(w) < 0 then push_frame w
+             else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+           | [] ->
+             frames := parent_frames;
+             (match parent_frames with
+              | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+              | [] -> ());
+             if lowlink.(v) = index.(v) then begin
+               let rec popc () =
+                 match !stack with
+                 | [] -> assert false
+                 | w :: rest ->
+                   stack := rest;
+                   on_stack.(w) <- false;
+                   component.(w) <- !comp_count;
+                   if w <> v then popc ()
+               in
+               popc ();
+               incr comp_count
+             end)
+      done
+    end
+  in
+  for v = 0 to n - 1 do
+    visit v
+  done;
+  { component; count = !comp_count }
+
+let components r =
+  let buckets = Array.make r.count [] in
+  let n = Array.length r.component in
+  for v = n - 1 downto 0 do
+    let c = r.component.(v) in
+    buckets.(c) <- v :: buckets.(c)
+  done;
+  buckets
+
+let is_strongly_connected g =
+  Digraph.vertex_count g > 0 && (compute g).count = 1
+
+let condensation g =
+  let r = compute g in
+  let q = Digraph.create () in
+  for _ = 1 to r.count do
+    ignore (Digraph.add_vertex q ())
+  done;
+  let add_quotient_arc a =
+    let s = r.component.(Digraph.arc_src g a)
+    and d = r.component.(Digraph.arc_dst g a) in
+    if s <> d then ignore (Digraph.add_arc q ~src:s ~dst:d ())
+  in
+  Digraph.iter_arcs add_quotient_arc g;
+  (r, q)

@@ -1,0 +1,129 @@
+type arc_kind = Tree | Back | Forward_or_cross
+
+type dfs_result = { pre : int array; post : int array; kind : arc_kind array }
+
+type color = White | Gray | Black
+
+let dfs ?roots g =
+  let n = Digraph.vertex_count g in
+  let roots = match roots with Some rs -> rs | None -> Digraph.vertices g in
+  let pre = Array.make n (-1) and post = Array.make n (-1) in
+  let kind = Array.make (Digraph.arc_count g) Forward_or_cross in
+  let color = Array.make n White in
+  let pre_counter = ref 0 and post_counter = ref 0 in
+  (* Each stack frame is a vertex plus its not-yet-explored out-arcs. *)
+  let visit root =
+    if color.(root) = White then begin
+      color.(root) <- Gray;
+      pre.(root) <- !pre_counter;
+      incr pre_counter;
+      let stack = ref [ (root, Digraph.out_arcs g root) ] in
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, []) :: rest ->
+          color.(v) <- Black;
+          post.(v) <- !post_counter;
+          incr post_counter;
+          stack := rest
+        | (v, a :: more) :: rest ->
+          stack := (v, more) :: rest;
+          let w = Digraph.arc_dst g a in
+          (match color.(w) with
+           | White ->
+             kind.(a) <- Tree;
+             color.(w) <- Gray;
+             pre.(w) <- !pre_counter;
+             incr pre_counter;
+             stack := (w, Digraph.out_arcs g w) :: !stack
+           | Gray -> kind.(a) <- Back
+           | Black -> kind.(a) <- Forward_or_cross)
+      done
+    end
+  in
+  List.iter visit roots;
+  { pre; post; kind }
+
+let back_arcs ?roots g =
+  let r = dfs ?roots g in
+  Array.map (fun k -> k = Back) r.kind
+
+let bfs_order ~roots g =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  let queue = Queue.create () in
+  let order = ref [] in
+  let enqueue v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      Queue.add v queue
+    end
+  in
+  List.iter enqueue roots;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    List.iter enqueue (Digraph.succs g v)
+  done;
+  List.rev !order
+
+let reachable ~from g =
+  let n = Digraph.vertex_count g in
+  let seen = Array.make n false in
+  List.iter (fun v -> seen.(v) <- true) (bfs_order ~roots:from g);
+  seen
+
+let topological_sort g =
+  let n = Digraph.vertex_count g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_arcs (fun a -> let d = Digraph.arc_dst g a in indeg.(d) <- indeg.(d) + 1) g;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let order = ref [] and emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order := v :: !order;
+    incr emitted;
+    let relax w =
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    in
+    List.iter relax (Digraph.succs g v)
+  done;
+  if !emitted = n then Ok (List.rev !order)
+  else begin
+    (* Every leftover vertex keeps an unresolved predecessor that is itself a
+       leftover, so walking predecessors inside the leftover set must repeat a
+       vertex, exposing a cycle. *)
+    let leftover v = indeg.(v) > 0 in
+    let start =
+      match List.find_opt leftover (Digraph.vertices g) with
+      | Some v -> v
+      | None -> assert false
+    in
+    let mark = Array.make n false in
+    (* The walk pushes each predecessor in front of [path], so consecutive
+       elements of [path] are joined by arcs left to right. When a vertex [v]
+       repeats it is both the head of [path] and some later element; the
+       prefix up to (excluding) that second occurrence is a directed cycle in
+       arc order. *)
+    let rec walk v path =
+      if mark.(v) then begin
+        match path with
+        | [] -> assert false
+        | head :: rest ->
+          let rec prefix acc = function
+            | [] -> assert false
+            | x :: r -> if x = v then List.rev acc else prefix (x :: acc) r
+          in
+          head :: prefix [] rest
+      end
+      else begin
+        mark.(v) <- true;
+        match List.find_opt leftover (Digraph.preds g v) with
+        | Some p -> walk p (p :: path)
+        | None -> assert false
+      end
+    in
+    Error (walk start [ start ])
+  end

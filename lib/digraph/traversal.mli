@@ -1,0 +1,38 @@
+(** Graph traversals: DFS with arc classification, BFS, topological sort.
+
+    All traversals are iterative (explicit stacks), so they handle the
+    10,000-process synthetic benchmarks without exhausting the OCaml stack. *)
+
+type arc_kind =
+  | Tree  (** arc to a previously unvisited vertex *)
+  | Back  (** arc to an ancestor on the current DFS stack — lies on a cycle *)
+  | Forward_or_cross  (** arc to an already-finished vertex *)
+
+type dfs_result = {
+  pre : int array;  (** preorder number per vertex; [-1] if unreached *)
+  post : int array;  (** postorder number per vertex; [-1] if unreached *)
+  kind : arc_kind array;  (** classification per arc; arcs out of unreached
+                              vertices are classified [Forward_or_cross] *)
+}
+
+val dfs : ?roots:Digraph.vertex list -> ('v, 'a) Digraph.t -> dfs_result
+(** [dfs ?roots g] runs a depth-first search from each root in order (default:
+    every vertex in id order), exploring out-arcs in insertion order. *)
+
+val back_arcs : ?roots:Digraph.vertex list -> ('v, 'a) Digraph.t -> bool array
+(** [back_arcs ?roots g] is a per-arc flag marking the DFS back arcs. Removing
+    all marked arcs yields an acyclic graph (for the vertices reached from
+    [roots]). *)
+
+val bfs_order : roots:Digraph.vertex list -> ('v, 'a) Digraph.t -> Digraph.vertex list
+(** Vertices in breadth-first order from [roots]; unreached vertices are
+    omitted. *)
+
+val reachable : from:Digraph.vertex list -> ('v, 'a) Digraph.t -> bool array
+(** Per-vertex reachability from any vertex of [from]. *)
+
+val topological_sort :
+  ('v, 'a) Digraph.t -> (Digraph.vertex list, Digraph.vertex list) result
+(** [topological_sort g] is [Ok order] with every arc pointing forward in
+    [order], or [Error cycle] where [cycle] is a list of vertices forming a
+    directed cycle. *)

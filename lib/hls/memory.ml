@@ -1,0 +1,42 @@
+type config = { words : int; banks : int }
+
+let ports cfg = cfg.banks
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate cfg =
+  if cfg.words < 1 then Error "Memory: words must be >= 1"
+  else if not (is_pow2 cfg.banks) || cfg.banks > 64 then
+    Error "Memory: banks must be a power of two within [1, 64]"
+  else Ok ()
+
+(* Area model (µm², 45 nm flavour): 16-bit words at ~1.2 µm²/bit in a dense
+   single-port macro; each extra bank repeats the periphery (sense amps,
+   decoders, ~900 µm² a piece) and the crossbar connecting the requesters to
+   the banks grows quadratically in the port count. *)
+let bit_area = 1.2
+let bank_periphery = 900.
+let crossbar_unit = 140.
+
+let area cfg =
+  (match validate cfg with Ok () -> () | Error m -> invalid_arg m);
+  let bits = float_of_int (cfg.words * 16) in
+  let banks = float_of_int cfg.banks in
+  (bits *. bit_area) +. (banks *. bank_periphery) +. (crossbar_unit *. banks *. banks)
+
+(* A multi-ported cell replicates access transistors and wordlines: each
+   extra port costs ~60% of the base cell. *)
+let multiport_area ~words ~ports =
+  if words < 1 || ports < 1 then invalid_arg "Memory.multiport_area";
+  let bits = float_of_int (words * 16) in
+  (bits *. bit_area *. (1. +. (0.6 *. float_of_int (ports - 1))))
+  +. (float_of_int ports *. bank_periphery)
+
+let sweep ~words =
+  List.filter_map
+    (fun banks ->
+      let cfg = { words; banks } in
+      if banks = 1 || words / banks >= 16 then
+        match validate cfg with Ok () -> Some cfg | Error _ -> None
+      else None)
+    [ 1; 2; 4; 8 ]

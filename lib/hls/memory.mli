@@ -1,0 +1,41 @@
+(** Local-memory modelling and banking (the paper's stated future work).
+
+    §7 of the paper explains why designers avoid splitting a process into
+    many concurrent processes: "HLS tools create as many memory ports as the
+    number of concurrent processes insisting on that memory and the memory
+    size scales badly with the number of ports". This module makes that
+    trade-off explicit: a process's local storage is an SRAM macro whose area
+    grows superlinearly with its port count, and banking trades port
+    bandwidth (more parallel [Mem] operations per cycle) against bank and
+    crossbar overhead.
+
+    {!Design.evaluate_mem} (the memory-aware evaluation) replaces the flat
+    per-port area of {!Op.unit_area} with this model, adding a banking knob
+    to the micro-architecture sweep. *)
+
+type config = {
+  words : int;  (** storage capacity, 16-bit words *)
+  banks : int;  (** power of two ≥ 1; each bank contributes one port *)
+}
+
+val ports : config -> int
+(** Concurrent [Mem] operations per cycle: one per bank. *)
+
+val area : config -> float
+(** µm² of the {e banked} organization: single-ported bit cells + per-bank
+    periphery + a crossbar that grows with the square of the bank count. *)
+
+val multiport_area : words:int -> ports:int -> float
+(** µm² of a true multi-ported macro — what an HLS tool instantiates when
+    several concurrent processes insist on one memory: every additional port
+    adds wordlines/bitlines to {e every} cell, ~60% of the single-port bit
+    area per extra port. This is the "memory size scales badly with the
+    number of ports" effect of §7; {!area} (banking) is the co-optimized
+    alternative. *)
+
+val validate : config -> (unit, string) result
+(** [words ≥ 1] and [banks] a power of two within [1, 64]. *)
+
+val sweep : words:int -> config list
+(** Banking alternatives for a storage size: banks 1, 2, 4, 8 (capped so no
+    bank goes below 16 words). *)

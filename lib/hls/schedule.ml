@@ -1,0 +1,111 @@
+type allocation = (Op.cls * int) list
+
+let units alloc cls = match List.assoc_opt cls alloc with Some u -> u | None -> 0
+
+(* Longest path from each op to a sink, in cycles — the list-scheduling
+   priority. *)
+let priorities (body : Op.t array) =
+  let n = Array.length body in
+  let prio = Array.make n 0 in
+  (* Consumers are at higher indices, so a reverse sweep sees them first. *)
+  let consumers = Array.make n [] in
+  Array.iteri
+    (fun i (o : Op.t) -> List.iter (fun d -> consumers.(d) <- i :: consumers.(d)) o.deps)
+    body;
+  for i = n - 1 downto 0 do
+    let tail = List.fold_left (fun acc c -> max acc prio.(c)) 0 consumers.(i) in
+    prio.(i) <- tail + Op.delay body.(i).cls
+  done;
+  prio
+
+let schedule (body : Op.t array) alloc =
+  let n = Array.length body in
+  let finish = Array.make n (-1) in
+  if n = 0 then finish
+  else begin
+    Array.iter
+      (fun (o : Op.t) ->
+        if units alloc o.cls <= 0 then
+          invalid_arg
+            (Printf.sprintf "Schedule: class %s used but has no unit" (Op.name o.cls)))
+      body;
+    let prio = priorities body in
+    (* Next-free time per unit, per class. *)
+    let unit_free = Hashtbl.create 8 in
+    List.iter
+      (fun (cls, u) -> if u > 0 then Hashtbl.replace unit_free cls (Array.make u 0))
+      alloc;
+    (* Incremental readiness: ops join the ready list (kept sorted by
+       priority, highest first) when their last dependence finishes. *)
+    let pending = Array.map (fun (o : Op.t) -> List.length o.deps) body in
+    let consumers = Array.make n [] in
+    Array.iteri
+      (fun i (o : Op.t) -> List.iter (fun d -> consumers.(d) <- i :: consumers.(d)) o.deps)
+      body;
+    let ready = ref [] in
+    let rec insert i = function
+      | [] -> [ i ]
+      | j :: rest as l -> if prio.(j) >= prio.(i) then j :: insert i rest else i :: l
+    in
+    let completions = Hashtbl.create 16 in
+    Array.iteri (fun i p -> if p = 0 then ready := insert i !ready) pending;
+    let remaining = ref n in
+    let t = ref 0 in
+    while !remaining > 0 do
+      (match Hashtbl.find_opt completions !t with
+       | None -> ()
+       | Some finished ->
+         List.iter
+           (fun d ->
+             List.iter
+               (fun c ->
+                 pending.(c) <- pending.(c) - 1;
+                 if pending.(c) = 0 then ready := insert c !ready)
+               consumers.(d))
+           finished;
+         Hashtbl.remove completions !t);
+      let try_issue still i =
+        let o = body.(i) in
+        let frees = Hashtbl.find unit_free o.cls in
+        let slot = ref (-1) in
+        Array.iteri (fun k free -> if !slot < 0 && free <= !t then slot := k) frees;
+        if !slot >= 0 then begin
+          frees.(!slot) <- !t + Op.occupancy o.cls;
+          let f = !t + Op.delay o.cls in
+          finish.(i) <- f;
+          decr remaining;
+          let l = try Hashtbl.find completions f with Not_found -> [] in
+          Hashtbl.replace completions f (i :: l);
+          still
+        end
+        else i :: still
+      in
+      ready := List.rev (List.fold_left try_issue [] !ready);
+      incr t
+    done;
+    finish
+  end
+
+let latency body alloc = Array.fold_left max 0 (schedule body alloc)
+
+let resource_min_ii (body : Op.t array) alloc =
+  let count = Hashtbl.create 8 in
+  Array.iter
+    (fun (o : Op.t) ->
+      let c = try Hashtbl.find count o.cls with Not_found -> 0 in
+      Hashtbl.replace count o.cls (c + 1))
+    body;
+  Hashtbl.fold
+    (fun cls c acc ->
+      let u = max 1 (units alloc cls) in
+      let work = c * Op.occupancy cls in
+      max acc ((work + u - 1) / u))
+    count 1
+
+let unroll_body body u =
+  if u < 1 then invalid_arg "Schedule.unroll_body: factor must be >= 1";
+  let n = Array.length body in
+  Array.init (n * u) (fun i ->
+      let copy = i / n and j = i mod n in
+      let (o : Op.t) = body.(j) in
+      { o with Op.deps = List.map (fun d -> (copy * n) + d) o.deps })

@@ -1,0 +1,84 @@
+type result =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let int_eps = 1e-6
+
+let last_nodes = ref 0
+
+let node_count () = !last_nodes
+
+let is_integral v = Float.abs (v -. Float.round v) <= int_eps
+
+let solve ?integer (lp : Lp.t) =
+  let integer =
+    match integer with Some a -> a | None -> Array.make lp.nvars true
+  in
+  if Array.length integer <> lp.nvars then
+    invalid_arg "Branch_bound.solve: integer mask length mismatch";
+  let better =
+    match lp.objective with
+    | Lp.Maximize -> fun a b -> a > b +. 1e-9
+    | Lp.Minimize -> fun a b -> a < b -. 1e-9
+  in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let unbounded = ref false in
+  (* [extra] accumulates the branching bound rows of the current subtree. *)
+  let rec explore extra =
+    if not !unbounded then begin
+      incr nodes;
+      let sub = { lp with Lp.rows = extra @ lp.rows } in
+      match Simplex.solve sub with
+      | Simplex.Infeasible -> ()
+      | Simplex.Unbounded -> unbounded := true
+      | Simplex.Optimal { x; objective } ->
+        let dominated =
+          match !incumbent with
+          | Some (_, best) -> not (better objective best)
+          | None -> false
+        in
+        if not dominated then begin
+          (* Most fractional integer variable. *)
+          let branch_var = ref (-1) in
+          let branch_score = ref 0. in
+          Array.iteri
+            (fun i v ->
+              if integer.(i) && not (is_integral v) then begin
+                let frac = Float.abs (v -. Float.round v) in
+                if frac > !branch_score then begin
+                  branch_score := frac;
+                  branch_var := i
+                end
+              end)
+            x;
+          if !branch_var < 0 then
+            (* Integral on all integer variables: new incumbent. *)
+            incumbent := Some (x, objective)
+          else begin
+            let i = !branch_var in
+            let v = x.(i) in
+            let fl = Float.of_int (int_of_float (Float.floor (v +. int_eps))) in
+            explore (Lp.row [ (i, 1.) ] Lp.Le fl :: extra);
+            explore (Lp.row [ (i, 1.) ] Lp.Ge (fl +. 1.) :: extra)
+          end
+        end
+    end
+  in
+  explore [];
+  last_nodes := !nodes;
+  if !unbounded then Unbounded
+  else
+    match !incumbent with
+    | None -> Infeasible
+    | Some (x, objective) -> Optimal { x; objective }
+
+let int_solution x =
+  Array.mapi
+    (fun i v ->
+      if is_integral v then int_of_float (Float.round v)
+      else
+        invalid_arg
+          (Printf.sprintf "Branch_bound.int_solution: entry %d is fractional (%g)" i v))
+    x

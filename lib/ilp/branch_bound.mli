@@ -1,0 +1,31 @@
+(** Integer linear programming by LP-based branch and bound.
+
+    Replaces the GLPK dependency of the paper's prototype. Intended for the
+    instances the ERMES methodology generates: one binary variable per
+    (process, implementation) pair, one-of-each selection rows, and a single
+    budget row — a few hundred variables at most.
+
+    Branching is depth-first on the most fractional integer variable, with
+    bound pruning against the incumbent. Bound rows ([x_i <= k], [x_i >= k])
+    are added as ordinary constraints on the subproblem. *)
+
+type result =
+  | Optimal of { x : float array; objective : float }
+      (** [x] entries of integer variables are integral within [1e-6]; use
+          {!int_solution} to extract them as ints. Continuous variables may
+          take fractional values (mixed-integer programs). *)
+  | Infeasible
+  | Unbounded  (** the LP relaxation is unbounded *)
+
+val solve : ?integer:bool array -> Lp.t -> result
+(** [solve lp] maximizes/minimizes [lp] with the variables marked in
+    [integer] (default: all of them) restricted to non-negative integers. *)
+
+val int_solution : float array -> int array
+(** Round every entry to the nearest integer.
+    @raise Invalid_argument if some entry is farther than [1e-6] from an
+    integer — only meaningful for pure ILPs. *)
+
+val node_count : unit -> int
+(** Number of branch-and-bound nodes explored by the most recent {!solve}
+    call (for the scalability/ablation benches). *)

@@ -1,0 +1,85 @@
+type item = { weight : int; value : int }
+
+let check_capacity capacity fn =
+  if capacity < 0 then invalid_arg (Printf.sprintf "Knapsack.%s: negative capacity" fn)
+
+let zero_one ~items ~capacity =
+  check_capacity capacity "zero_one";
+  Array.iter
+    (fun it -> if it.weight < 0 then invalid_arg "Knapsack.zero_one: negative weight")
+    items;
+  let n = Array.length items in
+  (* best.(k).(c) = max value using items 0..k-1 within capacity c. *)
+  let neg = min_int / 4 in
+  let best = Array.make_matrix (n + 1) (capacity + 1) 0 in
+  for k = 1 to n do
+    let it = items.(k - 1) in
+    for c = 0 to capacity do
+      let skip = best.(k - 1).(c) in
+      let take =
+        if it.weight <= c && best.(k - 1).(c - it.weight) > neg then
+          best.(k - 1).(c - it.weight) + it.value
+        else neg
+      in
+      best.(k).(c) <- max skip take
+    done
+  done;
+  let chosen = Array.make n false in
+  let c = ref capacity in
+  for k = n downto 1 do
+    if best.(k).(!c) <> best.(k - 1).(!c) then begin
+      chosen.(k - 1) <- true;
+      c := !c - items.(k - 1).weight
+    end
+  done;
+  (best.(n).(capacity), chosen)
+
+let multiple_choice ~groups ~capacity =
+  check_capacity capacity "multiple_choice";
+  Array.iter
+    (fun g ->
+      if Array.length g = 0 then invalid_arg "Knapsack.multiple_choice: empty group";
+      Array.iter
+        (fun it ->
+          if it.weight < 0 then invalid_arg "Knapsack.multiple_choice: negative weight")
+        g)
+    groups;
+  let n = Array.length groups in
+  let neg = min_int / 4 in
+  (* best.(k).(c) = max value choosing one item from each of groups 0..k-1
+     within capacity c; [neg] marks infeasible states. *)
+  let best = Array.make_matrix (n + 1) (capacity + 1) neg in
+  Array.fill best.(0) 0 (capacity + 1) 0;
+  for k = 1 to n do
+    for c = 0 to capacity do
+      let consider acc it =
+        if it.weight <= c && best.(k - 1).(c - it.weight) > neg then
+          max acc (best.(k - 1).(c - it.weight) + it.value)
+        else acc
+      in
+      best.(k).(c) <- Array.fold_left consider neg groups.(k - 1)
+    done
+  done;
+  if best.(n).(capacity) <= neg then None
+  else begin
+    let choice = Array.make n (-1) in
+    let c = ref capacity in
+    for k = n downto 1 do
+      let found = ref false in
+      Array.iteri
+        (fun i it ->
+          if
+            (not !found)
+            && it.weight <= !c
+            && best.(k - 1).(!c - it.weight) > neg
+            && best.(k - 1).(!c - it.weight) + it.value = best.(k).(!c)
+          then begin
+            found := true;
+            choice.(k - 1) <- i;
+            c := !c - it.weight
+          end)
+        groups.(k - 1);
+      assert !found
+    done;
+    Some (best.(n).(capacity), choice)
+  end

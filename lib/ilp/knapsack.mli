@@ -1,0 +1,24 @@
+(** Exact dynamic-programming knapsack solvers.
+
+    The paper's {e area recovery} step is "a variant of the knapsack problem":
+    pick one implementation per process so as to maximize the recovered area
+    under a latency-slack budget. That is the multiple-choice knapsack
+    problem (MCKP). The branch-and-bound ILP is the production path; these DP
+    solvers are exact oracles used to cross-check it in the test suite and in
+    the ablation bench.
+
+    Weights must be non-negative integers; values may be any integers. *)
+
+type item = { weight : int; value : int }
+
+val zero_one : items:item array -> capacity:int -> int * bool array
+(** [zero_one ~items ~capacity] maximizes total value of a subset with total
+    weight ≤ capacity. Returns the optimum and the chosen subset.
+    @raise Invalid_argument on negative weights or capacity. *)
+
+val multiple_choice : groups:item array array -> capacity:int -> (int * int array) option
+(** [multiple_choice ~groups ~capacity] picks exactly one item per group,
+    maximizing total value with total weight ≤ capacity. Returns the optimum
+    and the per-group choice indices, or [None] when no selection fits.
+    @raise Invalid_argument on negative weights, negative capacity, or an
+    empty group. *)

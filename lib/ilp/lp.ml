@@ -1,0 +1,67 @@
+type op = Le | Ge | Eq
+
+type objective = Maximize | Minimize
+
+type row = { coeffs : (int * float) list; op : op; rhs : float }
+
+type t = {
+  nvars : int;
+  objective : objective;
+  costs : float array;
+  rows : row list;
+}
+
+let row coeffs op rhs = { coeffs; op; rhs }
+
+let validate_row nvars r =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (i, _) ->
+      if i < 0 || i >= nvars then
+        invalid_arg (Printf.sprintf "Lp: variable %d out of range [0,%d)" i nvars);
+      if Hashtbl.mem seen i then
+        invalid_arg (Printf.sprintf "Lp: variable %d repeated in a row" i);
+      Hashtbl.add seen i ())
+    r.coeffs
+
+let make objective costs rows =
+  let nvars = Array.length costs in
+  List.iter (validate_row nvars) rows;
+  { nvars; objective; costs; rows }
+
+let eval_row r x = List.fold_left (fun acc (i, c) -> acc +. (c *. x.(i))) 0. r.coeffs
+
+let feasible ?(eps = 1e-6) lp x =
+  Array.length x = lp.nvars
+  && Array.for_all (fun v -> v >= -.eps) x
+  && List.for_all
+       (fun r ->
+         let lhs = eval_row r x in
+         match r.op with
+         | Le -> lhs <= r.rhs +. eps
+         | Ge -> lhs >= r.rhs -. eps
+         | Eq -> Float.abs (lhs -. r.rhs) <= eps)
+       lp.rows
+
+let objective_value lp x =
+  let acc = ref 0. in
+  Array.iteri (fun i c -> acc := !acc +. (c *. x.(i))) lp.costs;
+  !acc
+
+let pp_op ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf lp =
+  let obj = match lp.objective with Maximize -> "maximize" | Minimize -> "minimize" in
+  Format.fprintf ppf "@[<v>%s " obj;
+  Array.iteri (fun i c -> if c <> 0. then Format.fprintf ppf "%+g x%d " c i) lp.costs;
+  Format.fprintf ppf "@,subject to@,";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  ";
+      List.iter (fun (i, c) -> Format.fprintf ppf "%+g x%d " c i) r.coeffs;
+      Format.fprintf ppf "%a %g@," pp_op r.op r.rhs)
+    lp.rows;
+  Format.fprintf ppf "  x >= 0@]"

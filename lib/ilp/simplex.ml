@@ -1,0 +1,200 @@
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Mutable tableau: [m] constraint rows over [ncols] structural columns plus a
+   rhs column; [basis.(i)] is the column basic in row [i]. The objective is
+   handled by explicit reduced-cost computation (the instances are tiny, so
+   clarity wins over carrying a priced-out objective row). *)
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array;  (* m x (ncols + 1); last column is rhs *)
+  basis : int array;
+}
+
+let reduced_cost t c j =
+  let z = ref 0. in
+  for i = 0 to t.m - 1 do
+    let cb = c.(t.basis.(i)) in
+    if cb <> 0. then z := !z +. (cb *. t.a.(i).(j))
+  done;
+  !z -. c.(j)
+
+let pivot t ~row ~col =
+  let pr = t.a.(row) in
+  let pv = pr.(col) in
+  for j = 0 to t.ncols do
+    pr.(j) <- pr.(j) /. pv
+  done;
+  for i = 0 to t.m - 1 do
+    if i <> row then begin
+      let f = t.a.(i).(col) in
+      if f <> 0. then
+        for j = 0 to t.ncols do
+          t.a.(i).(j) <- t.a.(i).(j) -. (f *. pr.(j))
+        done
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = smallest column with negative reduced cost;
+   leaving = ratio test, ties broken by smallest basis column. Maximizes
+   [c.x]. Returns [None] on unboundedness. *)
+let optimize t c =
+  let rec loop () =
+    let entering = ref (-1) in
+    (let j = ref 0 in
+     while !entering < 0 && !j < t.ncols do
+       if reduced_cost t c !j < -.eps then entering := !j;
+       incr j
+     done);
+    if !entering < 0 then Some ()
+    else begin
+      let col = !entering in
+      let best = ref (-1) in
+      let best_ratio = ref infinity in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.ncols) /. aij in
+          if
+            ratio < !best_ratio -. eps
+            || (ratio < !best_ratio +. eps
+               && (!best < 0 || t.basis.(i) < t.basis.(!best)))
+          then begin
+            best := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best < 0 then None
+      else begin
+        pivot t ~row:!best ~col;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let objective_of t c =
+  let v = ref 0. in
+  for i = 0 to t.m - 1 do
+    v := !v +. (c.(t.basis.(i)) *. t.a.(i).(t.ncols))
+  done;
+  !v
+
+let solve (lp : Lp.t) =
+  let rows = Array.of_list lp.rows in
+  let m = Array.length rows in
+  (* Normalize every row to non-negative rhs, then count extra columns:
+     Le -> slack; Ge -> surplus + artificial; Eq -> artificial. *)
+  let normalized =
+    Array.map
+      (fun (r : Lp.row) ->
+        if r.rhs < 0. then
+          let coeffs = List.map (fun (i, c) -> (i, -.c)) r.coeffs in
+          let op = match r.op with Lp.Le -> Lp.Ge | Lp.Ge -> Lp.Le | Lp.Eq -> Lp.Eq in
+          { Lp.coeffs; op; rhs = -.r.rhs }
+        else r)
+      rows
+  in
+  let n = lp.nvars in
+  let nslack =
+    Array.fold_left
+      (fun acc (r : Lp.row) -> match r.op with Lp.Le | Lp.Ge -> acc + 1 | Lp.Eq -> acc)
+      0 normalized
+  in
+  let nartif =
+    Array.fold_left
+      (fun acc (r : Lp.row) -> match r.op with Lp.Ge | Lp.Eq -> acc + 1 | Lp.Le -> acc)
+      0 normalized
+  in
+  let ncols = n + nslack + nartif in
+  let a = Array.make_matrix m (ncols + 1) 0. in
+  let basis = Array.make m (-1) in
+  let slack_next = ref n in
+  let artif_next = ref (n + nslack) in
+  let artificials = ref [] in
+  Array.iteri
+    (fun i (r : Lp.row) ->
+      List.iter (fun (j, c) -> a.(i).(j) <- c) r.coeffs;
+      a.(i).(ncols) <- r.rhs;
+      (match r.op with
+       | Lp.Le ->
+         a.(i).(!slack_next) <- 1.;
+         basis.(i) <- !slack_next;
+         incr slack_next
+       | Lp.Ge ->
+         a.(i).(!slack_next) <- -1.;
+         incr slack_next;
+         a.(i).(!artif_next) <- 1.;
+         basis.(i) <- !artif_next;
+         artificials := !artif_next :: !artificials;
+         incr artif_next
+       | Lp.Eq ->
+         a.(i).(!artif_next) <- 1.;
+         basis.(i) <- !artif_next;
+         artificials := !artif_next :: !artificials;
+         incr artif_next))
+    normalized;
+  let t = { m; ncols; a; basis } in
+  (* Phase 1: maximize minus the sum of artificials. *)
+  let feasibility_outcome =
+    if !artificials = [] then Some ()
+    else begin
+      let c1 = Array.make ncols 0. in
+      List.iter (fun j -> c1.(j) <- -1.) !artificials;
+      match optimize t c1 with
+      | None -> None  (* cannot happen: phase-1 objective is bounded by 0 *)
+      | Some () ->
+        if objective_of t c1 < -1e-7 then None
+        else begin
+          (* Pivot any still-basic artificial out on a structural column; a
+             row with no such column is redundant and can stay (its rhs is
+             zero). *)
+          let is_artificial = Array.make ncols false in
+          List.iter (fun j -> is_artificial.(j) <- true) !artificials;
+          for i = 0 to m - 1 do
+            if is_artificial.(t.basis.(i)) then begin
+              let j = ref 0 and found = ref false in
+              while (not !found) && !j < n + nslack do
+                if Float.abs t.a.(i).(!j) > eps then begin
+                  pivot t ~row:i ~col:!j;
+                  found := true
+                end;
+                incr j
+              done
+            end
+          done;
+          Some ()
+        end
+    end
+  in
+  match feasibility_outcome with
+  | None -> Infeasible
+  | Some () ->
+    (* Phase 2: artificial columns must never re-enter. Zero them out of the
+       tableau entirely and give them zero cost: a zero column has zero
+       reduced cost, is never selected as entering (strictly negative reduced
+       cost required), and an artificial left basic in a redundant row sits
+       harmlessly at level zero. *)
+    for i = 0 to m - 1 do
+      List.iter (fun j -> t.a.(i).(j) <- 0.) !artificials
+    done;
+    let sign = match lp.objective with Lp.Maximize -> 1. | Lp.Minimize -> -1. in
+    let c2 = Array.make ncols 0. in
+    Array.iteri (fun j c -> c2.(j) <- sign *. c) lp.costs;
+    (match optimize t c2 with
+     | None -> Unbounded
+     | Some () ->
+       let x = Array.make lp.nvars 0. in
+       for i = 0 to m - 1 do
+         if t.basis.(i) < lp.nvars then x.(t.basis.(i)) <- t.a.(i).(ncols)
+       done;
+       (* Clamp tiny negatives produced by roundoff. *)
+       Array.iteri (fun i v -> if v < 0. && v > -1e-7 then x.(i) <- 0.) x;
+       Optimal { x; objective = sign *. objective_of t c2 })

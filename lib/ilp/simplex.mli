@@ -1,0 +1,21 @@
+(** Two-phase dense primal simplex.
+
+    Solves {!Lp.t} problems (implicitly non-negative variables). Phase 1
+    drives artificial variables out to find a basic feasible solution; phase 2
+    optimizes the user objective. Entering and leaving variables are selected
+    with Bland's rule, which excludes cycling. Designed for the small,
+    well-scaled instances the ERMES methodology generates (at most a few
+    hundred variables). *)
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : Lp.t -> outcome
+(** [solve lp] returns an optimal basic solution, or reports infeasibility /
+    unboundedness. The solution satisfies [Lp.feasible lp x] up to the
+    module's tolerance. *)
+
+val eps : float
+(** Numerical tolerance used by the pivoting rules ([1e-9]). *)

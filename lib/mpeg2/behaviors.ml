@@ -1,0 +1,261 @@
+module Op = Ermes_hls.Op
+module Behavior = Ermes_hls.Behavior
+
+let frame_width = 352
+let frame_height = 240
+
+(* Frame geometry. *)
+let macroblocks = frame_width / 16 * (frame_height / 16) (* 330 *)
+let blocks8 = 4 * macroblocks (* 1320 *)
+let frame_words = frame_width * frame_height / 16 (* 5280 *)
+
+(* ---- dataflow body builders ------------------------------------------- *)
+
+(* A builder assembles a topologically numbered body incrementally. *)
+type builder = { ops : Op.t list ref; count : int ref }
+
+let builder () = { ops = ref []; count = ref 0 }
+
+let emit b ?(deps = []) cls =
+  b.ops := Op.op ~deps cls :: !(b.ops);
+  let id = !(b.count) in
+  incr b.count;
+  id
+
+let finish b = Array.of_list (List.rev !(b.ops))
+
+(* [width] independent load→compute→store lanes: the shape of copy and
+   element-wise kernels. *)
+let streaming_body ~width ~compute =
+  let b = builder () in
+  for _ = 1 to width do
+    let ld = emit b Op.Mem in
+    let last = List.fold_left (fun prev cls -> emit b ~deps:[ prev ] cls) ld compute in
+    ignore (emit b ~deps:[ last ] Op.Mem)
+  done;
+  finish b
+
+(* A [width]-input balanced reduction tree of [cls] operations over loaded
+   values; the shape of SAD accumulation and dot products. *)
+let reduction_body ~width ~prepare ~cls =
+  let b = builder () in
+  let leaves =
+    List.init width (fun _ ->
+        let ld = emit b Op.Mem in
+        List.fold_left (fun prev c -> emit b ~deps:[ prev ] c) ld prepare)
+  in
+  let rec reduce = function
+    | [] -> ()
+    | [ last ] -> ignore (emit b ~deps:[ last ] Op.Mem)
+    | nodes ->
+      let rec pair = function
+        | a :: c :: rest -> emit b ~deps:[ a; c ] cls :: pair rest
+        | [ a ] -> [ a ]
+        | [] -> []
+      in
+      reduce (pair nodes)
+  in
+  reduce leaves;
+  finish b
+
+(* One row pair of the separable 8-point DCT butterfly: 8 loads, rotation
+   stages of multiplies and adds, 8 stores. *)
+let dct_1d_body () =
+  let b = builder () in
+  let loads = List.init 8 (fun _ -> emit b Op.Mem) in
+  (* Stage 1: butterflies (pairwise add/sub). *)
+  let rec pairs = function
+    | a :: c :: rest -> (a, c) :: pairs rest
+    | _ -> []
+  in
+  let stage1 =
+    List.concat_map
+      (fun (a, c) -> [ emit b ~deps:[ a; c ] Op.Add; emit b ~deps:[ a; c ] Op.Add ])
+      (pairs loads)
+  in
+  (* Stage 2: rotations (multiply by cosine constants, combine). *)
+  let rotated =
+    List.concat_map
+      (fun (a, c) ->
+        let m1 = emit b ~deps:[ a ] Op.Mul in
+        let m2 = emit b ~deps:[ c ] Op.Mul in
+        [ emit b ~deps:[ m1; m2 ] Op.Add ])
+      (pairs stage1)
+  in
+  (* Stage 3: final combine and writeback. *)
+  List.iter
+    (fun v ->
+      let m = emit b ~deps:[ v ] Op.Mul in
+      let s = emit b ~deps:[ m ] Op.Add in
+      ignore (emit b ~deps:[ s ] Op.Mem))
+    (rotated @ rotated);
+  finish b
+
+(* Quantizer lane: load, reciprocal multiply, rounding add, clamp compare,
+   store — [width] coefficients per iteration. *)
+let quant_body ~width ~with_div =
+  let b = builder () in
+  for i = 1 to width do
+    let ld = emit b Op.Mem in
+    let scaled =
+      if with_div && i = 1 then emit b ~deps:[ ld ] Op.Div
+      else emit b ~deps:[ ld ] Op.Mul
+    in
+    let rounded = emit b ~deps:[ scaled ] Op.Add in
+    let clamped = emit b ~deps:[ rounded ] Op.Cmp in
+    ignore (emit b ~deps:[ clamped ] Op.Mem)
+  done;
+  finish b
+
+(* Serial scan body: a dependence chain of logic/compare/add, the shape of
+   run-length scanning and bitstream packing. *)
+let serial_body ~length ~classes =
+  let b = builder () in
+  let ld = emit b Op.Mem in
+  let last =
+    List.fold_left
+      (fun prev i ->
+        let cls = List.nth classes (i mod List.length classes) in
+        emit b ~deps:[ prev ] cls)
+      ld
+      (List.init length Fun.id)
+  in
+  ignore (emit b ~deps:[ last ] Op.Mem);
+  finish b
+
+(* ---- the 26 processes -------------------------------------------------- *)
+
+let loop = Behavior.loop
+
+(* The frame is carved into uneven macroblock slices (the 15 rows of a
+   352x240 frame split 4/4/4/3) and uneven transform lanes (a 50/30/20
+   load-balancing split by block category) — real encoders are asymmetric,
+   and the asymmetry is what gives statement reordering its leverage. *)
+let me_slice_mbs = [| 88; 88; 88; 66 |]
+let lane_blocks = [| blocks8 / 2; blocks8 * 3 / 10; blocks8 - (blocks8 / 2) - (blocks8 * 3 / 10) |]
+
+let me_slice_behavior name mbs =
+  (* Full search: [mbs] macroblocks x (2*7+1)^2 candidate vectors; one
+     iteration evaluates a 16-pixel SAD row: |a-b| then tree accumulation. *)
+  let candidates = 15 * 15 in
+  Behavior.make name
+    [
+      loop ~label:"sad_rows" ~trip:(mbs * candidates * 16)
+        (reduction_body ~width:16 ~prepare:[ Op.Add; Op.Logic ] ~cls:Op.Add);
+      loop ~label:"best_update" ~trip:(mbs * candidates) ~recurrence:1
+        (streaming_body ~width:2 ~compute:[ Op.Cmp ]);
+    ]
+
+let dct_lane_behavior name blocks =
+  (* 16 one-dimensional 8-point DCT passes per block (8 rows + 8 columns). *)
+  Behavior.make name [ loop ~label:"dct_1d" ~trip:(blocks * 16) (dct_1d_body ()) ]
+
+let quant_lane_behavior name blocks =
+  (* 64 coefficients per block, 8 per iteration. *)
+  Behavior.make name
+    [ loop ~label:"coeffs" ~trip:(blocks * 8) (quant_body ~width:8 ~with_div:true) ]
+
+let all =
+  [
+    ("input_buf",
+     Behavior.make "input_buf"
+       [ loop ~label:"copy" ~trip:frame_words (streaming_body ~width:4 ~compute:[ Op.Add ]) ]);
+    ("mb_split",
+     Behavior.make "mb_split"
+       [
+         loop ~label:"addr" ~trip:macroblocks
+           (streaming_body ~width:4 ~compute:[ Op.Add; Op.Logic ]);
+         loop ~label:"copy" ~trip:(macroblocks * 8)
+           (streaming_body ~width:4 ~compute:[]);
+       ]);
+    ("me0", me_slice_behavior "me0" me_slice_mbs.(0));
+    ("me1", me_slice_behavior "me1" me_slice_mbs.(1));
+    ("me2", me_slice_behavior "me2" me_slice_mbs.(2));
+    ("me3", me_slice_behavior "me3" me_slice_mbs.(3));
+    ("me_merge",
+     Behavior.make "me_merge"
+       [
+         loop ~label:"select" ~trip:macroblocks ~recurrence:1
+           (streaming_body ~width:4 ~compute:[ Op.Cmp; Op.Add ]);
+       ]);
+    ("mc_pred",
+     Behavior.make "mc_pred"
+       [
+         loop ~label:"fetch" ~trip:(blocks8 * 4)
+           (streaming_body ~width:8 ~compute:[ Op.Add ]);
+       ]);
+    ("residual",
+     Behavior.make "residual"
+       [
+         loop ~label:"sub" ~trip:(blocks8 * 4)
+           (streaming_body ~width:8 ~compute:[ Op.Add ]);
+       ]);
+    ("dct0", dct_lane_behavior "dct0" lane_blocks.(0));
+    ("dct1", dct_lane_behavior "dct1" lane_blocks.(1));
+    ("dct2", dct_lane_behavior "dct2" lane_blocks.(2));
+    ("quant0", quant_lane_behavior "quant0" lane_blocks.(0));
+    ("quant1", quant_lane_behavior "quant1" lane_blocks.(1));
+    ("quant2", quant_lane_behavior "quant2" lane_blocks.(2));
+    ("dc_pred",
+     Behavior.make "dc_pred"
+       [
+         loop ~label:"predict" ~trip:macroblocks ~recurrence:2
+           (streaming_body ~width:2 ~compute:[ Op.Add; Op.Cmp ]);
+       ]);
+    ("zigzag",
+     Behavior.make "zigzag"
+       [
+         loop ~label:"scan" ~trip:(blocks8 * 4)
+           (streaming_body ~width:8 ~compute:[ Op.Logic ]);
+       ]);
+    ("rle",
+     Behavior.make "rle"
+       [
+         loop ~label:"runs" ~trip:(blocks8 * 4) ~recurrence:2
+           (serial_body ~length:6 ~classes:[ Op.Cmp; Op.Add; Op.Logic ]);
+       ]);
+    ("vlc",
+     Behavior.make "vlc"
+       [
+         loop ~label:"codes" ~trip:(blocks8 * 2) ~recurrence:3
+           (serial_body ~length:10 ~classes:[ Op.Logic; Op.Add; Op.Logic ]);
+       ]);
+    ("hdr_gen",
+     Behavior.make "hdr_gen"
+       [
+         loop ~label:"headers" ~trip:macroblocks
+           (streaming_body ~width:2 ~compute:[ Op.Logic; Op.Add ]);
+       ]);
+    ("mux",
+     Behavior.make "mux"
+       [
+         loop ~label:"pack" ~trip:(frame_words / 2) ~recurrence:1
+           (serial_body ~length:4 ~classes:[ Op.Logic; Op.Add ]);
+       ]);
+    ("rate_ctrl",
+     Behavior.make "rate_ctrl"
+       [
+         loop ~label:"budget" ~trip:macroblocks ~recurrence:4
+           (serial_body ~length:5 ~classes:[ Op.Add; Op.Div; Op.Cmp ]);
+       ]);
+    ("dequant",
+     Behavior.make "dequant"
+       [
+         loop ~label:"coeffs" ~trip:(blocks8 * 8)
+           (quant_body ~width:8 ~with_div:false);
+       ]);
+    ("idct",
+     Behavior.make "idct"
+       [ loop ~label:"idct_1d" ~trip:(blocks8 * 16) (dct_1d_body ()) ]);
+    ("recon",
+     Behavior.make "recon"
+       [
+         loop ~label:"add_clamp" ~trip:(blocks8 * 4)
+           (streaming_body ~width:8 ~compute:[ Op.Add; Op.Cmp ]);
+       ]);
+    ("frame_store",
+     Behavior.make "frame_store"
+       [ loop ~label:"store" ~trip:frame_words (streaming_body ~width:4 ~compute:[]) ]);
+  ]
+
+let find name = List.assoc name all

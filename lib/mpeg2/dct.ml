@@ -1,0 +1,56 @@
+let size = 8
+
+let check name a =
+  if Array.length a <> size * size then
+    invalid_arg (Printf.sprintf "Dct.%s: expected %d samples" name (size * size))
+
+(* Basis: C(u) * cos((2x+1) u pi / 16), with C(0) = 1/sqrt(2). The tables are
+   computed once. *)
+let cosine =
+  Array.init size (fun u ->
+      Array.init size (fun x ->
+          cos ((float_of_int ((2 * x) + 1) *. float_of_int u *. Float.pi) /. 16.)))
+
+let cu u = if u = 0 then 1. /. sqrt 2. else 1.
+
+let forward block =
+  check "forward" block;
+  let out = Array.make (size * size) 0. in
+  for v = 0 to size - 1 do
+    for u = 0 to size - 1 do
+      let acc = ref 0. in
+      for y = 0 to size - 1 do
+        for x = 0 to size - 1 do
+          acc :=
+            !acc
+            +. (float_of_int block.((y * size) + x) *. cosine.(u).(x) *. cosine.(v).(y))
+        done
+      done;
+      out.((v * size) + u) <- 0.25 *. cu u *. cu v *. !acc
+    done
+  done;
+  out
+
+let inverse coeffs =
+  check "inverse" coeffs;
+  let out = Array.make (size * size) 0 in
+  for y = 0 to size - 1 do
+    for x = 0 to size - 1 do
+      let acc = ref 0. in
+      for v = 0 to size - 1 do
+        for u = 0 to size - 1 do
+          acc :=
+            !acc
+            +. (cu u *. cu v *. coeffs.((v * size) + u) *. cosine.(u).(x)
+               *. cosine.(v).(y))
+        done
+      done;
+      out.((y * size) + x) <- int_of_float (Float.round (0.25 *. !acc))
+    done
+  done;
+  out
+
+let forward_int block =
+  Array.map (fun c -> int_of_float (Float.round c)) (forward block)
+
+let inverse_int coeffs = inverse (Array.map float_of_int coeffs)

@@ -1,0 +1,22 @@
+(** 8×8 type-II discrete cosine transform and its inverse.
+
+    The separable float implementation every block-based video codec is built
+    on. Inputs are spatial samples (typically level-shifted residuals in
+    −255..255); outputs are frequency coefficients. [forward] then [inverse]
+    reconstructs within rounding error (property-tested). *)
+
+val size : int
+(** 8 *)
+
+val forward : int array -> float array
+(** [forward block] for a row-major 64-element block.
+    @raise Invalid_argument on wrong length. *)
+
+val inverse : float array -> int array
+(** Inverse transform with rounding to nearest integer. *)
+
+val forward_int : int array -> int array
+(** [forward] rounded to integers — the fixed-point view the quantizer
+    consumes. *)
+
+val inverse_int : int array -> int array

@@ -1,0 +1,171 @@
+type config = {
+  gop : int;
+  search_range : int;
+  initial_qscale : int;
+  target_bits_per_frame : int option;
+}
+
+let default_config =
+  { gop = 8; search_range = 7; initial_qscale = 8; target_bits_per_frame = None }
+
+type frame_stats = {
+  frame_index : int;
+  intra : bool;
+  bits : int;
+  qscale_used : int;
+  psnr : float;
+  mean_vector_magnitude : float;
+}
+
+type result = {
+  stats : frame_stats list;
+  bitstream : Bytes.t;
+  reconstructed : Frame.t list;
+}
+
+let macroblocks ~width ~height = width / 16 * (height / 16)
+
+let clamp255 v = if v < 0 then 0 else if v > 255 then 255 else v
+
+(* The four 8x8 luma blocks of a macroblock, as (offset_x, offset_y). *)
+let block_offsets = [ (0, 0); (8, 0); (0, 8); (8, 8) ]
+
+(* Forward path for one 8x8 block of residuals; returns the quantized levels
+   (for the stream) and the decoder-side reconstructed residuals. *)
+let code_block ~qscale residual =
+  let levels = Quant.quantize ~qscale (Dct.forward_int residual) in
+  let recon = Dct.inverse_int (Quant.dequantize ~qscale levels) in
+  (levels, recon)
+
+let encode ?(config = default_config) frames =
+  (match frames with
+   | [] -> invalid_arg "Encoder.encode: empty sequence"
+   | f :: rest ->
+     List.iter
+       (fun g ->
+         if g.Frame.width <> f.Frame.width || g.Frame.height <> f.Frame.height then
+           invalid_arg "Encoder.encode: frame size mismatch")
+       rest);
+  if config.gop < 1 then invalid_arg "Encoder.encode: gop must be >= 1";
+  if config.initial_qscale < 1 || config.initial_qscale > 31 then
+    invalid_arg "Encoder.encode: initial_qscale out of range";
+  let first = List.hd frames in
+  let width = first.Frame.width and height = first.Frame.height in
+  let w = Bitstream.Writer.create () in
+  let qscale = ref config.initial_qscale in
+  let reference = ref None in
+  let stats = ref [] and reconstructed = ref [] in
+  let encode_frame index frame =
+    let intra = index mod config.gop = 0 || !reference = None in
+    let bits_before = Bitstream.Writer.bit_length w in
+    Bitstream.Writer.put_bits w ~width:5 !qscale;
+    let recon = Frame.create ~width ~height in
+    let vector_total = ref 0 and mb_count = ref 0 in
+    for my = 0 to (height / 16) - 1 do
+      for mx = 0 to (width / 16) - 1 do
+        incr mb_count;
+        let x0 = 16 * mx and y0 = 16 * my in
+        let mv =
+          if intra then { Motion.dx = 0; dy = 0; sad = 0 }
+          else begin
+            let reference = Option.get !reference in
+            let v =
+              Motion.search ~reference ~current:frame ~x0 ~y0 ~size:16
+                ~range:config.search_range
+            in
+            Vlc.write_se w v.Motion.dx;
+            Vlc.write_se w v.Motion.dy;
+            v
+          end
+        in
+        vector_total := !vector_total + abs mv.Motion.dx + abs mv.Motion.dy;
+        List.iter
+          (fun (ox, oy) ->
+            let bx = x0 + ox and by = y0 + oy in
+            let original = Frame.block frame ~x0:bx ~y0:by ~size:8 in
+            let prediction =
+              if intra then Array.make 64 128
+              else
+                Motion.compensate ~reference:(Option.get !reference) ~x0:bx ~y0:by
+                  ~size:8 mv
+            in
+            let residual = Array.mapi (fun i p -> p - prediction.(i)) original in
+            let levels, recon_residual = code_block ~qscale:!qscale residual in
+            Vlc.write_block w (Rle.encode (Zigzag.scan levels));
+            Array.iteri
+              (fun i r ->
+                Frame.set recon ~x:(bx + (i mod 8)) ~y:(by + (i / 8))
+                  (clamp255 (prediction.(i) + r)))
+              recon_residual)
+          block_offsets
+      done
+    done;
+    let bits = Bitstream.Writer.bit_length w - bits_before in
+    let qscale_used = !qscale in
+    (match config.target_bits_per_frame with
+     | None -> ()
+     | Some target ->
+       if bits > target then qscale := min 31 (!qscale + 1)
+       else if 5 * bits < 4 * target then qscale := max 1 (!qscale - 1));
+    reference := Some recon;
+    reconstructed := recon :: !reconstructed;
+    stats :=
+      {
+        frame_index = index;
+        intra;
+        bits;
+        qscale_used;
+        psnr = Frame.psnr frame recon;
+        mean_vector_magnitude = float_of_int !vector_total /. float_of_int !mb_count;
+      }
+      :: !stats
+  in
+  List.iteri encode_frame frames;
+  {
+    stats = List.rev !stats;
+    bitstream = Bitstream.Writer.to_bytes w;
+    reconstructed = List.rev !reconstructed;
+  }
+
+let decode ?(config = default_config) ~width ~height ~frames bytes =
+  let r = Bitstream.Reader.of_bytes bytes in
+  let reference = ref None in
+  let out = ref [] in
+  for index = 0 to frames - 1 do
+    let intra = index mod config.gop = 0 || !reference = None in
+    let qscale = Bitstream.Reader.get_bits r ~width:5 in
+    let recon = Frame.create ~width ~height in
+    for my = 0 to (height / 16) - 1 do
+      for mx = 0 to (width / 16) - 1 do
+        let x0 = 16 * mx and y0 = 16 * my in
+        let mv =
+          if intra then { Motion.dx = 0; dy = 0; sad = 0 }
+          else begin
+            let dx = Vlc.read_se r in
+            let dy = Vlc.read_se r in
+            { Motion.dx; dy; sad = 0 }
+          end
+        in
+        List.iter
+          (fun (ox, oy) ->
+            let bx = x0 + ox and by = y0 + oy in
+            let levels = Zigzag.unscan (Rle.decode (Vlc.read_block r)) in
+            let residual = Dct.inverse_int (Quant.dequantize ~qscale levels) in
+            let prediction =
+              if intra then Array.make 64 128
+              else
+                Motion.compensate ~reference:(Option.get !reference) ~x0:bx ~y0:by
+                  ~size:8 mv
+            in
+            Array.iteri
+              (fun i rv ->
+                Frame.set recon ~x:(bx + (i mod 8)) ~y:(by + (i / 8))
+                  (clamp255 (prediction.(i) + rv)))
+              residual)
+          block_offsets
+      done
+    done;
+    reference := Some recon;
+    out := recon :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,51 @@
+(** The behavioral encoder: the functional reference of the system the
+    26-process SoC model implements.
+
+    Structure per frame: 16×16 macroblocks; the first frame (and every
+    [gop]-th) is intra-coded, others are predicted from the reconstructed
+    previous frame via full-search motion estimation. Each 8×8 block of the
+    (residual or intra) macroblock goes through DCT → quantization → zigzag →
+    run-length → Exp-Golomb entropy coding; the encoder maintains the decoder
+    reconstruction (dequantize → IDCT → add prediction) so predictions never
+    drift. A proportional rate controller adapts the quantizer scale to a
+    bit budget — the feedback loop that appears as rate-control channels in
+    the SoC topology.
+
+    Everything is deterministic: same input frames ⇒ same bitstream. *)
+
+type config = {
+  gop : int;  (** intra period, ≥ 1 *)
+  search_range : int;  (** motion search window, pixels *)
+  initial_qscale : int;  (** 1..31 *)
+  target_bits_per_frame : int option;
+      (** rate-control budget; [None] = constant qscale *)
+}
+
+val default_config : config
+(** gop 8, range 7, qscale 8, no rate control. *)
+
+type frame_stats = {
+  frame_index : int;
+  intra : bool;
+  bits : int;  (** entropy-coded size of the frame *)
+  qscale_used : int;
+  psnr : float;  (** reconstruction vs. input *)
+  mean_vector_magnitude : float;  (** average |dx|+|dy| over macroblocks *)
+}
+
+type result = {
+  stats : frame_stats list;  (** per input frame, in order *)
+  bitstream : Bytes.t;
+  reconstructed : Frame.t list;
+}
+
+val encode : ?config:config -> Frame.t list -> result
+(** @raise Invalid_argument on an empty sequence or mismatched frame sizes. *)
+
+val decode : ?config:config -> width:int -> height:int -> frames:int -> Bytes.t -> Frame.t list
+(** Standalone decoder for the bitstream produced by {!encode} (same
+    [config]'s gop; qscale and motion vectors are read from the stream).
+    Returns frames identical to [result.reconstructed] — round-trip tested. *)
+
+val macroblocks : width:int -> height:int -> int
+(** Number of 16×16 macroblocks per frame (330 at 352×240). *)

@@ -1,0 +1,70 @@
+type t = { width : int; height : int; pixels : int array }
+
+let create ~width ~height =
+  if width <= 0 || height <= 0 || width mod 16 <> 0 || height mod 16 <> 0 then
+    invalid_arg "Frame.create: dimensions must be positive multiples of 16";
+  { width; height; pixels = Array.make (width * height) 0 }
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let get f ~x ~y =
+  let x = clamp 0 (f.width - 1) x and y = clamp 0 (f.height - 1) y in
+  f.pixels.((y * f.width) + x)
+
+let set f ~x ~y v =
+  if x < 0 || x >= f.width || y < 0 || y >= f.height then
+    invalid_arg "Frame.set: out of bounds";
+  f.pixels.((y * f.width) + x) <- clamp 0 255 v
+
+let synthetic ~width ~height ~index =
+  let f = create ~width ~height in
+  for y = 0 to height - 1 do
+    for x = 0 to width - 1 do
+      (* Gradient background with a fine texture. *)
+      let background = (x + (2 * y)) * 255 / (width + (2 * height)) in
+      let texture = 13 * ((x * 7) + (y * 3)) mod 31 in
+      f.pixels.((y * f.width) + x) <- clamp 0 255 (background + texture - 15)
+    done
+  done;
+  (* Two moving rectangles with different velocities and intensities. *)
+  let rect ~px ~py ~w ~h ~value =
+    for y = py to py + h - 1 do
+      for x = px to px + w - 1 do
+        if x >= 0 && x < width && y >= 0 && y < height then
+          f.pixels.((y * f.width) + x) <- value
+      done
+    done
+  in
+  rect
+    ~px:((17 + (3 * index)) mod (width - 40))
+    ~py:((23 + (2 * index)) mod (height - 40))
+    ~w:40 ~h:32 ~value:220;
+  rect
+    ~px:((width / 2) + (((5 * index) mod (width / 3)) * -1) + (width / 4))
+    ~py:((height / 3) + (index mod (height / 3)))
+    ~w:24 ~h:48 ~value:35;
+  f
+
+let check_same_size a b fn =
+  if a.width <> b.width || a.height <> b.height then
+    invalid_arg (Printf.sprintf "Frame.%s: size mismatch" fn)
+
+let mean_abs_diff a b =
+  check_same_size a b "mean_abs_diff";
+  let total = ref 0 in
+  Array.iteri (fun i pa -> total := !total + abs (pa - b.pixels.(i))) a.pixels;
+  float_of_int !total /. float_of_int (Array.length a.pixels)
+
+let psnr a b =
+  check_same_size a b "psnr";
+  let total = ref 0. in
+  Array.iteri
+    (fun i pa ->
+      let d = float_of_int (pa - b.pixels.(i)) in
+      total := !total +. (d *. d))
+    a.pixels;
+  let mse = !total /. float_of_int (Array.length a.pixels) in
+  if mse = 0. then infinity else 10. *. log10 (255. *. 255. /. mse)
+
+let block f ~x0 ~y0 ~size =
+  Array.init (size * size) (fun i -> get f ~x:(x0 + (i mod size)) ~y:(y0 + (i / size)))

@@ -1,0 +1,37 @@
+(** Grayscale frames and synthetic video generation.
+
+    The paper's testbench streams 352×240 images into the encoder. Real
+    sequences are proprietary; deterministic synthetic frames (a gradient
+    background with moving rectangles) exercise the same code paths — DCT
+    energy compaction, non-trivial motion vectors, rate variation — without
+    external data. *)
+
+type t = { width : int; height : int; pixels : int array }
+(** Row-major; pixel values clamped to 0..255. *)
+
+val create : width:int -> height:int -> t
+(** Black frame. @raise Invalid_argument unless both dimensions are positive
+    multiples of 16 (macroblock alignment). *)
+
+val get : t -> x:int -> y:int -> int
+(** Clamps coordinates to the frame border (replicated padding), so motion
+    search may probe outside the frame. *)
+
+val set : t -> x:int -> y:int -> int -> unit
+(** @raise Invalid_argument if out of bounds. *)
+
+val synthetic : width:int -> height:int -> index:int -> t
+(** Frame [index] of the deterministic test sequence: a diagonal gradient
+    plus two rectangles moving at different velocities, plus a
+    position-dependent texture. Same [index] ⇒ same frame. *)
+
+val mean_abs_diff : t -> t -> float
+(** Mean absolute pixel difference. @raise Invalid_argument on size
+    mismatch. *)
+
+val psnr : t -> t -> float
+(** Peak signal-to-noise ratio in dB ([infinity] for identical frames). *)
+
+val block : t -> x0:int -> y0:int -> size:int -> int array
+(** [size]×[size] block starting at (x0, y0), row-major, with border
+    clamping. *)

@@ -1,0 +1,35 @@
+type vector = { dx : int; dy : int; sad : int }
+
+let sad current reference ~x0 ~y0 ~dx ~dy ~size =
+  let total = ref 0 in
+  for y = 0 to size - 1 do
+    for x = 0 to size - 1 do
+      let a = Frame.get current ~x:(x0 + x) ~y:(y0 + y) in
+      let b = Frame.get reference ~x:(x0 + x + dx) ~y:(y0 + y + dy) in
+      total := !total + abs (a - b)
+    done
+  done;
+  !total
+
+let search ~reference ~current ~x0 ~y0 ~size ~range =
+  let best = ref { dx = 0; dy = 0; sad = sad current reference ~x0 ~y0 ~dx:0 ~dy:0 ~size } in
+  for dy = -range to range do
+    for dx = -range to range do
+      if not (dx = 0 && dy = 0) then begin
+        let s = sad current reference ~x0 ~y0 ~dx ~dy ~size in
+        let b = !best in
+        let closer =
+          let m v = abs v.dx + abs v.dy in
+          let cand = { dx; dy; sad = s } in
+          s < b.sad
+          || (s = b.sad && (m cand < m b || (m cand = m b && (dy, dx) < (b.dy, b.dx))))
+        in
+        if closer then best := { dx; dy; sad = s }
+      end
+    done
+  done;
+  !best
+
+let compensate ~reference ~x0 ~y0 ~size v =
+  Array.init (size * size) (fun i ->
+      Frame.get reference ~x:(x0 + (i mod size) + v.dx) ~y:(y0 + (i / size) + v.dy))

@@ -1,0 +1,23 @@
+(** Block motion estimation and compensation.
+
+    Full-search over a square window, sum-of-absolute-differences metric —
+    the computational heavyweight of the encoder (and, through its behavioral
+    model, of the characterized system: the paper's motivation for splitting
+    motion estimation across parallel processes). *)
+
+type vector = { dx : int; dy : int; sad : int }
+
+val sad :
+  Frame.t -> Frame.t -> x0:int -> y0:int -> dx:int -> dy:int -> size:int -> int
+(** Sum of absolute differences between the [size]×[size] block of the first
+    frame at (x0, y0) and the block of the second frame displaced by
+    (dx, dy) (border-clamped). *)
+
+val search :
+  reference:Frame.t -> current:Frame.t -> x0:int -> y0:int -> size:int -> range:int -> vector
+(** Best vector in the ±[range] window, exhaustive; ties resolved toward the
+    smaller displacement (then lexicographically), so the result is
+    deterministic. *)
+
+val compensate : reference:Frame.t -> x0:int -> y0:int -> size:int -> vector -> int array
+(** The predicted block the decoder reconstructs for that vector. *)

@@ -1,0 +1,31 @@
+let intra_matrix =
+  [|
+    8;  16; 19; 22; 26; 27; 29; 34;
+    16; 16; 22; 24; 27; 29; 34; 37;
+    19; 22; 26; 27; 29; 34; 34; 38;
+    22; 22; 26; 27; 29; 34; 37; 40;
+    22; 26; 27; 29; 32; 35; 40; 48;
+    26; 27; 29; 32; 35; 40; 48; 58;
+    26; 27; 29; 34; 38; 46; 56; 69;
+    27; 29; 35; 38; 46; 56; 69; 83;
+  |]
+
+let check name ?(matrix = intra_matrix) qscale coeffs =
+  if qscale < 1 then invalid_arg (Printf.sprintf "Quant.%s: qscale must be >= 1" name);
+  if Array.length coeffs <> 64 || Array.length matrix <> 64 then
+    invalid_arg (Printf.sprintf "Quant.%s: expected 64 entries" name);
+  matrix
+
+let quantize ?matrix ~qscale coeffs =
+  let matrix = check "quantize" ?matrix qscale coeffs in
+  Array.mapi
+    (fun i c ->
+      let step = matrix.(i) * qscale in
+      (* Round to nearest, symmetric around zero. *)
+      let magnitude = ((2 * abs c) + step) / (2 * step) in
+      if c < 0 then -magnitude else magnitude)
+    coeffs
+
+let dequantize ?matrix ~qscale levels =
+  let matrix = check "dequantize" ?matrix qscale levels in
+  Array.mapi (fun i l -> l * matrix.(i) * qscale) levels

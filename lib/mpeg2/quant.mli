@@ -1,0 +1,20 @@
+(** Coefficient quantization (MPEG-2-style).
+
+    Divides each DCT coefficient by a perceptual weighting matrix scaled by
+    the quantizer step; dequantization multiplies back. Larger [qscale] ⇒
+    coarser coefficients ⇒ fewer bits and lower fidelity — this is the knob
+    the rate-control feedback loop turns. *)
+
+val intra_matrix : int array
+(** The standard MPEG-2 intra weighting matrix (64 entries, zigzag-free
+    row-major order). *)
+
+val quantize : ?matrix:int array -> qscale:int -> int array -> int array
+(** [quantize ~qscale coeffs] for integer DCT coefficients; rounds to
+    nearest. @raise Invalid_argument if [qscale < 1] or lengths differ
+    from 64. *)
+
+val dequantize : ?matrix:int array -> qscale:int -> int array -> int array
+(** Approximate inverse of {!quantize} (exact up to quantization error:
+    [dequantize (quantize c)] differs from [c] by at most half a
+    quantization step per coefficient — property-tested). *)

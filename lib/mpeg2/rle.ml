@@ -1,0 +1,28 @@
+type pair = { run : int; level : int }
+
+let encode scanned =
+  if Array.length scanned <> 64 then invalid_arg "Rle.encode: expected 64 entries";
+  let pairs = ref [] in
+  let run = ref 0 in
+  Array.iter
+    (fun c ->
+      if c = 0 then incr run
+      else begin
+        pairs := { run = !run; level = c } :: !pairs;
+        run := 0
+      end)
+    scanned;
+  List.rev !pairs
+
+let decode pairs =
+  let out = Array.make 64 0 in
+  let pos = ref 0 in
+  List.iter
+    (fun { run; level } ->
+      if level = 0 then invalid_arg "Rle.decode: zero level";
+      if run < 0 || !pos + run >= 64 then invalid_arg "Rle.decode: overflow";
+      pos := !pos + run;
+      out.(!pos) <- level;
+      incr pos)
+    pairs;
+  out

@@ -1,0 +1,14 @@
+(** Run-length coding of zigzag-scanned coefficient blocks. *)
+
+type pair = { run : int; level : int }
+(** [run] zeros followed by the non-zero [level]. *)
+
+val encode : int array -> pair list
+(** [encode scanned] for a 64-entry zigzag-scanned block: the (run, level)
+    pairs up to the last non-zero coefficient (the zero tail is implicit).
+    @raise Invalid_argument unless 64 entries. *)
+
+val decode : pair list -> int array
+(** Inverse: rebuilds the 64-entry scanned block.
+    @raise Invalid_argument if the pairs overflow 64 coefficients or some
+    level is zero. *)

@@ -1,0 +1,168 @@
+module System = Ermes_slm.System
+module Design = Ermes_hls.Design
+
+let um2_to_mm2 a = a *. 1e-6
+
+(* Pareto points sorted by increasing latency: index 0 is the fastest. *)
+let impls_of_behavior b =
+  let points = Design.pareto_frontier b in
+  List.map
+    (fun (p : Design.point) ->
+      {
+        System.tag =
+          Printf.sprintf "u%d%s_%s" p.knobs.unroll
+            (if p.knobs.pipelined then "p" else "")
+            (match p.knobs.sharing with
+             | Design.Minimal -> "min"
+             | Design.Quarter -> "q"
+             | Design.Half -> "h"
+             | Design.Full -> "f");
+        latency = p.latency;
+        area = um2_to_mm2 p.area;
+      })
+    points
+
+(* Channel volumes in 16-pixel words (one frame per iteration). *)
+let frame_words = Behaviors.frame_width * Behaviors.frame_height / 16 (* 5280 *)
+let mb_words = 21 (* 330 macroblock records, 16 per word *)
+let mv_words = 42 (* 330 vectors, 2 words each, packed *)
+
+(* Per-slice and per-lane volumes follow the uneven work split of
+   [Behaviors]: pixels of the macroblock rows each ME slice covers, and
+   coefficients of the blocks each transform lane carries. *)
+let slice_words i = frame_words * Behaviors.me_slice_mbs.(i) / 330
+let slice_mv_words i = max 1 (mv_words * Behaviors.me_slice_mbs.(i) / 330)
+let lane_words i = frame_words * Behaviors.lane_blocks.(i) / (4 * 330)
+
+let build () =
+  let sys = System.create ~name:"mpeg2_encoder" () in
+  let worker ?phase name =
+    System.add_process sys ?phase ~impls:(impls_of_behavior (Behaviors.find name)) name
+  in
+  let testbench name latency =
+    System.add_simple_process sys ~latency ~area:0. name
+  in
+  let src = testbench "img_src" 1 in
+  let input_buf = worker "input_buf" in
+  let mb_split = worker "mb_split" in
+  let me = Array.init 4 (fun i -> worker (Printf.sprintf "me%d" i)) in
+  let me_merge = worker "me_merge" in
+  let mc_pred = worker "mc_pred" in
+  let residual = worker "residual" in
+  let dct = Array.init 3 (fun i -> worker (Printf.sprintf "dct%d" i)) in
+  let quant = Array.init 3 (fun i -> worker (Printf.sprintf "quant%d" i)) in
+  let dc_pred = worker "dc_pred" in
+  let zigzag = worker "zigzag" in
+  let rle = worker "rle" in
+  let vlc = worker "vlc" in
+  let hdr_gen = worker "hdr_gen" in
+  let mux = worker "mux" in
+  let rate_ctrl = worker ~phase:System.Puts_first "rate_ctrl" in
+  let dequant = worker "dequant" in
+  let idct = worker "idct" in
+  let recon = worker "recon" in
+  let frame_store = worker ~phase:System.Puts_first "frame_store" in
+  let snk = testbench "bit_snk" 1 in
+  let ch name src dst latency =
+    ignore (System.add_channel sys ~name ~src ~dst ~latency)
+  in
+  (* Input side. *)
+  ch "img" src input_buf frame_words;
+  ch "frame" input_buf mb_split frame_words;
+  ch "intra_ref" input_buf mc_pred frame_words;
+  ch "pic_params" input_buf hdr_gen 1;
+  (* Macroblock dispatch. *)
+  Array.iteri (fun i m -> ch (Printf.sprintf "mb_me%d" i) mb_split m (slice_words i)) me;
+  ch "mb_orig" mb_split residual frame_words;
+  ch "mb_dc" mb_split dc_pred mb_words;
+  ch "mb_hdr" mb_split hdr_gen mb_words;
+  ch "mb_meta" mb_split mux mb_words;
+  ch "mb_coords" mb_split me_merge mb_words;
+  (* Motion estimation and compensation. *)
+  Array.iteri (fun i m -> ch (Printf.sprintf "mv%d" i) m me_merge (slice_mv_words i)) me;
+  ch "mv_all" me_merge mc_pred mv_words;
+  ch "mv_code" me_merge vlc mv_words;
+  ch "mv_hdr" me_merge hdr_gen 11;
+  Array.iteri
+    (fun i m -> ch (Printf.sprintf "ref_me%d" i) frame_store m (slice_words i)) me;
+  ch "ref_pred" frame_store mc_pred frame_words;
+  ch "ref_dc" frame_store dc_pred mb_words;
+  ch "pred" mc_pred residual frame_words;
+  ch "pred_rec" mc_pred recon frame_words;
+  (* Transform lanes. *)
+  Array.iteri (fun i d -> ch (Printf.sprintf "res%d" i) residual d (lane_words i)) dct;
+  Array.iteri (fun i q -> ch (Printf.sprintf "coef%d" i) dct.(i) q (lane_words i)) quant;
+  Array.iteri (fun i q -> ch (Printf.sprintf "qs%d" i) rate_ctrl q mb_words) quant;
+  Array.iteri (fun i q -> ch (Printf.sprintf "lev%d" i) q zigzag (lane_words i)) quant;
+  Array.iteri (fun i q -> ch (Printf.sprintf "rq%d" i) q dequant (lane_words i)) quant;
+  Array.iteri (fun i q -> ch (Printf.sprintf "stat%d" i) q rate_ctrl mb_words) quant;
+  (* Entropy path. *)
+  ch "dc_z" dc_pred zigzag mb_words;
+  ch "dc_v" dc_pred vlc mb_words;
+  ch "zz" zigzag rle frame_words;
+  ch "runs" rle vlc (frame_words / 2);
+  ch "codes" vlc mux (frame_words / 4);
+  ch "hdrs" hdr_gen mux mb_words;
+  ch "hdr_ctx" hdr_gen vlc 11;
+  ch "bits" mux snk ((frame_words / 4) + mb_words);
+  (* Rate control feedback. *)
+  ch "used_bits" mux rate_ctrl mb_words;
+  ch "vlc_bits" vlc rate_ctrl 11;
+  ch "activity" residual rate_ctrl mb_words;
+  (* Reconstruction loop. *)
+  ch "deq" dequant idct frame_words;
+  ch "rec_res" idct recon frame_words;
+  ch "rec" recon frame_store frame_words;
+  (* The deliverable starting point is the paper's "conservative ordering
+     that guarantees absence of deadlock": raw insertion order actually
+     deadlocks this topology (vlc, hdr_gen and mux wait on one another). *)
+  Ermes_core.Order.conservative sys;
+  sys
+
+type stats = {
+  processes : int;
+  worker_processes : int;
+  channels : int;
+  pareto_points : int;
+  min_channel_latency : int;
+  max_channel_latency : int;
+  order_combinations : float;
+}
+
+let is_testbench sys p = System.is_source sys p || System.is_sink sys p
+
+let stats sys =
+  let workers = List.filter (fun p -> not (is_testbench sys p)) (System.processes sys) in
+  let pareto_points =
+    List.fold_left (fun acc p -> acc + Array.length (System.impls sys p)) 0 workers
+  in
+  let latencies = List.map (System.channel_latency sys) (System.channels sys) in
+  {
+    processes = System.process_count sys;
+    worker_processes = List.length workers;
+    channels = System.channel_count sys;
+    pareto_points;
+    min_channel_latency = List.fold_left min max_int latencies;
+    max_channel_latency = List.fold_left max 0 latencies;
+    order_combinations = System.order_combinations sys;
+  }
+
+let select_by sys pick =
+  List.iter
+    (fun p ->
+      let impls = System.impls sys p in
+      System.select sys p (pick impls))
+    (System.processes sys)
+
+let index_of_min_by f impls =
+  let best = ref 0 in
+  Array.iteri (fun i x -> if f x < f impls.(!best) then best := i) impls;
+  !best
+
+let select_fastest sys =
+  select_by sys (index_of_min_by (fun (i : System.impl) -> i.latency))
+
+let select_smallest sys =
+  select_by sys (index_of_min_by (fun (i : System.impl) -> i.area))
+
+let select_median sys = select_by sys (fun impls -> Array.length impls / 2)

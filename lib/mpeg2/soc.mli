@@ -1,0 +1,52 @@
+(** The MPEG-2 encoder SoC model (paper §6, Table 1).
+
+    26 processes and 60 blocking channels plus the two testbench processes
+    (image source and bitstream sink), with the structures the paper calls
+    out: reconvergent paths (the split DCT/quantization lanes re-merging at
+    the zigzag stage, the motion-estimation slices re-merging at the vector
+    merger) and feedback loops (the reconstruction loop through the frame
+    store back to motion estimation, and the rate-control loop from the
+    bitstream multiplexer back to the quantizers). The two feedback hubs —
+    [frame_store] and [rate_ctrl] — are [Puts_first] processes (pre-loaded
+    registers: the reference frame and the initial quantizer scale exist
+    before the first macroblock arrives), which keeps every feedback loop
+    live.
+
+    Channel latencies are the transferred data volume in 16-pixel words, one
+    frame per process iteration: 1 cycle for a control word up to 5280
+    (= 352·240/16) for a whole frame, matching the paper's reported range.
+
+    Implementation sets come from running the mini-HLS characterization
+    ({!Ermes_hls.Design.pareto_frontier}) on the behaviors of
+    {!Behaviors}. *)
+
+module System = Ermes_slm.System
+
+val build : unit -> System.t
+(** Characterizes all 26 behaviors and assembles the system, then installs
+    the conservative deadlock-free statement orders
+    ({!Ermes_core.Order.conservative} — the naive insertion orders deadlock
+    this topology, a live demonstration of the paper's §2 problem).
+    Deterministic. Every process starts on its fastest implementation. *)
+
+type stats = {
+  processes : int;  (** 28 including the testbench *)
+  worker_processes : int;  (** 26 *)
+  channels : int;  (** 60 *)
+  pareto_points : int;  (** total implementations across the 26 workers *)
+  min_channel_latency : int;
+  max_channel_latency : int;
+  order_combinations : float;
+}
+
+val stats : System.t -> stats
+
+val select_fastest : System.t -> unit
+(** The paper's M1: per process, the minimum-latency implementation. *)
+
+val select_smallest : System.t -> unit
+(** Per process, the minimum-area implementation. *)
+
+val select_median : System.t -> unit
+(** The paper's M2 flavour: per process, the midpoint of its Pareto set —
+    performance traded for area. *)

@@ -1,0 +1,62 @@
+(* Unsigned Exp-Golomb: value v is coded as the binary form of v+1 (which has
+   some width w >= 1) preceded by w-1 zero bits. *)
+
+let ue_width v =
+  let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+  let w = bits (v + 1) 0 in
+  (2 * w) - 1
+
+let write_ue w v =
+  if v < 0 then invalid_arg "Vlc.write_ue: negative value";
+  let k = v + 1 in
+  let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+  let bits = width k 0 in
+  for _ = 1 to bits - 1 do
+    Bitstream.Writer.put_bit w 0
+  done;
+  Bitstream.Writer.put_bits w ~width:bits k
+
+let read_ue r =
+  let zeros = ref 0 in
+  while Bitstream.Reader.get_bit r = 0 do
+    incr zeros
+  done;
+  (* The leading 1 has been consumed; read the remaining !zeros bits. *)
+  let rest = if !zeros = 0 then 0 else Bitstream.Reader.get_bits r ~width:!zeros in
+  (1 lsl !zeros) + rest - 1
+
+(* Signed mapping: 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4, ... *)
+let se_to_ue v = if v > 0 then (2 * v) - 1 else -2 * v
+let ue_to_se u = if u mod 2 = 1 then (u + 1) / 2 else -(u / 2)
+
+let write_se w v = write_ue w (se_to_ue v)
+let read_se r = ue_to_se (read_ue r)
+
+let se_width v = ue_width (se_to_ue v)
+
+(* Runs are 0..63, so 64 is free to serve as the end-of-block symbol. *)
+let eob_symbol = 64
+
+let write_block w pairs =
+  List.iter
+    (fun { Rle.run; level } ->
+      write_ue w run;
+      write_se w level)
+    pairs;
+  write_ue w eob_symbol
+
+let read_block r =
+  let rec loop acc =
+    let run = read_ue r in
+    if run = eob_symbol then List.rev acc
+    else begin
+      let level = read_se r in
+      loop ({ Rle.run; level } :: acc)
+    end
+  in
+  loop []
+
+let encoded_bits pairs =
+  List.fold_left
+    (fun acc { Rle.run; level } -> acc + ue_width run + se_width level)
+    (ue_width eob_symbol) pairs

@@ -1,0 +1,26 @@
+(** Variable-length entropy coding of (run, level) pairs.
+
+    Exp-Golomb codes — unsigned for runs, signed for levels — with an
+    explicit end-of-block symbol. Exp-Golomb is self-delimiting and
+    prefix-free, so blocks concatenate into one stream and decode without
+    side information; short codes go to the short runs and small levels that
+    dominate quantized DCT data, giving genuine compression on it. *)
+
+val write_ue : Bitstream.Writer.t -> int -> unit
+(** Unsigned Exp-Golomb. @raise Invalid_argument on negatives. *)
+
+val read_ue : Bitstream.Reader.t -> int
+
+val write_se : Bitstream.Writer.t -> int -> unit
+(** Signed Exp-Golomb (zigzag mapping 0, 1, −1, 2, −2, …). *)
+
+val read_se : Bitstream.Reader.t -> int
+
+val write_block : Bitstream.Writer.t -> Rle.pair list -> unit
+(** Encodes the pairs of one block followed by the end-of-block symbol. *)
+
+val read_block : Bitstream.Reader.t -> Rle.pair list
+
+val encoded_bits : Rle.pair list -> int
+(** Exact bit cost of [write_block] without materializing a stream (used by
+    rate control). *)

@@ -1,0 +1,15 @@
+(** Zigzag scan of 8×8 coefficient blocks.
+
+    Orders coefficients from low to high frequency so the run-length coder
+    sees the long zero tail in one piece. *)
+
+val order : int array
+(** [order.(k)] is the row-major index of the [k]-th scanned coefficient;
+    a permutation of 0..63 starting 0, 1, 8, 16, 9, 2, ... *)
+
+val scan : int array -> int array
+(** Row-major block → zigzag order. @raise Invalid_argument unless 64
+    entries. *)
+
+val unscan : int array -> int array
+(** Inverse of {!scan}. *)

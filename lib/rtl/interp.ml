@@ -1,0 +1,123 @@
+module Digraph = Ermes_digraph.Digraph
+module Traversal = Ermes_digraph.Traversal
+
+type t = {
+  design : Ir.design;
+  values : int array;  (* current value per signal *)
+  comb_order : int list;  (* wires in dependence order *)
+  mutable clock : int;
+}
+
+let mask width v = if width >= 62 then v else v land ((1 lsl width) - 1)
+
+let rec eval values signals = function
+  | Ir.Const (v, _) -> v
+  | Ir.Sig s -> values.(s)
+  | Ir.Not a ->
+    (* Width-aware complement. *)
+    let w = (width_of_expr signals (Ir.Not a) : int) in
+    mask w (lnot (eval values signals a))
+  | Ir.And (a, b) -> eval values signals a land eval values signals b
+  | Ir.Or (a, b) -> eval values signals a lor eval values signals b
+  | Ir.Eq (a, b) -> if eval values signals a = eval values signals b then 1 else 0
+  | Ir.Lt (a, b) -> if eval values signals a < eval values signals b then 1 else 0
+  | Ir.Add (a, b) ->
+    let w = width_of_expr signals (Ir.Add (a, b)) in
+    mask w (eval values signals a + eval values signals b)
+  | Ir.Sub (a, b) ->
+    let w = width_of_expr signals (Ir.Sub (a, b)) in
+    mask w (eval values signals a - eval values signals b)
+  | Ir.Mux (c, t, e) ->
+    if eval values signals c <> 0 then eval values signals t else eval values signals e
+
+and width_of_expr signals e =
+  (* Local width computation mirroring Ir.expr_width (validated at build). *)
+  let rec go = function
+    | Ir.Const (_, w) -> w
+    | Ir.Sig s -> signals.(s).Ir.width
+    | Ir.Not a -> go a
+    | Ir.And (a, _) | Ir.Or (a, _) | Ir.Add (a, _) | Ir.Sub (a, _) -> go a
+    | Ir.Eq _ | Ir.Lt _ -> 1
+    | Ir.Mux (_, t, _) -> go t
+  in
+  go e
+
+let comb_topo_order (design : Ir.design) =
+  let n = Array.length design.Ir.signals in
+  let g = Digraph.create () in
+  for _ = 1 to n do
+    ignore (Digraph.add_vertex g ())
+  done;
+  Array.iteri
+    (fun s info ->
+      match info.Ir.kind with
+      | Ir.Wire e ->
+        List.iter
+          (fun dep ->
+            match design.Ir.signals.(dep).Ir.kind with
+            | Ir.Wire _ -> ignore (Digraph.add_arc g ~src:dep ~dst:s ())
+            | Ir.Input | Ir.Reg _ -> ())
+          (Ir.signals_of e [])
+      | Ir.Input | Ir.Reg _ -> ())
+    design.Ir.signals;
+  match Traversal.topological_sort g with
+  | Ok order ->
+    List.filter
+      (fun s -> match design.Ir.signals.(s).Ir.kind with Ir.Wire _ -> true | _ -> false)
+      order
+  | Error _ -> invalid_arg "Interp: combinational cycle (Builder.finish would have caught this)"
+
+let refresh t =
+  List.iter
+    (fun s ->
+      match t.design.Ir.signals.(s).Ir.kind with
+      | Ir.Wire e ->
+        t.values.(s) <-
+          mask t.design.Ir.signals.(s).Ir.width (eval t.values t.design.Ir.signals e)
+      | Ir.Input | Ir.Reg _ -> ())
+    t.comb_order
+
+let create design =
+  let n = Array.length design.Ir.signals in
+  let values = Array.make n 0 in
+  Array.iteri
+    (fun s info ->
+      match info.Ir.kind with Ir.Reg { reset; _ } -> values.(s) <- reset | _ -> ())
+    design.Ir.signals;
+  let t = { design; values; comb_order = comb_topo_order design; clock = 0 } in
+  refresh t;
+  t
+
+let set_input t s v =
+  let info = t.design.Ir.signals.(s) in
+  (match info.Ir.kind with
+   | Ir.Input -> ()
+   | _ -> invalid_arg (Printf.sprintf "Interp.set_input: %s is not an input" info.Ir.name));
+  if v < 0 || v <> mask info.Ir.width v then
+    invalid_arg (Printf.sprintf "Interp.set_input: %d does not fit %s" v info.Ir.name);
+  t.values.(s) <- v;
+  refresh t
+
+let peek t s = t.values.(s)
+
+let step t =
+  (* Evaluate every register's next state from the settled values, then
+     commit simultaneously. *)
+  let nexts =
+    Array.mapi
+      (fun s info ->
+        match info.Ir.kind with
+        | Ir.Reg { next; _ } -> Some (s, mask info.Ir.width (eval t.values t.design.Ir.signals next))
+        | _ -> None)
+      t.design.Ir.signals
+  in
+  Array.iter (function Some (s, v) -> t.values.(s) <- v | None -> ()) nexts;
+  t.clock <- t.clock + 1;
+  refresh t
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    step t
+  done
+
+let cycle t = t.clock

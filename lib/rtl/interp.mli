@@ -1,0 +1,28 @@
+(** Cycle-accurate interpretation of an {!Ir.design}.
+
+    Two-phase synchronous semantics: all combinational wires are evaluated in
+    dependence order from the current register values and inputs, then every
+    register latches its next-state expression simultaneously. This is the
+    reference semantics the Verilog emitter's output must match; the test
+    suite checks the interpreted SoC control skeletons against the
+    system-level discrete-event simulator. *)
+
+type t
+
+val create : Ir.design -> t
+(** Registers start at their reset values; inputs at 0. *)
+
+val set_input : t -> Ir.signal -> int -> unit
+(** @raise Invalid_argument if the signal is not an input or the value does
+    not fit its width. *)
+
+val peek : t -> Ir.signal -> int
+(** Current value of any signal (wires are kept up to date). *)
+
+val step : t -> unit
+(** Advance one clock edge. *)
+
+val run : t -> cycles:int -> unit
+
+val cycle : t -> int
+(** Clock edges elapsed since creation. *)

@@ -1,0 +1,41 @@
+(** RTL control skeletons for a system (the back end of the flow).
+
+    Generates, from a {!Ermes_slm.System.t}, the synchronous control logic the
+    paper's commercial flow would emit: one FSM per process — exactly the
+    cyclic structure of Fig. 2(b): one state per [get]/[put] with a wait
+    self-loop, a computation state with a latency down-counter — plus the
+    channel logic (rendezvous: request/acknowledge with a multi-cycle busy
+    counter; FIFO: enqueue/dequeue ports with item and credit counters).
+    Datapaths are abstract in the system model, so the RTL is the control
+    skeleton: every handshake wire, every stall, every state — no data.
+
+    The handshake timing is bit-exact with the discrete-event simulator
+    ({!Ermes_slm.Sim}): a rendezvous that starts in cycle [t] with latency
+    [L] lets both endpoint FSMs execute their next statement in cycle
+    [t + L]; computation of latency [L] occupies exactly [L] cycles. The
+    test suite checks that the interpreted RTL's steady-state cycle time
+    equals the simulator's and the TMG analysis' — a fourth independent
+    semantics of the same system. *)
+
+module System = Ermes_slm.System
+
+type t = {
+  design : Ir.design;
+  state_of : Ir.signal array;  (** per process: the FSM state register *)
+  iterations_of : Ir.signal array;
+      (** per process: completed-iteration counter (30 bits, wrapping) *)
+  fire_of : Ir.signal array;
+      (** per channel: the completion pulse of the consumer-side transfer *)
+}
+
+val build : System.t -> t
+(** @raise Invalid_argument on systems rejected by {!System.validate} or
+    with a process latency or channel latency beyond 2{^30} cycles. *)
+
+val measured_cycle_time :
+  ?rounds:int -> ?max_cycles:int -> System.t -> Ermes_tmg.Ratio.t option
+(** Interpret the generated RTL until the first sink completes [rounds]
+    iterations (default 48) and detect the exact steady-state period of its
+    completion times, as {!Ermes_slm.Sim.steady_cycle_time} does. [None] when
+    the horizon ([max_cycles], default 200,000) is exhausted first — which is
+    what an RTL-level deadlock looks like. *)

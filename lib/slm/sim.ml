@@ -1,0 +1,220 @@
+module Ratio = Ermes_tmg.Ratio
+
+type direction = Waiting_get | Waiting_put
+
+type blocked = {
+  process : System.process;
+  channel : System.channel;
+  direction : direction;
+}
+
+type deadlock = { at_cycle : int; blocked : blocked list }
+
+type run = {
+  cycles : int;
+  iterations : int array;
+  completions : int list array;
+  deadlock : deadlock option;
+}
+
+type stmt = Sget of System.channel | Scompute | Sput of System.channel
+
+type event =
+  | Compute_done of System.process
+  | Transfer_done of System.channel  (* rendezvous completion *)
+  | Enqueue_done of System.channel  (* FIFO: item landed in the buffer *)
+  | Dequeue_done of System.channel  (* FIFO: item handed to the consumer *)
+
+let run ?monitor ?(max_iterations = 64) ?(max_cycles = max_int) sys =
+  let np = System.process_count sys and nc = System.channel_count sys in
+  let monitor =
+    match monitor with
+    | Some p -> p
+    | None -> (
+      match System.sinks sys with
+      | s :: _ -> s
+      | [] -> invalid_arg "Sim.run: system has no sink to monitor")
+  in
+  let program =
+    Array.init np (fun p ->
+        let gets = List.map (fun c -> Sget c) (System.get_order sys p) in
+        let puts = List.map (fun c -> Sput c) (System.put_order sys p) in
+        let stmts =
+          match System.phase sys p with
+          | System.Gets_first -> gets @ (Scompute :: puts)
+          | System.Puts_first -> puts @ (Scompute :: gets)
+        in
+        Array.of_list stmts)
+  in
+  let pc = Array.make np 0 in
+  let waiting_get = Array.make nc false in
+  let waiting_put = Array.make nc false in
+  let transfer_active = Array.make nc false in
+  (* FIFO channels: free slots, buffered items, and whether the enqueue or
+     dequeue port is mid-transfer. Rendezvous channels leave these unused. *)
+  let credits = Array.make nc 0 in
+  let items = Array.make nc 0 in
+  let enq_busy = Array.make nc false in
+  let deq_busy = Array.make nc false in
+  List.iter
+    (fun c ->
+      match System.channel_kind sys c with
+      | System.Fifo depth -> credits.(c) <- depth
+      | System.Rendezvous -> ())
+    (System.channels sys);
+  let iterations = Array.make np 0 in
+  let completions = Array.make np [] in
+  let events = Heap.create () in
+  let now = ref 0 in
+  let finished = ref false in
+  (* Entering a statement either arms a timer (compute), or declares
+     readiness on a channel and attempts a transfer. Zero-latency
+     computations fall through immediately; every process has at least one
+     channel statement, so the mutual recursion terminates. *)
+  let rec enter p =
+    match program.(p).(pc.(p)) with
+    | Scompute ->
+      let l = System.latency sys p in
+      if l = 0 then advance p else Heap.push events (!now + l) (Compute_done p)
+    | Sget c ->
+      waiting_get.(c) <- true;
+      try_match c
+    | Sput c ->
+      waiting_put.(c) <- true;
+      try_match c
+  and try_match c =
+    match System.channel_kind sys c with
+    | System.Rendezvous ->
+      if waiting_get.(c) && waiting_put.(c) && not transfer_active.(c) then begin
+        waiting_get.(c) <- false;
+        waiting_put.(c) <- false;
+        transfer_active.(c) <- true;
+        Heap.push events (!now + System.channel_latency sys c) (Transfer_done c)
+      end
+    | System.Fifo _ ->
+      (* Enqueue: the producer needs a free slot; the transfer into the
+         buffer takes the channel latency. *)
+      if waiting_put.(c) && credits.(c) > 0 && not enq_busy.(c) then begin
+        waiting_put.(c) <- false;
+        credits.(c) <- credits.(c) - 1;
+        enq_busy.(c) <- true;
+        Heap.push events (!now + System.channel_latency sys c) (Enqueue_done c)
+      end;
+      (* Dequeue: the consumer needs a buffered item; the local read takes
+         one cycle. *)
+      if waiting_get.(c) && items.(c) > 0 && not deq_busy.(c) then begin
+        waiting_get.(c) <- false;
+        items.(c) <- items.(c) - 1;
+        deq_busy.(c) <- true;
+        Heap.push events (!now + 1) (Dequeue_done c)
+      end
+  and advance p =
+    pc.(p) <- (pc.(p) + 1) mod Array.length program.(p);
+    if pc.(p) = 0 then begin
+      iterations.(p) <- iterations.(p) + 1;
+      completions.(p) <- !now :: completions.(p);
+      if p = monitor && iterations.(p) >= max_iterations then finished := true
+    end;
+    enter p
+  in
+  for p = 0 to np - 1 do
+    enter p
+  done;
+  let deadlock = ref None in
+  let continue_ () =
+    (not !finished) && !deadlock = None && !now <= max_cycles
+  in
+  while continue_ () do
+    match Heap.pop_min events with
+    | None ->
+      (* No pending event: every process is stalled at an I/O statement and
+         no transfer can complete — deadlock. *)
+      let blocked =
+        List.filter_map
+          (fun p ->
+            match program.(p).(pc.(p)) with
+            | Sget c -> Some { process = p; channel = c; direction = Waiting_get }
+            | Sput c -> Some { process = p; channel = c; direction = Waiting_put }
+            | Scompute -> None)
+          (System.processes sys)
+      in
+      deadlock := Some { at_cycle = !now; blocked }
+    | Some (t, ev) ->
+      now := t;
+      (match ev with
+       | Compute_done p -> advance p
+       | Transfer_done c ->
+         transfer_active.(c) <- false;
+         (* Both endpoints move past their put/get; the consumer first is an
+            arbitrary but fixed tie-break (no semantic effect: both advance at
+            the same instant). *)
+         advance (System.channel_dst sys c);
+         advance (System.channel_src sys c)
+       | Enqueue_done c ->
+         enq_busy.(c) <- false;
+         items.(c) <- items.(c) + 1;
+         advance (System.channel_src sys c);
+         try_match c
+       | Dequeue_done c ->
+         deq_busy.(c) <- false;
+         credits.(c) <- credits.(c) + 1;
+         advance (System.channel_dst sys c);
+         try_match c)
+  done;
+  {
+    cycles = !now;
+    iterations;
+    completions = Array.map List.rev completions;
+    deadlock = !deadlock;
+  }
+
+let detect_period times =
+  (* [times] oldest first. Find the smallest period c such that the tail of
+     the series satisfies t(k+c) = t(k) + delta uniformly. *)
+  let arr = Array.of_list times in
+  let n = Array.length arr in
+  if n < 4 then None
+  else begin
+    let half = n / 2 in
+    let ok c =
+      if c < 1 || half + c > n then None
+      else begin
+        let delta = arr.(n - 1) - arr.(n - 1 - c) in
+        let uniform = ref true in
+        for k = half - 1 to n - 1 - c do
+          if arr.(k + c) - arr.(k) <> delta then uniform := false
+        done;
+        if !uniform && delta > 0 then Some (Ratio.make delta c) else None
+      end
+    in
+    let rec search c =
+      if half + c > n then None
+      else match ok c with Some r -> Some r | None -> search (c + 1)
+    in
+    search 1
+  end
+
+let steady_cycle_time ?(rounds = 64) ?monitor sys =
+  let monitor =
+    match monitor with
+    | Some p -> p
+    | None -> (
+      match System.sinks sys with
+      | s :: _ -> s
+      | [] -> invalid_arg "Sim.steady_cycle_time: system has no sink")
+  in
+  let r = run ~monitor ~max_iterations:rounds sys in
+  match r.deadlock with
+  | Some d -> Error d
+  | None -> Ok (detect_period r.completions.(monitor))
+
+let pp_deadlock sys ppf d =
+  Format.fprintf ppf "@[<v>deadlock at cycle %d:@," d.at_cycle;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %s blocked on %s of %s@,"
+        (System.process_name sys b.process)
+        (match b.direction with Waiting_get -> "get" | Waiting_put -> "put")
+        (System.channel_name sys b.channel))
+    d.blocked;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,53 @@
+(** Cycle-accurate discrete-event simulation of the blocking protocol.
+
+    Executes the system exactly as the synthesized hardware would (paper §2):
+    every process walks its cyclic FSM — gets in order, computation for the
+    selected implementation's latency, puts in order — and a data transfer on
+    a channel starts only when the producer has reached the corresponding
+    [put] and the consumer the corresponding [get] (rendezvous); the transfer
+    occupies both sides for the channel's latency.
+
+    This simulator is intentionally {e independent} of the TMG analysis — no
+    shared semantics code — so the test suite can check that the analytical
+    cycle time of {!To_tmg}+[Howard] equals the measured steady-state rate,
+    and that analytical deadlocks match simulated deadlocks (the lengthy
+    repeated simulations the paper says ERMES makes unnecessary). *)
+
+type direction = Waiting_get | Waiting_put
+
+type blocked = {
+  process : System.process;
+  channel : System.channel;
+  direction : direction;
+}
+
+type deadlock = { at_cycle : int; blocked : blocked list }
+(** All processes are permanently stalled at I/O statements: no transfer can
+    ever start again. *)
+
+type run = {
+  cycles : int;  (** simulated time at which the run stopped *)
+  iterations : int array;  (** completed loop iterations, per process *)
+  completions : int list array;
+      (** per process, completion time of each iteration, oldest first *)
+  deadlock : deadlock option;
+}
+
+val run :
+  ?monitor:System.process ->
+  ?max_iterations:int ->
+  ?max_cycles:int ->
+  System.t ->
+  run
+(** [run sys] simulates until the [monitor] process (default: the first sink)
+    completes [max_iterations] iterations (default 64), the clock exceeds
+    [max_cycles] (default [max_int]), or the system deadlocks. *)
+
+val steady_cycle_time :
+  ?rounds:int -> ?monitor:System.process -> System.t -> (Ermes_tmg.Ratio.t option, deadlock) result
+(** Measured steady-state cycle time: simulate [rounds] iterations (default
+    64) of the monitored process and detect the exact period of its
+    completion times, as in {!Ermes_tmg.Firing.measured_cycle_time}.
+    [Ok None] if periodicity is not reached within the horizon. *)
+
+val pp_deadlock : System.t -> Format.formatter -> deadlock -> unit

@@ -1,0 +1,161 @@
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let tokens line =
+  strip_comment line |> String.split_on_char ' '
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+exception Parse_error of string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno s))) fmt
+
+let int_of lineno what s =
+  match int_of_string_opt s with
+  | Some i -> i
+  | None -> fail lineno "%s: expected integer, got %S" what s
+
+let float_of lineno what s =
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail lineno "%s: expected number, got %S" what s
+
+(* [impl TAG latency INT area FLOAT]+ *)
+let rec parse_impls lineno acc = function
+  | [] ->
+    if acc = [] then fail lineno "process needs at least one 'impl'";
+    List.rev acc
+  | "impl" :: tag :: "latency" :: l :: "area" :: a :: rest ->
+    let impl =
+      { System.tag; latency = int_of lineno "latency" l; area = float_of lineno "area" a }
+    in
+    parse_impls lineno (impl :: acc) rest
+  | tok :: _ -> fail lineno "expected 'impl TAG latency INT area FLOAT', got %S" tok
+
+let find_process sys lineno name =
+  match System.find_process sys name with
+  | Some p -> p
+  | None -> fail lineno "unknown process %S" name
+
+let find_channel sys lineno name =
+  match System.find_channel sys name with
+  | Some c -> c
+  | None -> fail lineno "unknown channel %S" name
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let sys = ref None in
+  let get_sys lineno =
+    match !sys with
+    | Some s -> s
+    | None -> fail lineno "the first directive must be 'system NAME'"
+  in
+  let handle lineno line =
+    match tokens line with
+    | [] -> ()
+    | [ "system"; name ] ->
+      if !sys <> None then fail lineno "duplicate 'system' directive";
+      sys := Some (System.create ~name ())
+    | "system" :: _ -> fail lineno "usage: system NAME"
+    | "process" :: name :: rest ->
+      let s = get_sys lineno in
+      let phase, rest =
+        match rest with
+        | "puts_first" :: rest -> (System.Puts_first, rest)
+        | rest -> (System.Gets_first, rest)
+      in
+      let impls = parse_impls lineno [] rest in
+      (try ignore (System.add_process s ~phase ~impls name)
+       with Invalid_argument m -> fail lineno "%s" m)
+    | [ "select"; pname; idx ] ->
+      let s = get_sys lineno in
+      let p = find_process s lineno pname in
+      (try System.select s p (int_of lineno "select" idx)
+       with Invalid_argument m -> fail lineno "%s" m)
+    | "channel" :: name :: src :: dst :: "latency" :: l :: rest ->
+      let s = get_sys lineno in
+      let src = find_process s lineno src and dst = find_process s lineno dst in
+      let c =
+        try System.add_channel s ~name ~src ~dst ~latency:(int_of lineno "latency" l)
+        with Invalid_argument m -> fail lineno "%s" m
+      in
+      (match rest with
+       | [] -> ()
+       | [ "fifo"; k ] -> (
+         try System.set_channel_kind s c (System.Fifo (int_of lineno "fifo" k))
+         with Invalid_argument m -> fail lineno "%s" m)
+       | _ -> fail lineno "usage: channel NAME SRC DST latency INT [fifo INT]")
+    | "channel" :: _ -> fail lineno "usage: channel NAME SRC DST latency INT [fifo INT]"
+    | "gets" :: pname :: chs ->
+      let s = get_sys lineno in
+      let p = find_process s lineno pname in
+      let order = List.map (find_channel s lineno) chs in
+      (try System.set_get_order s p order
+       with Invalid_argument m -> fail lineno "%s" m)
+    | "puts" :: pname :: chs ->
+      let s = get_sys lineno in
+      let p = find_process s lineno pname in
+      let order = List.map (find_channel s lineno) chs in
+      (try System.set_put_order s p order
+       with Invalid_argument m -> fail lineno "%s" m)
+    | tok :: _ -> fail lineno "unknown directive %S" tok
+  in
+  try
+    List.iteri (fun i line -> handle (i + 1) line) lines;
+    match !sys with
+    | Some s -> Ok s
+    | None -> Error "empty description: missing 'system NAME'"
+  with Parse_error m -> Error m
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error m -> Error m
+
+let print sys =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "system %s\n" (System.name sys);
+  List.iter
+    (fun p ->
+      pf "process %s" (System.process_name sys p);
+      (match System.phase sys p with
+       | System.Puts_first -> pf " puts_first"
+       | System.Gets_first -> ());
+      Array.iter
+        (fun (i : System.impl) ->
+          pf " impl %s latency %d area %.9g" i.tag i.latency i.area)
+        (System.impls sys p);
+      pf "\n")
+    (System.processes sys);
+  List.iter
+    (fun c ->
+      pf "channel %s %s %s latency %d%s\n" (System.channel_name sys c)
+        (System.process_name sys (System.channel_src sys c))
+        (System.process_name sys (System.channel_dst sys c))
+        (System.channel_latency sys c)
+        (match System.channel_kind sys c with
+         | System.Rendezvous -> ""
+         | System.Fifo k -> Printf.sprintf " fifo %d" k))
+    (System.channels sys);
+  List.iter
+    (fun p ->
+      if System.selected sys p <> 0 then
+        pf "select %s %d\n" (System.process_name sys p) (System.selected sys p);
+      (match System.get_order sys p with
+       | [] -> ()
+       | order ->
+         pf "gets %s %s\n" (System.process_name sys p)
+           (String.concat " " (List.map (System.channel_name sys) order)));
+      match System.put_order sys p with
+      | [] -> ()
+      | order ->
+        pf "puts %s %s\n" (System.process_name sys p)
+          (String.concat " " (List.map (System.channel_name sys) order)))
+    (System.processes sys);
+  Buffer.contents buf
+
+let write_file path sys = Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (print sys))

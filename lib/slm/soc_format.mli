@@ -1,0 +1,30 @@
+(** Textual system descriptions (the [.soc] format).
+
+    A line-oriented format used by the [ermes] command-line tool. Tokens are
+    whitespace-separated; [#] starts a comment that runs to end of line;
+    blank lines are ignored. Directives:
+
+    {v
+    system NAME
+    process NAME [puts_first] impl TAG latency INT area FLOAT [impl ...]...
+    select PROCESS INDEX
+    channel NAME SRC DST latency INT [fifo INT]
+    gets PROCESS CH CH ...     # permutation of PROCESS's input channels
+    puts PROCESS CH CH ...     # permutation of PROCESS's output channels
+    v}
+
+    Directives may appear in any order as long as every name is declared
+    before it is referenced (the printer emits processes, then channels, then
+    selections and orders, which always satisfies this). *)
+
+val parse : string -> (System.t, string) result
+(** [parse text] builds a system, or returns an error message naming the
+    offending line. *)
+
+val parse_file : string -> (System.t, string) result
+
+val print : System.t -> string
+(** Canonical rendering; [parse (print sys)] reconstructs an identical
+    system (same ids, names, latencies, areas, selections, orders). *)
+
+val write_file : string -> System.t -> unit

@@ -1,0 +1,251 @@
+module Digraph = Ermes_digraph.Digraph
+module Traversal = Ermes_digraph.Traversal
+module Dot = Ermes_digraph.Dot
+
+type process = int
+type channel = int
+
+type impl = { tag : string; latency : int; area : float }
+
+type phase_order = Gets_first | Puts_first
+
+type pinfo = {
+  pname : string;
+  pphase : phase_order;
+  impls : impl array;
+  mutable selected : int;
+  mutable gets : channel list;
+  mutable puts : channel list;
+}
+
+type channel_kind = Rendezvous | Fifo of int
+
+type cinfo = { cname : string; clatency : int; mutable ckind : channel_kind }
+
+type t = {
+  sys_name : string;
+  g : (pinfo, cinfo) Digraph.t;
+  by_pname : (string, process) Hashtbl.t;
+  by_cname : (string, channel) Hashtbl.t;
+}
+
+let create ?(name = "system") () =
+  { sys_name = name; g = Digraph.create (); by_pname = Hashtbl.create 16; by_cname = Hashtbl.create 16 }
+
+let name t = t.sys_name
+
+let add_process t ?(phase = Gets_first) ~impls name =
+  if impls = [] then invalid_arg "System.add_process: empty implementation set";
+  if Hashtbl.mem t.by_pname name then
+    invalid_arg (Printf.sprintf "System.add_process: duplicate process %S" name);
+  List.iter
+    (fun i ->
+      if i.latency < 0 then invalid_arg "System.add_process: negative latency";
+      if i.area < 0. then invalid_arg "System.add_process: negative area")
+    impls;
+  let p =
+    Digraph.add_vertex t.g
+      {
+        pname = name;
+        pphase = phase;
+        impls = Array.of_list impls;
+        selected = 0;
+        gets = [];
+        puts = [];
+      }
+  in
+  Hashtbl.add t.by_pname name p;
+  p
+
+let add_simple_process t ?phase ~latency ~area name =
+  add_process t ?phase ~impls:[ { tag = "only"; latency; area } ] name
+
+let phase t p = (Digraph.vertex_label t.g p).pphase
+
+let add_channel t ~name ~src ~dst ~latency =
+  if Hashtbl.mem t.by_cname name then
+    invalid_arg (Printf.sprintf "System.add_channel: duplicate channel %S" name);
+  if latency < 1 then invalid_arg "System.add_channel: latency must be >= 1";
+  let c =
+    Digraph.add_arc t.g ~src ~dst { cname = name; clatency = latency; ckind = Rendezvous }
+  in
+  Hashtbl.add t.by_cname name c;
+  let ps = Digraph.vertex_label t.g src and pd = Digraph.vertex_label t.g dst in
+  ps.puts <- ps.puts @ [ c ];
+  pd.gets <- pd.gets @ [ c ];
+  c
+
+let process_count t = Digraph.vertex_count t.g
+let channel_count t = Digraph.arc_count t.g
+let processes t = Digraph.vertices t.g
+let channels t = Digraph.arcs t.g
+
+let process_name t p = (Digraph.vertex_label t.g p).pname
+let channel_name t c = (Digraph.arc_label t.g c).cname
+
+let find_process t name = Hashtbl.find_opt t.by_pname name
+let find_channel t name = Hashtbl.find_opt t.by_cname name
+
+let channel_src t c = Digraph.arc_src t.g c
+let channel_dst t c = Digraph.arc_dst t.g c
+let channel_latency t c = (Digraph.arc_label t.g c).clatency
+let channel_kind t c = (Digraph.arc_label t.g c).ckind
+
+let put_side_latency t c = channel_latency t c
+
+let get_side_latency t c =
+  match channel_kind t c with Rendezvous -> channel_latency t c | Fifo _ -> 1
+
+let set_channel_kind t c kind =
+  (match kind with
+   | Fifo depth when depth < 1 -> invalid_arg "System.set_channel_kind: FIFO depth must be >= 1"
+   | Fifo _ | Rendezvous -> ());
+  (Digraph.arc_label t.g c).ckind <- kind
+
+let impls t p = (Digraph.vertex_label t.g p).impls
+let selected t p = (Digraph.vertex_label t.g p).selected
+
+let select t p i =
+  let info = Digraph.vertex_label t.g p in
+  if i < 0 || i >= Array.length info.impls then
+    invalid_arg
+      (Printf.sprintf "System.select: %s has no implementation %d" info.pname i);
+  info.selected <- i
+
+let current t p =
+  let info = Digraph.vertex_label t.g p in
+  info.impls.(info.selected)
+
+let latency t p = (current t p).latency
+let area t p = (current t p).area
+
+let total_area t =
+  List.fold_left (fun acc p -> acc +. area t p) 0. (processes t)
+
+let get_order t p = (Digraph.vertex_label t.g p).gets
+let put_order t p = (Digraph.vertex_label t.g p).puts
+
+let check_permutation what current proposed =
+  let sorted = List.sort compare in
+  if sorted current <> sorted proposed then
+    invalid_arg (Printf.sprintf "System.%s: not a permutation of the process's channels" what)
+
+let set_get_order t p order =
+  let info = Digraph.vertex_label t.g p in
+  check_permutation "set_get_order" info.gets order;
+  info.gets <- order
+
+let set_put_order t p order =
+  let info = Digraph.vertex_label t.g p in
+  check_permutation "set_put_order" info.puts order;
+  info.puts <- order
+
+let is_source t p = Digraph.in_degree t.g p = 0
+let is_sink t p = Digraph.out_degree t.g p = 0
+let sources t = List.filter (is_source t) (processes t)
+let sinks t = List.filter (is_sink t) (processes t)
+
+let order_combinations t =
+  let rec fact n = if n <= 1 then 1. else float_of_int n *. fact (n - 1) in
+  List.fold_left
+    (fun acc p ->
+      acc *. fact (List.length (get_order t p)) *. fact (List.length (put_order t p)))
+    1. (processes t)
+
+let graph t =
+  Digraph.map_labels ~vertex:(fun pi -> pi.pname) ~arc:(fun ci -> ci.cname) t.g
+
+let validate t =
+  let ( let* ) r f = Result.bind r f in
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let* () = if process_count t = 0 then fail "system has no process" else Ok () in
+  let* () =
+    if sources t = [] then fail "system has no source process" else Ok ()
+  in
+  let* () = if sinks t = [] then fail "system has no sink process" else Ok () in
+  (* Weak connectivity: every process reachable from process 0 ignoring
+     direction. *)
+  let undirected = Digraph.create () in
+  List.iter (fun _ -> ignore (Digraph.add_vertex undirected ())) (processes t);
+  List.iter
+    (fun c ->
+      ignore (Digraph.add_arc undirected ~src:(channel_src t c) ~dst:(channel_dst t c) ());
+      ignore (Digraph.add_arc undirected ~src:(channel_dst t c) ~dst:(channel_src t c) ()))
+    (channels t);
+  let reach = Traversal.reachable ~from:[ 0 ] undirected in
+  let* () =
+    if Array.for_all Fun.id reach then Ok ()
+    else
+      let v = ref 0 in
+      Array.iteri (fun i r -> if not r then v := i) reach;
+      fail "system is not connected (e.g. process %s)" (process_name t !v)
+  in
+  (* Every process on a source-to-sink path. *)
+  let fwd = Traversal.reachable ~from:(sources t) t.g in
+  let bwd = Traversal.reachable ~from:(sinks t) (Digraph.reverse t.g) in
+  let bad = ref None in
+  List.iter
+    (fun p -> if !bad = None && not (fwd.(p) && bwd.(p)) then bad := Some p)
+    (processes t);
+  match !bad with
+  | Some p -> fail "process %s is not on any source-to-sink path" (process_name t p)
+  | None -> Ok ()
+
+let copy t =
+  let t' = create ~name:t.sys_name () in
+  List.iter
+    (fun p ->
+      let info = Digraph.vertex_label t.g p in
+      ignore
+        (add_process t' ~phase:info.pphase ~impls:(Array.to_list info.impls)
+           info.pname))
+    (processes t);
+  List.iter
+    (fun c ->
+      let c' =
+        add_channel t' ~name:(channel_name t c) ~src:(channel_src t c)
+          ~dst:(channel_dst t c) ~latency:(channel_latency t c)
+      in
+      set_channel_kind t' c' (channel_kind t c))
+    (channels t);
+  List.iter
+    (fun p ->
+      select t' p (selected t p);
+      set_get_order t' p (get_order t p);
+      set_put_order t' p (put_order t p))
+    (processes t);
+  t'
+
+let to_dot t =
+  let vertex_name = process_name t in
+  let vertex_attrs p =
+    let shape = if is_source t p || is_sink t p then "ellipse" else "box" in
+    [ ("shape", shape); ("label", Printf.sprintf "%s\nL=%d" (process_name t p) (latency t p)) ]
+  in
+  let arc_attrs c =
+    let suffix = match channel_kind t c with Rendezvous -> "" | Fifo k -> Printf.sprintf " fifo:%d" k in
+    [ ("label", Printf.sprintf "%s (%d%s)" (channel_name t c) (channel_latency t c) suffix) ]
+  in
+  Dot.to_string ~name:t.sys_name ~vertex_attrs ~arc_attrs ~vertex_name t.g
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>system %s: %d processes, %d channels@," t.sys_name
+    (process_count t) (channel_count t);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %s latency=%d area=%.4f gets=[%s] puts=[%s]@,"
+        (process_name t p) (latency t p) (area t p)
+        (String.concat "," (List.map (channel_name t) (get_order t p)))
+        (String.concat "," (List.map (channel_name t) (put_order t p))))
+    (processes t);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %s: %s -> %s latency=%d%s@," (channel_name t c)
+        (process_name t (channel_src t c))
+        (process_name t (channel_dst t c))
+        (channel_latency t c)
+        (match channel_kind t c with
+         | Rendezvous -> ""
+         | Fifo k -> Printf.sprintf " fifo=%d" k))
+    (channels t);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,153 @@
+(** System-level model: concurrent processes communicating through blocking
+    point-to-point channels (paper §2).
+
+    Each process follows the canonical loosely-timed TLM structure: an input
+    phase (a chain of blocking [get]s, one per input channel, in a definite
+    textual order), a computation phase (abstracted by its synthesized
+    latency), and an output phase (a chain of blocking [put]s). A process
+    with no input channels is a {e source} (testbench producer, always ready
+    to emit); one with no output channels is a {e sink}.
+
+    The {e statement orders} — the order of the [get]s and of the [put]s
+    inside each process — are first-class mutable state: they are exactly
+    what the channel-ordering algorithm optimizes, and a bad choice can
+    deadlock the system.
+
+    Each process also carries its set of Pareto-optimal implementations
+    (latency, area) as produced by HLS characterization, and the index of the
+    currently selected one; the current latency/area are those of the
+    selection. *)
+
+type process = int
+type channel = int
+
+type impl = { tag : string; latency : int; area : float }
+(** One micro-architecture alternative. Latency in cycles; area in mm². *)
+
+type phase_order =
+  | Gets_first  (** the canonical structure: input, computation, output *)
+  | Puts_first
+      (** output, computation, input: the process emits (initial or
+          previously computed) data {e before} reading. This models a
+          pre-loaded pipeline register and is how a feedback loop is kept
+          deadlock-free: a cycle of the process graph in which every process
+          reads before writing is a token-free TMG cycle whatever the
+          statement orders, so every feedback loop must contain at least one
+          [Puts_first] process. *)
+
+type channel_kind =
+  | Rendezvous
+      (** the paper's default: an unbuffered blocking channel — the transfer
+          happens only when producer and consumer have both arrived *)
+  | Fifo of int
+      (** a bounded FIFO of the given depth ≥ 1 (a chain of relay stations):
+          the producer's [put] completes as soon as a slot is free, the
+          consumer's [get] as soon as an item is available. Buffering lets
+          the producer run ahead — cycles that couple the consumer back to
+          the producer gain one token per slot — but it cannot repair a
+          deadlock caused by reversed data dependencies. *)
+
+type t
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val add_process : t -> ?phase:phase_order -> impls:impl list -> string -> process
+(** [add_process t ~impls name] adds a process whose implementation set is
+    [impls] (at least one; the first is initially selected). [phase] defaults
+    to [Gets_first].
+    @raise Invalid_argument on empty [impls], duplicate name, or negative
+    latency/area. *)
+
+val add_simple_process :
+  t -> ?phase:phase_order -> latency:int -> area:float -> string -> process
+(** Convenience wrapper: a single implementation tagged ["only"]. *)
+
+val phase : t -> process -> phase_order
+
+val add_channel : t -> name:string -> src:process -> dst:process -> latency:int -> channel
+(** Adds a point-to-point [Rendezvous] channel. The new channel is appended
+    to the [put] order of [src] and the [get] order of [dst].
+    @raise Invalid_argument on duplicate name or [latency < 1]. *)
+
+val set_channel_kind : t -> channel -> channel_kind -> unit
+(** Change a channel's protocol — buffer sizing is an exploration knob.
+    @raise Invalid_argument on a FIFO depth < 1. *)
+
+val process_count : t -> int
+val channel_count : t -> int
+val processes : t -> process list
+val channels : t -> channel list
+
+val process_name : t -> process -> string
+val channel_name : t -> channel -> string
+
+val find_process : t -> string -> process option
+val find_channel : t -> string -> channel option
+
+val channel_src : t -> channel -> process
+val channel_dst : t -> channel -> process
+val channel_latency : t -> channel -> int
+val channel_kind : t -> channel -> channel_kind
+
+val put_side_latency : t -> channel -> int
+(** Cycles the producer spends per transfer: the channel latency (for a FIFO,
+    the enqueue into the buffer). *)
+
+val get_side_latency : t -> channel -> int
+(** Cycles the consumer spends per transfer: the channel latency for a
+    rendezvous channel, one cycle (the local buffer read) for a FIFO. *)
+
+val impls : t -> process -> impl array
+val selected : t -> process -> int
+val select : t -> process -> int -> unit
+(** Switch the selected implementation. @raise Invalid_argument if out of
+    range. *)
+
+val latency : t -> process -> int
+(** Latency of the currently selected implementation. *)
+
+val area : t -> process -> float
+(** Area of the currently selected implementation, mm². *)
+
+val total_area : t -> float
+
+val get_order : t -> process -> channel list
+(** Input channels in [get]-statement order. *)
+
+val put_order : t -> process -> channel list
+(** Output channels in [put]-statement order. *)
+
+val set_get_order : t -> process -> channel list -> unit
+(** @raise Invalid_argument unless the list is a permutation of the process's
+    input channels. *)
+
+val set_put_order : t -> process -> channel list -> unit
+(** @raise Invalid_argument unless the list is a permutation of the process's
+    output channels. *)
+
+val is_source : t -> process -> bool
+val is_sink : t -> process -> bool
+val sources : t -> process list
+val sinks : t -> process list
+
+val order_combinations : t -> float
+(** The number of possible statement-order combinations,
+    ∏ₚ |in(p)|!·|out(p)|! (paper §2; 36 for the motivating example). Returned
+    as a float because it overflows integers already at modest sizes. *)
+
+val graph : t -> (string, string) Ermes_digraph.Digraph.t
+(** The process graph (vertex/arc labels are names). Vertex ids coincide with
+    process ids and arc ids with channel ids. *)
+
+val validate : t -> (unit, string) result
+(** Structural checks: at least one process, weak connectivity, at least one
+    source and one sink, and every process lies on a source→sink path. *)
+
+val copy : t -> t
+(** Deep copy (orders and selections are independent). *)
+
+val to_dot : t -> string
+
+val pp : Format.formatter -> t -> unit

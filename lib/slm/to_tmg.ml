@@ -1,0 +1,118 @@
+module Tmg = Ermes_tmg.Tmg
+module Vec = Ermes_digraph.Vec
+
+type owner = Channel of System.channel | Process of System.process
+
+type mapping = {
+  tmg : Tmg.t;
+  channel_entry : Tmg.transition array;
+  channel_exit : Tmg.transition array;
+  compute_transition : Tmg.transition array;
+  owner : owner array;
+}
+
+let build sys =
+  let tmg = Tmg.create () in
+  let nch = System.channel_count sys and np = System.process_count sys in
+  let channel_entry = Array.make (max nch 1) (-1) in
+  let channel_exit = Array.make (max nch 1) (-1) in
+  let compute_transition = Array.make (max np 1) (-1) in
+  let owners = Vec.create () in
+  let add_transition ~name ~delay owner =
+    let t = Tmg.add_transition tmg ~name ~delay () in
+    let i = Vec.push owners owner in
+    assert (i = t);
+    t
+  in
+  List.iter
+    (fun c ->
+      let name = System.channel_name sys c in
+      let latency = System.channel_latency sys c in
+      match System.channel_kind sys c with
+      | System.Rendezvous ->
+        let t = add_transition ~name ~delay:latency (Channel c) in
+        channel_entry.(c) <- t;
+        channel_exit.(c) <- t
+      | System.Fifo depth ->
+        let enq = add_transition ~name:(name ^ "_enq") ~delay:latency (Channel c) in
+        let deq = add_transition ~name:(name ^ "_deq") ~delay:1 (Channel c) in
+        ignore (Tmg.add_place tmg ~name:(name ^ "_data") ~src:enq ~dst:deq ~tokens:0 ());
+        ignore (Tmg.add_place tmg ~name:(name ^ "_credit") ~src:deq ~dst:enq ~tokens:depth ());
+        channel_entry.(c) <- enq;
+        channel_exit.(c) <- deq)
+    (System.channels sys);
+  List.iter
+    (fun p ->
+      compute_transition.(p) <-
+        add_transition
+          ~name:("L_" ^ System.process_name sys p)
+          ~delay:(System.latency sys p) (Process p))
+    (System.processes sys);
+  (* One cyclic chain of places per process: gets, compute, puts (or puts
+     first). The place closing the cycle into the first I/O statement carries
+     the initial token. Puts attach to the channel's producer-side transition
+     and gets to its consumer side. *)
+  let thread_process p =
+    let gets = List.map (fun c -> (`Get c, channel_exit.(c))) (System.get_order sys p) in
+    let puts = List.map (fun c -> (`Put c, channel_entry.(c))) (System.put_order sys p) in
+    let compute = (`Compute, compute_transition.(p)) in
+    let stmts =
+      match System.phase sys p with
+      | System.Gets_first -> gets @ (compute :: puts)
+      | System.Puts_first -> puts @ (compute :: gets)
+    in
+    let pname = System.process_name sys p in
+    let stmt_name = function
+      | `Get c -> Printf.sprintf "get_%s_%s" pname (System.channel_name sys c)
+      | `Put c -> Printf.sprintf "put_%s_%s" pname (System.channel_name sys c)
+      | `Compute -> Printf.sprintf "comp_%s" pname
+    in
+    (* The token goes into the place entering the first I/O statement of the
+       chain (paper §3: "a token is placed in the first get-place of each
+       process ... [and] on the put-place of the test-bench process"). A
+       process with no channels would be rejected by [System.validate];
+       thread it token-free defensively. *)
+    let first_io_index =
+      List.mapi (fun i (s, _) -> (i, s)) stmts
+      |> List.find_opt (fun (_, s) ->
+             match s with `Put _ | `Get _ -> true | `Compute -> false)
+      |> Option.map fst
+    in
+    let n = List.length stmts in
+    let arr = Array.of_list stmts in
+    for i = 0 to n - 1 do
+      (* Place from statement i to statement i+1 (cyclically): it enters
+         statement i+1 and is named after it. *)
+      let j = (i + 1) mod n in
+      let s_i = snd arr.(i) and s_j = snd arr.(j) in
+      let tokens = if Some j = first_io_index then 1 else 0 in
+      ignore
+        (Tmg.add_place tmg ~name:(stmt_name (fst arr.(j))) ~src:s_i ~dst:s_j ~tokens ())
+    done
+  in
+  List.iter thread_process (System.processes sys);
+  { tmg; channel_entry; channel_exit; compute_transition; owner = Vec.to_array owners }
+
+let transition_owner mapping t = mapping.owner.(t)
+
+let processes_on_cycle mapping cycle =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun t ->
+      match transition_owner mapping t with
+      | Process p when not (Hashtbl.mem seen p) ->
+        Hashtbl.add seen p ();
+        Some p
+      | Process _ | Channel _ -> None)
+    cycle
+
+let channels_on_cycle mapping cycle =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun t ->
+      match transition_owner mapping t with
+      | Channel c when not (Hashtbl.mem seen c) ->
+        Hashtbl.add seen c ();
+        Some c
+      | Channel _ | Process _ -> None)
+    cycle

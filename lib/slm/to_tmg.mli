@@ -1,0 +1,53 @@
+(** Translation of a system into its timed marked graph (paper §3, Fig. 3).
+
+    Each {e rendezvous} channel becomes one transition whose delay is the
+    channel latency; each process's computation phase becomes one transition
+    whose delay is the process's (currently selected) latency. The serial
+    structure of a process — gets in [get]-order, then compute, then puts in
+    [put]-order, cyclically (or puts first for [Puts_first] processes) —
+    becomes a cycle of places threading those transitions: the place entering
+    a channel transition from the consumer side is the {e get-place}, from
+    the producer side the {e put-place}.
+
+    A {e FIFO} channel of depth [k] becomes a relay-station pair: an enqueue
+    transition (delay = channel latency) on the producer side and a dequeue
+    transition (delay 1) on the consumer side, joined by an empty data place
+    and a [k]-token credit place in the reverse direction — so any cycle that
+    couples the consumer back to the producer through the channel carries the
+    [k] buffering tokens.
+
+    Initial marking: one token in the place that precedes each process's
+    first I/O statement — the first get-place for processes with inputs, the
+    first put-place for sources (the paper's "environment always ready to
+    provide new input data"). Every process cycle therefore carries exactly
+    one token. *)
+
+type owner = Channel of System.channel | Process of System.process
+
+type mapping = {
+  tmg : Ermes_tmg.Tmg.t;
+  channel_entry : Ermes_tmg.Tmg.transition array;
+      (** producer-side transition per channel: the single rendezvous
+          transition, or the FIFO's enqueue *)
+  channel_exit : Ermes_tmg.Tmg.transition array;
+      (** consumer-side transition per channel: equals [channel_entry] for
+          rendezvous channels, the FIFO's dequeue otherwise *)
+  compute_transition : Ermes_tmg.Tmg.transition array;
+      (** indexed by process id *)
+  owner : owner array;  (** indexed by transition id *)
+}
+
+val build : System.t -> mapping
+(** [build sys] constructs the TMG of the system under its current statement
+    orders, implementation selections and channel kinds. *)
+
+val transition_owner : mapping -> Ermes_tmg.Tmg.transition -> owner
+
+val processes_on_cycle :
+  mapping -> Ermes_tmg.Tmg.transition list -> System.process list
+(** The processes whose compute transitions appear on the given (critical)
+    cycle, in cycle order, deduplicated. *)
+
+val channels_on_cycle :
+  mapping -> Ermes_tmg.Tmg.transition list -> System.channel list
+(** The channels whose transitions appear on the given cycle. *)

@@ -1,0 +1,155 @@
+module System = Ermes_slm.System
+
+type config = {
+  processes : int;
+  channels : int;
+  layers : int;
+  feedback_fraction : float;
+  impls : int;
+  max_process_latency : int;
+  max_channel_latency : int;
+  seed : int;
+}
+
+let default =
+  {
+    processes = 26;
+    channels = 60;
+    layers = 8;
+    feedback_fraction = 0.1;
+    impls = 6;
+    max_process_latency = 2000;
+    max_channel_latency = 5280;
+    seed = 1;
+  }
+
+(* Log-uniform channel latency in [1, hi]. *)
+let channel_latency rng hi =
+  let lg = Prng.float_unit rng *. log (float_of_int hi) in
+  max 1 (int_of_float (exp lg))
+
+(* Geometric latency/area trade-off: each step trades ~1.8x latency for
+   ~0.55x area, which is the flavour the mini-HLS produces on real bodies. *)
+let pareto_set rng ~impls ~max_latency =
+  let base_latency = Prng.int_range rng ~lo:8 ~hi:(max 9 (max_latency / 4)) in
+  let base_area = 0.02 +. (Prng.float_unit rng *. 0.5) in
+  List.init impls (fun i ->
+      let stretch = 1.8 ** float_of_int i in
+      {
+        System.tag = Printf.sprintf "p%d" i;
+        latency = min max_latency (int_of_float (float_of_int base_latency *. stretch));
+        area = base_area *. (0.55 ** float_of_int i);
+      })
+
+let generate cfg =
+  if cfg.processes < 1 then invalid_arg "Generate: need at least one process";
+  if cfg.layers < 1 || cfg.layers > cfg.processes then
+    invalid_arg "Generate: layers must be within [1, processes]";
+  if cfg.impls < 1 then invalid_arg "Generate: need at least one implementation";
+  if cfg.feedback_fraction < 0. || cfg.feedback_fraction > 1. then
+    invalid_arg "Generate: feedback_fraction must be within [0, 1]";
+  let rng = Prng.create ~seed:cfg.seed in
+  (* Layer assignment: round-robin guarantees every layer is populated. *)
+  let layer_of = Array.init cfg.processes (fun p -> p mod cfg.layers) in
+  let members = Array.make cfg.layers [] in
+  Array.iteri (fun p l -> members.(l) <- p :: members.(l)) layer_of;
+  (* Plan worker-to-worker channels as (src, dst) pairs. *)
+  let planned = ref [] and planned_count = ref 0 in
+  let seen = Hashtbl.create (4 * cfg.channels) in
+  let plan src dst =
+    if src <> dst && not (Hashtbl.mem seen (src, dst)) then begin
+      Hashtbl.add seen (src, dst) ();
+      planned := (src, dst) :: !planned;
+      incr planned_count
+    end
+  in
+  (* Backbone: every process of layer l > 0 reads from layer l-1; every
+     process of layer l < last writes to layer l+1. *)
+  for p = 0 to cfg.processes - 1 do
+    let l = layer_of.(p) in
+    if l > 0 then plan (Prng.pick rng members.(l - 1)) p;
+    if l < cfg.layers - 1 then plan p (Prng.pick rng members.(l + 1))
+  done;
+  (* Extra channels up to the target: forward pairs give reconvergent paths;
+     non-forward pairs (with the configured probability) give feedback. Each
+     feedback path goes through a dedicated relay register (see below), which
+     accounts for one extra channel. *)
+  let feedback = ref [] in
+  let attempts = ref 0 in
+  while !planned_count < cfg.channels && !attempts < 100 * cfg.channels do
+    incr attempts;
+    let u = Prng.int_range rng ~lo:0 ~hi:(cfg.processes - 1) in
+    let v = Prng.int_range rng ~lo:0 ~hi:(cfg.processes - 1) in
+    if layer_of.(u) < layer_of.(v) then plan u v
+    else if
+      u <> v
+      && (not (Hashtbl.mem seen (u, v)))
+      && !planned_count + 1 < cfg.channels
+      && Prng.bool_with rng ~probability:cfg.feedback_fraction
+    then begin
+      Hashtbl.add seen (u, v) ();
+      feedback := (u, v) :: !feedback;
+      planned_count := !planned_count + 2
+    end
+  done;
+  let planned = List.rev !planned and feedback = List.rev !feedback in
+  (* Build the system. A cycle cannot keep increasing layers, so every cycle
+     goes through a feedback path; each feedback path is broken by a
+     pre-loaded pipeline register — a 1-in/1-out [Puts_first] relay process
+     whose neighbours are ordinary [Gets_first] workers. That shape keeps the
+     channel dependence graph acyclic (a dependence path entering the relay's
+     input channel cannot continue), so a deadlock-free order always
+     exists. *)
+  let sys = System.create ~name:(Printf.sprintf "synth_%d_%d_s%d" cfg.processes cfg.channels cfg.seed) () in
+  let workers =
+    Array.init cfg.processes (fun p ->
+        System.add_process sys
+          ~impls:(pareto_set rng ~impls:cfg.impls ~max_latency:cfg.max_process_latency)
+          (Printf.sprintf "p%04d" p))
+  in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  let next_channel = ref 0 in
+  let add_channel s d =
+    let name = Printf.sprintf "c%05d" !next_channel in
+    incr next_channel;
+    ignore
+      (System.add_channel sys ~name ~src:s ~dst:d
+         ~latency:(channel_latency rng cfg.max_channel_latency))
+  in
+  List.iter (fun (u, v) -> add_channel workers.(u) workers.(v)) planned;
+  List.iteri
+    (fun k (u, v) ->
+      let reg =
+        System.add_simple_process sys ~phase:System.Puts_first
+          ~latency:(Prng.int_range rng ~lo:1 ~hi:4)
+          ~area:0.002
+          (Printf.sprintf "reg%04d" k)
+      in
+      add_channel workers.(u) reg;
+      add_channel reg workers.(v))
+    feedback;
+  (* Testbench hookup: feed the whole first layer and every input-less worker
+     (a first-layer process whose only input is a feedback register would
+     otherwise be unreachable from the source); drain every output-less
+     worker and the whole last layer (a last-layer process whose only outputs
+     are feedback channels still needs a forward path to the sink). Together
+     with the backbone this puts every process on a source-to-sink path. *)
+  Array.iteri
+    (fun p w ->
+      if System.get_order sys w = [] || layer_of.(p) = 0 then add_channel src w)
+    workers;
+  Array.iteri
+    (fun p w ->
+      if System.put_order sys w = [] || layer_of.(p) = cfg.layers - 1 then
+        add_channel w snk)
+    workers;
+  if System.get_order sys snk = [] then add_channel src snk;
+  Ermes_core.Order.conservative sys;
+  sys
+
+let scaled ?(seed = 1) ~processes ~channels () =
+  let layers =
+    max 2 (min processes (int_of_float (sqrt (float_of_int processes)) * 2))
+  in
+  generate { default with processes; channels; layers; seed }

@@ -1,0 +1,41 @@
+(** Synthetic SoC benchmarks (paper §6, "Analysis of scalability").
+
+    Seeded random layered systems "with characteristics similar to those of
+    the MPEG-2, including the presence of feedback loops and reconvergent
+    paths": processes are spread over pipeline layers; a connectivity
+    backbone links consecutive layers and guarantees every process lies on a
+    source-to-sink path; extra channels create reconvergent forward paths
+    and, with the configured probability, feedback paths. Every feedback path
+    runs through a dedicated pre-loaded pipeline register (a 1-in/1-out
+    [Puts_first] relay), so a deadlock-free statement order always exists
+    ({!Ermes_core.Order.conservative} is installed before returning). Each process gets a synthetic Pareto set of
+    implementations (geometric latency/area trade-off).
+
+    The paper's largest instance — 10,000 processes with 15,000 channels —
+    is [{ default with processes = 10_000; channels = 15_000 }]. *)
+
+module System = Ermes_slm.System
+
+type config = {
+  processes : int;  (** worker processes (testbench source/sink are extra) *)
+  channels : int;  (** total worker-to-worker channels (≥ backbone size) *)
+  layers : int;  (** pipeline depth, ≥ 1 *)
+  feedback_fraction : float;  (** fraction of extra channels made feedback *)
+  impls : int;  (** Pareto points per process, ≥ 1 *)
+  max_process_latency : int;
+  max_channel_latency : int;
+  seed : int;
+}
+
+val default : config
+(** 26 processes, 60 channels, 8 layers, 10% feedback, 6 impls, latencies up
+    to 2000/5280 — an MPEG-2-sized instance. *)
+
+val generate : config -> System.t
+(** Deterministic in [config]. The system passes {!System.validate} and is
+    deadlock-free under the installed conservative orders.
+    @raise Invalid_argument on nonsensical configurations. *)
+
+val scaled : ?seed:int -> processes:int -> channels:int -> unit -> System.t
+(** [scaled ~processes ~channels ()] is [generate] with the other parameters
+    scaled from {!default} (layer count grows with √processes). *)

@@ -1,0 +1,35 @@
+(* splitmix64 (Steele, Lea, Flood 2014), truncated to OCaml's 63-bit ints. *)
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int t = Int64.to_int (Int64.shift_right_logical (next64 t) 2)
+
+let int_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  lo + (next_int t mod (hi - lo + 1))
+
+let float_unit t = float_of_int (next_int t) /. 4611686018427387904.
+
+let bool_with t ~probability = float_unit t < probability
+
+let pick t = function
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | xs -> List.nth xs (int_range t ~lo:0 ~hi:(List.length xs - 1))
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int_range t ~lo:0 ~hi:i in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a

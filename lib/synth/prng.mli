@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Library code never touches the global [Random] state: every synthetic
+    benchmark is a pure function of its seed, so scalability results and
+    property tests are reproducible bit-for-bit. *)
+
+type t
+
+val create : seed:int -> t
+
+val next_int : t -> int
+(** Uniform in [0, 2{^62}). *)
+
+val int_range : t -> lo:int -> hi:int -> int
+(** Uniform in [lo, hi] inclusive. @raise Invalid_argument if [hi < lo]. *)
+
+val float_unit : t -> float
+(** Uniform in [0, 1). *)
+
+val bool_with : t -> probability:float -> bool
+
+val pick : t -> 'a list -> 'a
+(** Uniform element. @raise Invalid_argument on []. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Fisher–Yates. *)

@@ -1,0 +1,63 @@
+module Traversal = Ermes_digraph.Traversal
+module Digraph = Ermes_digraph.Digraph
+
+(* Within one round k the recurrence refers to same-round values through
+   token-free places, so transitions must be processed in topological order of
+   the token-free subgraph — acyclic exactly when the net is live. *)
+let zero_token_order tmg =
+  let sub = Digraph.create () in
+  List.iter (fun _ -> ignore (Digraph.add_vertex sub ())) (Tmg.transitions tmg);
+  List.iter
+    (fun p ->
+      if Tmg.tokens tmg p = 0 then
+        ignore (Digraph.add_arc sub ~src:(Tmg.place_src tmg p) ~dst:(Tmg.place_dst tmg p) ()))
+    (Tmg.places tmg);
+  match Traversal.topological_sort sub with
+  | Ok order -> order
+  | Error _ -> invalid_arg "Firing: net is not live (token-free cycle)"
+
+let firing_times tmg ~rounds =
+  if rounds < 1 then invalid_arg "Firing.firing_times: rounds must be positive";
+  let order = zero_token_order tmg in
+  let n = Tmg.transition_count tmg in
+  let x = Array.make_matrix n rounds 0 in
+  for k = 1 to rounds do
+    let compute t =
+      let ready p =
+        let s = Tmg.place_src tmg p in
+        let j = k - Tmg.tokens tmg p in
+        if j <= 0 then 0 else x.(s).(j - 1)
+      in
+      let start = List.fold_left (fun acc p -> max acc (ready p)) 0 (Tmg.in_places tmg t) in
+      x.(t).(k - 1) <- start + Tmg.delay tmg t
+    in
+    List.iter compute order
+  done;
+  x
+
+let measured_cycle_time tmg ~rounds =
+  let x = firing_times tmg ~rounds in
+  let n = Array.length x in
+  if n = 0 then None
+  else begin
+    (* Find the smallest period c whose increment D is uniform across every
+       transition and every round of the second half of the horizon. *)
+    let half = rounds / 2 in
+    let period_ok c =
+      if c < 1 || half + c > rounds then None
+      else begin
+        let d = x.(0).(rounds - 1) - x.(0).(rounds - 1 - c) in
+        let uniform = ref true in
+        for t = 0 to n - 1 do
+          for k = half - 1 to rounds - 1 - c do
+            if x.(t).(k + c) - x.(t).(k) <> d then uniform := false
+          done
+        done;
+        if !uniform then Some (Ratio.make d c) else None
+      end
+    in
+    let rec search c = if half + c > rounds then None else (
+      match period_ok c with Some r -> Some r | None -> search (c + 1))
+    in
+    search 1
+  end

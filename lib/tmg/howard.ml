@@ -1,0 +1,381 @@
+module Scc = Ermes_digraph.Scc
+
+type result = {
+  cycle_time : Ratio.t;
+  critical_places : Tmg.place list;
+  critical_transitions : Tmg.transition list;
+  howard_iterations : int;
+  cancel_iterations : int;
+}
+
+type error = Deadlock of Liveness.dead_cycle | No_cycle
+
+let throughput r = Ratio.inv r.cycle_time
+
+(* Internal compact arc-weighted view of the net: the weight of a place-arc is
+   the delay of its consumer transition, so that summing weights along a cycle
+   counts each cycle transition exactly once. *)
+type view = {
+  n : int;
+  m : int;
+  src : int array;
+  dst : int array;
+  w : int array;  (* delay of dst transition *)
+  t : int array;  (* initial tokens *)
+  out_arcs : int list array;
+}
+
+let view_of_tmg tmg =
+  let n = Tmg.transition_count tmg and m = Tmg.place_count tmg in
+  let src = Array.make m 0
+  and dst = Array.make m 0
+  and w = Array.make m 0
+  and t = Array.make m 0 in
+  let out_arcs = Array.make n [] in
+  List.iter
+    (fun p ->
+      src.(p) <- Tmg.place_src tmg p;
+      dst.(p) <- Tmg.place_dst tmg p;
+      w.(p) <- Tmg.delay tmg (dst.(p));
+      t.(p) <- Tmg.tokens tmg p)
+    (Tmg.places tmg);
+  for p = m - 1 downto 0 do
+    out_arcs.(src.(p)) <- p :: out_arcs.(src.(p))
+  done;
+  { n; m; src; dst; w; t; out_arcs }
+
+(* ------------------------------------------------------------------ *)
+(* Floating-point Howard policy iteration within one SCC.              *)
+(* ------------------------------------------------------------------ *)
+
+type policy_state = {
+  policy : int array;  (* arc chosen per vertex; -1 outside the SCC *)
+  lambda : float array;  (* per-vertex chain value *)
+  x : float array;  (* per-vertex potential *)
+}
+
+let eps = 1e-9
+
+(* Evaluate a policy: find its cycles, each cycle's exact ratio, and the
+   potentials. Returns the list of cycles as (ratio, vertex list in policy
+   order). *)
+let evaluate view members st =
+  let unvisited = 0 and in_progress = 1 and done_ = 2 in
+  let state = Array.make view.n unvisited in
+  let cycles = ref [] in
+  (* Reverse policy adjacency for potential propagation. *)
+  let rev = Array.make view.n [] in
+  List.iter
+    (fun u ->
+      let a = st.policy.(u) in
+      rev.(view.dst.(a)) <- u :: rev.(view.dst.(a)))
+    members;
+  let walk start =
+    if state.(start) = unvisited then begin
+      (* Follow policy successors, recording the path. *)
+      let path = ref [] in
+      let u = ref start in
+      while state.(!u) = unvisited do
+        state.(!u) <- in_progress;
+        path := !u :: !path;
+        u := view.dst.(st.policy.(!u))
+      done;
+      if state.(!u) = in_progress then begin
+        (* Closed a new cycle at !u: the path suffix from !u is the cycle. *)
+        let rec cut acc = function
+          | [] -> acc
+          | v :: rest -> if v = !u then v :: acc else cut (v :: acc) rest
+        in
+        let cycle = cut [] !path in
+        let wsum = ref 0 and tsum = ref 0 in
+        List.iter
+          (fun v ->
+            let a = st.policy.(v) in
+            wsum := !wsum + view.w.(a);
+            tsum := !tsum + view.t.(a))
+          cycle;
+        cycles := (Ratio.make !wsum !tsum, cycle) :: !cycles
+      end;
+      List.iter (fun v -> state.(v) <- done_) !path
+    end
+  in
+  List.iter walk members;
+  (* Potentials: fix each cycle's first vertex at 0, then propagate the value
+     equation x(u) = w - lambda*t + x(succ u) backwards over policy arcs. *)
+  let queue = Queue.create () in
+  let assigned = Array.make view.n false in
+  let assign_cycle (ratio, cycle) =
+    let l = Ratio.to_float ratio in
+    (match cycle with
+     | [] -> assert false
+     | root :: _ ->
+       st.x.(root) <- 0.;
+       st.lambda.(root) <- l;
+       assigned.(root) <- true;
+       (* Walk the cycle backwards: in policy order [v0; v1; ...], the
+          predecessor of v0 is the last element. *)
+       let arr = Array.of_list cycle in
+       let k = Array.length arr in
+       for i = k - 1 downto 1 do
+         let v = arr.(i) and succ_v = arr.((i + 1) mod k) in
+         let a = st.policy.(v) in
+         st.x.(v) <-
+           (float_of_int view.w.(a) -. (l *. float_of_int view.t.(a))) +. st.x.(succ_v);
+         st.lambda.(v) <- l;
+         assigned.(v) <- true
+       done);
+    List.iter (fun v -> Queue.add v queue) cycle
+  in
+  List.iter assign_cycle !cycles;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let relax u =
+      if not assigned.(u) then begin
+        let a = st.policy.(u) in
+        let l = st.lambda.(v) in
+        st.lambda.(u) <- l;
+        st.x.(u) <- (float_of_int view.w.(a) -. (l *. float_of_int view.t.(a))) +. st.x.(v);
+        assigned.(u) <- true;
+        Queue.add u queue
+      end
+    in
+    List.iter relax rev.(v)
+  done;
+  !cycles
+
+(* One improvement sweep; returns whether the policy changed. *)
+let improve view members in_scc st =
+  let improved = ref false in
+  let consider u a =
+    let v = view.dst.(a) in
+    if in_scc.(a) then begin
+      if st.lambda.(v) > st.lambda.(u) +. eps then begin
+        st.policy.(u) <- a;
+        st.lambda.(u) <- st.lambda.(v);
+        improved := true
+      end
+      else if st.lambda.(v) > st.lambda.(u) -. eps then begin
+        let cost =
+          float_of_int view.w.(a) -. (st.lambda.(u) *. float_of_int view.t.(a))
+        in
+        if cost +. st.x.(v) > st.x.(u) +. eps then begin
+          st.policy.(u) <- a;
+          improved := true
+        end
+      end
+    end
+  in
+  List.iter (fun u -> List.iter (consider u) view.out_arcs.(u)) members;
+  !improved
+
+let max_iterations = 200
+
+(* Run Howard inside one SCC; returns the best exact policy-cycle ratio found
+   together with that cycle (as vertices in policy order) and the number of
+   improvement rounds. *)
+let howard_scc view members in_scc =
+  let st =
+    {
+      policy = Array.make view.n (-1);
+      lambda = Array.make view.n neg_infinity;
+      x = Array.make view.n 0.;
+    }
+  in
+  List.iter
+    (fun u ->
+      match List.find_opt (fun a -> in_scc.(a)) view.out_arcs.(u) with
+      | Some a -> st.policy.(u) <- a
+      | None -> assert false)
+    members;
+  let best = ref None in
+  let note_cycles cycles =
+    let better (r, c) =
+      match !best with
+      | None -> best := Some (r, c)
+      | Some (r0, _) -> if Ratio.(r > r0) then best := Some (r, c)
+    in
+    List.iter better cycles
+  in
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_iterations do
+    incr rounds;
+    let cycles = evaluate view members st in
+    note_cycles cycles;
+    if not (improve view members in_scc st) then continue_ := false
+  done;
+  match !best with
+  | Some (r, c) -> (r, c, !rounds)
+  | None -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Exact certification: cancel positive reduced-cost cycles.           *)
+(* ------------------------------------------------------------------ *)
+
+(* Search for a cycle with positive reduced cost q*w - p*t (candidate ratio
+   p/q) using Bellman-Ford longest paths from an implicit all-zero source.
+   Each relaxation records a parent arc and a path length; a path length
+   reaching n proves the parent chain revisits a vertex, and any cycle in the
+   parent-pointer graph under longest-path relaxation has strictly positive
+   cost. Returns the cycle as arc ids in arc order, or None. *)
+let find_positive_cycle view ratio =
+  let p = Ratio.num ratio and q = Ratio.den ratio in
+  let cost a = (q * view.w.(a)) - (p * view.t.(a)) in
+  let d = Array.make view.n 0 in
+  let parent = Array.make view.n (-1) in
+  let len = Array.make view.n 0 in
+  let in_queue = Array.make view.n true in
+  let queue = Queue.create () in
+  for v = 0 to view.n - 1 do
+    Queue.add v queue
+  done;
+  let extract_cycle v =
+    (* Follow parent arcs from [v] looking for a repeated vertex. Any cycle in
+       the parent-pointer graph of longest-path relaxations has strictly
+       positive cost, so a found cycle is always a valid answer. A length
+       trigger can be spurious (ancestor re-relaxations make stored lengths
+       stale), in which case the chain ends at an unrelaxed vertex and we
+       resume the search. *)
+    let seen = Array.make view.n false in
+    let rec chase u =
+      if u < 0 || parent.(u) < 0 then None
+      else if seen.(u) then Some u
+      else begin
+        seen.(u) <- true;
+        chase view.src.(parent.(u))
+      end
+    in
+    match chase v with
+    | None -> None
+    | Some entry ->
+      let rec collect u acc =
+        let a = parent.(u) in
+        let s = view.src.(a) in
+        if s = entry then a :: acc else collect s (a :: acc)
+      in
+      Some (collect entry [])
+  in
+  let found = ref None in
+  while !found = None && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    let relax a =
+      let v = view.dst.(a) in
+      let nd = d.(u) + cost a in
+      if nd > d.(v) then begin
+        d.(v) <- nd;
+        parent.(v) <- a;
+        len.(v) <- len.(u) + 1;
+        let detected =
+          if len.(v) >= view.n then begin
+            match extract_cycle v with
+            | Some arcs ->
+              found := Some arcs;
+              true
+            | None ->
+              len.(v) <- 0;
+              false
+          end
+          else false
+        in
+        if (not detected) && not in_queue.(v) then begin
+          in_queue.(v) <- true;
+          Queue.add v queue
+        end
+      end
+    in
+    if !found = None then List.iter relax view.out_arcs.(u)
+  done;
+  !found
+
+let exact_ratio view arcs =
+  let wsum = List.fold_left (fun acc a -> acc + view.w.(a)) 0 arcs in
+  let tsum = List.fold_left (fun acc a -> acc + view.t.(a)) 0 arcs in
+  (* Liveness was established beforehand, so every cycle carries a token. *)
+  assert (tsum > 0);
+  Ratio.make wsum tsum
+
+let rec certify view ratio cycle_arcs rounds =
+  match find_positive_cycle view ratio with
+  | None -> (ratio, cycle_arcs, rounds)
+  | Some arcs -> certify view (exact_ratio view arcs) arcs (rounds + 1)
+
+(* ------------------------------------------------------------------ *)
+
+let cycle_time tmg =
+  match Liveness.find_dead_cycle tmg with
+  | Some dead -> Error (Deadlock dead)
+  | None ->
+    let view = view_of_tmg tmg in
+    let g = Tmg.graph tmg in
+    let scc = Scc.compute g in
+    let in_scc = Array.make view.m false in
+    for a = 0 to view.m - 1 do
+      in_scc.(a) <- scc.component.(view.src.(a)) = scc.component.(view.dst.(a))
+    done;
+    let comps = Scc.components scc in
+    (* Only components containing at least one internal arc have cycles. *)
+    let cyclic =
+      Array.to_list comps
+      |> List.filter (fun members ->
+             List.exists
+               (fun u -> List.exists (fun a -> in_scc.(a)) view.out_arcs.(u))
+               members)
+    in
+    if cyclic = [] then Error No_cycle
+    else begin
+      let best = ref None and iters = ref 0 in
+      let run members =
+        (* Restrict to vertices that have an internal out-arc companion: in a
+           cyclic SCC every member does. *)
+        let r, cyc, rounds = howard_scc view members in_scc in
+        iters := !iters + rounds;
+        match !best with
+        | None -> best := Some (r, cyc)
+        | Some (r0, _) -> if Ratio.(r > r0) then best := Some (r, cyc)
+      in
+      List.iter run cyclic;
+      match !best with
+      | None -> assert false
+      | Some (ratio, cycle_vertices) ->
+        (* Recover the policy arcs of the winning cycle: consecutive cycle
+           vertices are joined by the arc the policy chose; we stored only the
+           vertices, so rebuild by scanning out-arcs for the successor. That
+           is ambiguous with parallel arcs, so instead recompute via the exact
+           certification below, seeded with any concrete arc list. *)
+        let seed_arcs =
+          let arr = Array.of_list cycle_vertices in
+          let k = Array.length arr in
+          List.init k (fun i ->
+              let u = arr.(i) and v = arr.((i + 1) mod k) in
+              (* Choose the best (max reduced weight) parallel arc. *)
+              let candidates =
+                List.filter (fun a -> view.dst.(a) = v) view.out_arcs.(u)
+              in
+              match candidates with
+              | [] -> assert false
+              | first :: rest ->
+                let better a b =
+                  (* Prefer larger w and smaller t; compare w*den - t*num. *)
+                  let score a =
+                    (view.w.(a) * Ratio.den ratio) - (view.t.(a) * Ratio.num ratio)
+                  in
+                  if score a >= score b then a else b
+                in
+                List.fold_left better first rest)
+        in
+        let seed_ratio = exact_ratio view seed_arcs in
+        (* The seed arcs pick, between consecutive cycle vertices, the arc of
+           maximal reduced weight, so their ratio dominates the policy
+           cycle's. *)
+        assert (Ratio.(seed_ratio >= ratio));
+        let final_ratio, final_arcs, cancels = certify view seed_ratio seed_arcs 0 in
+        Ok
+          {
+            cycle_time = final_ratio;
+            critical_places = final_arcs;
+            critical_transitions = List.map (fun a -> view.dst.(a)) final_arcs;
+            howard_iterations = !iters;
+            cancel_iterations = cancels;
+          }
+    end

@@ -1,0 +1,42 @@
+(** Cycle-time analysis of timed marked graphs (paper §3).
+
+    The cycle time of a strongly connected TMG is the reciprocal of the
+    minimum cycle mean (Definition 3): equivalently, the {e maximum cycle
+    ratio} over all directed cycles [C] of [delay(C) / tokens(C)]. Its
+    reciprocal is the steady-state throughput. A cycle attaining the maximum
+    is a {e critical cycle}.
+
+    The implementation follows the paper's choice of Howard's policy-iteration
+    algorithm (Cochet-Terrasson et al., 1998), run per strongly connected
+    component with floating-point values, and then {e certifies the result
+    exactly}: the candidate ratio [p/q] from the final policy is verified by
+    searching for a cycle of positive reduced cost [q*delay - p*tokens]
+    (Bellman-Ford with cycle extraction). Any positive cycle found has a
+    strictly larger ratio and replaces the candidate, so the returned value is
+    the exact maximum regardless of floating-point behaviour, and the
+    procedure terminates because cycle ratios form a finite set. *)
+
+type result = {
+  cycle_time : Ratio.t;  (** max over cycles of (sum of delays / sum of tokens) *)
+  critical_places : Tmg.place list;
+      (** one critical cycle, as its places in arc order *)
+  critical_transitions : Tmg.transition list;
+      (** the same cycle, as the consumer transition of each place *)
+  howard_iterations : int;  (** policy-improvement rounds (all components) *)
+  cancel_iterations : int;
+      (** exact-verification rounds that improved the candidate (0 when the
+          policy iteration already converged to the optimum) *)
+}
+
+type error =
+  | Deadlock of Liveness.dead_cycle
+      (** a token-free cycle exists: the cycle time is unbounded *)
+  | No_cycle  (** the graph is acyclic: no steady-state constraint *)
+
+val cycle_time : Tmg.t -> (result, error) Stdlib.result
+(** [cycle_time tmg] computes the exact cycle time and a critical cycle.
+    Works on arbitrary (not necessarily strongly connected) nets by taking the
+    worst component. *)
+
+val throughput : result -> Ratio.t
+(** Reciprocal of the cycle time. *)

@@ -1,0 +1,89 @@
+module Digraph = Ermes_digraph.Digraph
+module Scc = Ermes_digraph.Scc
+
+(* Karp on one SCC. [members] are the component's vertices; arcs are the
+   component-internal arcs. *)
+let karp_scc g members in_scc =
+  let n = List.length members in
+  (* Dense re-indexing of the component's vertices. *)
+  let index = Hashtbl.create n in
+  List.iteri (fun i v -> Hashtbl.add index v i) members;
+  let arcs =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun a ->
+            if in_scc a then
+              Some (Hashtbl.find index v, Hashtbl.find index (Digraph.arc_dst g a), Digraph.arc_label g a)
+            else None)
+          (Digraph.out_arcs g v))
+      members
+  in
+  if arcs = [] then None
+  else begin
+    (* d.(k).(v) = max weight of a k-arc walk from the root ending at v.
+       Walks start anywhere: emulate with a virtual root connected to every
+       vertex by a 0-weight arc, i.e. d.(0).(v) = 0 for all v. *)
+    let neg = min_int / 4 in
+    let d = Array.make_matrix (n + 1) n neg in
+    Array.fill d.(0) 0 n 0;
+    for k = 1 to n do
+      let dk = d.(k) and dk1 = d.(k - 1) in
+      List.iter
+        (fun (u, v, w) -> if dk1.(u) > neg && dk1.(u) + w > dk.(v) then dk.(v) <- dk1.(u) + w)
+        arcs
+    done;
+    (* lambda* = max_v min_k (d_n(v) - d_k(v)) / (n - k), over v with a
+       defined n-arc walk. *)
+    let best = ref None in
+    for v = 0 to n - 1 do
+      if d.(n).(v) > neg then begin
+        let vmin = ref None in
+        for k = 0 to n - 1 do
+          if d.(k).(v) > neg then begin
+            let r = Ratio.make (d.(n).(v) - d.(k).(v)) (n - k) in
+            match !vmin with
+            | None -> vmin := Some r
+            | Some r0 -> if Ratio.(r < r0) then vmin := Some r
+          end
+        done;
+        match (!vmin, !best) with
+        | Some r, None -> best := Some r
+        | Some r, Some b -> if Ratio.(r > b) then best := Some r
+        | None, _ -> ()
+      end
+    done;
+    !best
+  end
+
+let max_cycle_mean g =
+  let scc = Scc.compute g in
+  let in_scc a = scc.component.(Digraph.arc_src g a) = scc.component.(Digraph.arc_dst g a) in
+  let comps = Scc.components scc in
+  Array.fold_left
+    (fun best members ->
+      match karp_scc g members in_scc with
+      | None -> best
+      | Some r -> (
+        match best with
+        | None -> Some r
+        | Some b -> Some (Ratio.max r b)))
+    None comps
+
+let of_unit_tmg tmg =
+  List.iter
+    (fun p ->
+      if Tmg.tokens tmg p <> 1 then
+        invalid_arg "Karp.of_unit_tmg: every place must hold exactly one token")
+    (Tmg.places tmg);
+  (* Weight each place-arc by the delay of its consumer transition, matching
+     the convention of Howard's view. *)
+  let g = Digraph.create () in
+  List.iter (fun _ -> ignore (Digraph.add_vertex g ())) (Tmg.transitions tmg);
+  List.iter
+    (fun p ->
+      ignore
+        (Digraph.add_arc g ~src:(Tmg.place_src tmg p) ~dst:(Tmg.place_dst tmg p)
+           (Tmg.delay tmg (Tmg.place_dst tmg p))))
+    (Tmg.places tmg);
+  max_cycle_mean g

@@ -1,0 +1,126 @@
+type error = Deadlock | No_cycle
+
+(* Arc view: weight = delay of the consumer transition, tokens = marking. *)
+type view = {
+  n : int;
+  src : int array;
+  dst : int array;
+  w : int array;
+  t : int array;
+  out_arcs : int list array;
+}
+
+let view_of_tmg tmg =
+  let n = Tmg.transition_count tmg and m = Tmg.place_count tmg in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let w = Array.make m 0 and t = Array.make m 0 in
+  let out_arcs = Array.make n [] in
+  List.iter
+    (fun p ->
+      src.(p) <- Tmg.place_src tmg p;
+      dst.(p) <- Tmg.place_dst tmg p;
+      w.(p) <- Tmg.delay tmg dst.(p);
+      t.(p) <- Tmg.tokens tmg p)
+    (Tmg.places tmg);
+  for p = m - 1 downto 0 do
+    out_arcs.(src.(p)) <- p :: out_arcs.(src.(p))
+  done;
+  { n; src; dst; w; t; out_arcs }
+
+(* Bellman-Ford longest-path feasibility probe with float reduced costs
+   w - lambda*t: returns a positive cycle's arcs if one exists. Classic
+   n-rounds-then-extract formulation. *)
+let positive_cycle_float view lambda =
+  let cost a = float_of_int view.w.(a) -. (lambda *. float_of_int view.t.(a)) in
+  let d = Array.make view.n 0. in
+  let parent = Array.make view.n (-1) in
+  let changed = ref true in
+  let last_updated = ref (-1) in
+  let rounds = ref 0 in
+  while !changed && !rounds <= view.n do
+    changed := false;
+    incr rounds;
+    Array.iteri
+      (fun u arcs ->
+        List.iter
+          (fun a ->
+            let v = view.dst.(a) in
+            let nd = d.(u) +. cost a in
+            if nd > d.(v) +. 1e-12 then begin
+              d.(v) <- nd;
+              parent.(v) <- a;
+              changed := true;
+              last_updated := v
+            end)
+          arcs)
+      view.out_arcs
+  done;
+  if not !changed then None
+  else begin
+    (* A vertex updated after n full rounds: walking its parent chain n steps
+       lands inside a positive cycle (textbook Bellman-Ford argument). *)
+    let u = ref !last_updated in
+    for _ = 1 to view.n do
+      if parent.(!u) >= 0 then u := view.src.(parent.(!u))
+    done;
+    (* Collect the cycle with visit marks from the landing vertex. *)
+    let seen = Array.make view.n false in
+    let rec chase v = if seen.(v) || parent.(v) < 0 then v else begin seen.(v) <- true; chase view.src.(parent.(v)) end in
+    let entry = chase !u in
+    if parent.(entry) < 0 then None
+    else begin
+      let rec collect v acc =
+        let a = parent.(v) in
+        let s = view.src.(a) in
+        if s = entry then Some (a :: acc) else collect s (a :: acc)
+      in
+      collect entry []
+    end
+  end
+
+let exact_ratio view arcs =
+  let wsum = List.fold_left (fun acc a -> acc + view.w.(a)) 0 arcs in
+  let tsum = List.fold_left (fun acc a -> acc + view.t.(a)) 0 arcs in
+  if tsum = 0 then None else Some (Ratio.make wsum tsum)
+
+let cycle_time tmg =
+  match Liveness.find_dead_cycle tmg with
+  | Some _ -> Error Deadlock
+  | None ->
+    let view = view_of_tmg tmg in
+    (* Initial feasibility at lambda = 0 finds some cycle (or none at all). *)
+    (match positive_cycle_float view (-1.) with
+     | None -> Error No_cycle
+     | Some seed ->
+       let best = ref (Option.get (exact_ratio view seed), seed) in
+       (* Float binary search: lo always feasible (a cycle of ratio > lo
+          exists is false at the optimum... invariant: [lo] is the best
+          exact ratio seen; [hi] an infeasible upper bound). *)
+       let hi = ref (1. +. Array.fold_left (fun acc w -> acc +. float_of_int w) 0. view.w) in
+       let lo = ref (Ratio.to_float (fst !best)) in
+       for _ = 1 to 60 do
+         let mid = 0.5 *. (!lo +. !hi) in
+         match positive_cycle_float view mid with
+         | Some arcs ->
+           (match exact_ratio view arcs with
+            | Some r ->
+              if Ratio.(r > fst !best) then best := (r, arcs);
+              lo := Float.max mid (Ratio.to_float r)
+            | None -> lo := mid)
+         | None -> hi := mid
+       done;
+       (* Exactness pass: keep cancelling positive cycles at the current best
+          exact ratio until none remains. *)
+       let rec certify () =
+         let r, _ = !best in
+         match positive_cycle_float view (Ratio.to_float r +. 1e-12) with
+         | None -> ()
+         | Some arcs -> (
+           match exact_ratio view arcs with
+           | Some r' when Ratio.(r' > r) ->
+             best := (r', arcs);
+             certify ()
+           | Some _ | None -> ())
+       in
+       certify ();
+       Ok !best)

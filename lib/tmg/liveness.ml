@@ -1,0 +1,49 @@
+module Digraph = Ermes_digraph.Digraph
+module Traversal = Ermes_digraph.Traversal
+
+type dead_cycle = {
+  dead_transitions : Tmg.transition list;
+  dead_places : Tmg.place list;
+}
+
+(* The subgraph kept below contains only token-free places, so any cycle in it
+   is a token-free cycle of the original net. Arc labels remember the original
+   place ids so the cycle can be reported in terms of places. *)
+let empty_subgraph tmg =
+  let sub = Digraph.create () in
+  List.iter (fun _ -> ignore (Digraph.add_vertex sub ())) (Tmg.transitions tmg);
+  List.iter
+    (fun p ->
+      if Tmg.tokens tmg p = 0 then
+        ignore
+          (Digraph.add_arc sub ~src:(Tmg.place_src tmg p) ~dst:(Tmg.place_dst tmg p) p))
+    (Tmg.places tmg);
+  sub
+
+let find_dead_cycle tmg =
+  let sub = empty_subgraph tmg in
+  match Traversal.topological_sort sub with
+  | Ok _ -> None
+  | Error cycle ->
+    let n = List.length cycle in
+    let arr = Array.of_list cycle in
+    let place_between i =
+      let u = arr.(i) and v = arr.((i + 1) mod n) in
+      match Digraph.find_arc sub ~src:u ~dst:v with
+      | Some a -> Digraph.arc_label sub a
+      | None -> assert false
+    in
+    let dead_places = List.init n place_between in
+    Some { dead_transitions = cycle; dead_places }
+
+let is_live tmg = find_dead_cycle tmg = None
+
+let pp_dead_cycle tmg ppf { dead_transitions; dead_places } =
+  Format.fprintf ppf "@[<v>token-free cycle (%d transitions):@,"
+    (List.length dead_transitions);
+  List.iter2
+    (fun t p ->
+      Format.fprintf ppf "  %s --[%s]--> @," (Tmg.transition_name tmg t)
+        (Tmg.place_name tmg p))
+    dead_transitions dead_places;
+  Format.fprintf ppf "@]"

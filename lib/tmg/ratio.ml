@@ -1,0 +1,41 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then invalid_arg "Ratio.make: zero denominator";
+  let sign = if den < 0 then -1 else 1 in
+  let num = sign * num and den = sign * den in
+  let g = gcd (abs num) den in
+  if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = { num = 0; den = 1 }
+let num r = r.num
+let den r = r.den
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b = if b.num = 0 then raise Division_by_zero else make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let inv a = if a.num = 0 then raise Division_by_zero else make a.den a.num
+
+let to_float r = float_of_int r.num /. float_of_int r.den
+
+let pp ppf r =
+  if r.den = 1 then Format.fprintf ppf "%d" r.num
+  else Format.fprintf ppf "%d/%d" r.num r.den
+
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,43 @@
+(** Exact non-negative rationals over native ints.
+
+    Cycle times are ratios of integer delay sums to integer token counts;
+    comparing them with floats invites epsilon bugs, so all cycle-metric
+    comparisons go through this module (cross-multiplication, normalized
+    representation). Magnitudes stay far below 2{^62} for every workload in
+    this project (delays ≤ ~10{^6}, token counts ≤ ~10{^5}). *)
+
+type t = private { num : int; den : int }
+(** Normalized: [den > 0], [gcd num den = 1] (and [0/1] for zero). *)
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val num : t -> int
+val den : t -> int
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val to_float : t -> float
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,89 @@
+module Digraph = Ermes_digraph.Digraph
+module Scc = Ermes_digraph.Scc
+module Dot = Ermes_digraph.Dot
+
+type transition = Digraph.vertex
+type place = Digraph.arc
+
+type trans_info = { tname : string; tdelay : int }
+type place_info = { pname : string; mutable ptokens : int }
+
+type t = { g : (trans_info, place_info) Digraph.t }
+
+let create () = { g = Digraph.create () }
+
+let add_transition tmg ?name ~delay () =
+  if delay < 0 then invalid_arg "Tmg.add_transition: negative delay";
+  let id = Digraph.vertex_count tmg.g in
+  let tname = match name with Some n -> n | None -> Printf.sprintf "t%d" id in
+  Digraph.add_vertex tmg.g { tname; tdelay = delay }
+
+let add_place tmg ?name ~src ~dst ~tokens () =
+  if tokens < 0 then invalid_arg "Tmg.add_place: negative marking";
+  let id = Digraph.arc_count tmg.g in
+  let pname = match name with Some n -> n | None -> Printf.sprintf "p%d" id in
+  Digraph.add_arc tmg.g ~src ~dst { pname; ptokens = tokens }
+
+let transition_count tmg = Digraph.vertex_count tmg.g
+let place_count tmg = Digraph.arc_count tmg.g
+
+let delay tmg t = (Digraph.vertex_label tmg.g t).tdelay
+let transition_name tmg t = (Digraph.vertex_label tmg.g t).tname
+
+let tokens tmg p = (Digraph.arc_label tmg.g p).ptokens
+
+let set_tokens tmg p n =
+  if n < 0 then invalid_arg "Tmg.set_tokens: negative marking";
+  (Digraph.arc_label tmg.g p).ptokens <- n
+
+let place_name tmg p = (Digraph.arc_label tmg.g p).pname
+let place_src tmg p = Digraph.arc_src tmg.g p
+let place_dst tmg p = Digraph.arc_dst tmg.g p
+
+let in_places tmg t = Digraph.in_arcs tmg.g t
+let out_places tmg t = Digraph.out_arcs tmg.g t
+let transitions tmg = Digraph.vertices tmg.g
+let places tmg = Digraph.arcs tmg.g
+
+let total_tokens tmg = List.fold_left (fun acc p -> acc + tokens tmg p) 0 (places tmg)
+let cycle_tokens tmg ps = List.fold_left (fun acc p -> acc + tokens tmg p) 0 ps
+let cycle_delay tmg ps = List.fold_left (fun acc p -> acc + delay tmg (place_dst tmg p)) 0 ps
+
+let cycle_ratio tmg ps =
+  let toks = cycle_tokens tmg ps in
+  if toks = 0 then None else Some (Ratio.make (cycle_delay tmg ps) toks)
+
+let graph tmg =
+  Digraph.map_labels
+    ~vertex:(fun { tname; tdelay } -> (tname, tdelay))
+    ~arc:(fun { pname; ptokens } -> (pname, ptokens))
+    tmg.g
+
+let is_strongly_connected tmg = Scc.is_strongly_connected tmg.g
+
+let pp ppf tmg =
+  Format.fprintf ppf "@[<v>tmg: %d transitions, %d places@," (transition_count tmg)
+    (place_count tmg);
+  List.iter
+    (fun t ->
+      Format.fprintf ppf "  transition %s (delay %d)@," (transition_name tmg t)
+        (delay tmg t))
+    (transitions tmg);
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  place %s: %s -> %s (tokens %d)@," (place_name tmg p)
+        (transition_name tmg (place_src tmg p))
+        (transition_name tmg (place_dst tmg p))
+        (tokens tmg p))
+    (places tmg);
+  Format.fprintf ppf "@]"
+
+let to_dot tmg =
+  let vertex_name t = transition_name tmg t in
+  let vertex_attrs t =
+    [ ("shape", "box"); ("label", Printf.sprintf "%s / d=%d" (transition_name tmg t) (delay tmg t)) ]
+  in
+  let arc_attrs p =
+    [ ("label", Printf.sprintf "%s (%d)" (place_name tmg p) (tokens tmg p)) ]
+  in
+  Dot.to_string ~name:"tmg" ~vertex_attrs ~arc_attrs ~vertex_name tmg.g

@@ -1,0 +1,60 @@
+type t = {
+  net : Tmg.t;
+  tokens : int array;  (* per place *)
+  initial : int array;
+  fired : int array;  (* per transition *)
+}
+
+let start net =
+  let tokens = Array.of_list (List.map (Tmg.tokens net) (Tmg.places net)) in
+  {
+    net;
+    tokens;
+    initial = Array.copy tokens;
+    fired = Array.make (Tmg.transition_count net) 0;
+  }
+
+let marking g = Array.copy g.tokens
+
+let fire_counts g = Array.copy g.fired
+
+let enabled g t = List.for_all (fun p -> g.tokens.(p) > 0) (Tmg.in_places g.net t)
+
+let enabled_transitions g = List.filter (enabled g) (Tmg.transitions g.net)
+
+let fire g t =
+  if not (enabled g t) then
+    invalid_arg
+      (Printf.sprintf "Token_game.fire: %s is not enabled" (Tmg.transition_name g.net t));
+  List.iter (fun p -> g.tokens.(p) <- g.tokens.(p) - 1) (Tmg.in_places g.net t);
+  List.iter (fun p -> g.tokens.(p) <- g.tokens.(p) + 1) (Tmg.out_places g.net t);
+  g.fired.(t) <- g.fired.(t) + 1
+
+let fire_any g =
+  match enabled_transitions g with
+  | [] -> None
+  | t :: _ ->
+    fire g t;
+    Some t
+
+let run_round g =
+  (* Fire each transition exactly once; keep sweeping for newly enabled ones
+     until the round completes or no progress is possible. *)
+  let pending = Array.make (Tmg.transition_count g.net) true in
+  let remaining = ref (Tmg.transition_count g.net) in
+  let progress = ref true in
+  while !remaining > 0 && !progress do
+    progress := false;
+    List.iter
+      (fun t ->
+        if pending.(t) && enabled g t then begin
+          fire g t;
+          pending.(t) <- false;
+          decr remaining;
+          progress := true
+        end)
+      (Tmg.transitions g.net)
+  done;
+  !remaining = 0
+
+let at_initial_marking g = g.tokens = g.initial

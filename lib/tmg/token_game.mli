@@ -1,0 +1,48 @@
+(** The (untimed) token game on a marked graph.
+
+    Executes firings on a mutable marking, independently of any timing — the
+    semantics under which the paper states its structural facts (§3):
+
+    - "While the firing activity may change the overall number of tokens in
+      a TMG, the number of tokens that are present on a cycle is invariant
+      under any firing sequence."
+    - "If G is strongly connected, then a firing sequence eventually leads G
+      back to the initial marking M0 after firing every transition an equal
+      number of times."
+
+    Both are property-tested through this module. *)
+
+type t
+
+val start : Tmg.t -> t
+(** A fresh game at the net's initial marking. The net's stored marking is
+    not modified — the game keeps its own copy. *)
+
+val marking : t -> int array
+(** Current tokens per place (a copy). *)
+
+val fire_counts : t -> int array
+(** Firings per transition since {!start}. *)
+
+val enabled : t -> Tmg.transition -> bool
+(** All input places hold at least one token. *)
+
+val enabled_transitions : t -> Tmg.transition list
+
+val fire : t -> Tmg.transition -> unit
+(** Consume one token from each input place, add one to each output place.
+    @raise Invalid_argument if the transition is not enabled. *)
+
+val fire_any : t -> Tmg.transition option
+(** Fire the lowest-numbered enabled transition, if any; [None] means the
+    marking is dead. *)
+
+val run_round : t -> bool
+(** Fire every transition once, in an order determined by repeated
+    {!fire_any}-style sweeps (possible exactly when the net is live and every
+    transition can fire). Returns false (leaving a partial round fired) if it
+    gets stuck. For a live strongly connected marked graph a full round
+    returns the marking to its starting point — the paper's reproduction
+    property. *)
+
+val at_initial_marking : t -> bool

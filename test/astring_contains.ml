@@ -1,0 +1,5 @@
+(* Substring search helper for tests (the stdlib has none). *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0

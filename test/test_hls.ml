@@ -1,0 +1,341 @@
+module Op = Ermes_hls.Op
+module Behavior = Ermes_hls.Behavior
+module Schedule = Ermes_hls.Schedule
+module Design = Ermes_hls.Design
+
+(* ---- op ------------------------------------------------------------------ *)
+
+let test_op_tables () =
+  List.iter
+    (fun cls ->
+      Alcotest.(check bool) "positive delay" true (Op.delay cls > 0);
+      Alcotest.(check bool) "positive area" true (Op.unit_area cls > 0.);
+      Alcotest.(check bool) "occupancy consistent" true
+        (if Op.pipelined_unit cls then Op.occupancy cls = 1
+         else Op.occupancy cls = Op.delay cls))
+    Op.all
+
+(* ---- behavior ------------------------------------------------------------ *)
+
+let test_behavior_validation () =
+  Alcotest.check_raises "bad trip" (Invalid_argument "Behavior.loop: trip must be >= 1")
+    (fun () -> ignore (Behavior.loop ~label:"l" ~trip:0 [||]));
+  Alcotest.check_raises "forward dep"
+    (Invalid_argument "Behavior.loop l: op 0 depends on 0 (must be < 0)") (fun () ->
+      ignore (Behavior.loop ~label:"l" ~trip:1 [| Op.op ~deps:[ 0 ] Op.Add |]))
+
+let simple_body =
+  [| Op.op Op.Mem; Op.op ~deps:[ 0 ] Op.Mul; Op.op ~deps:[ 1 ] Op.Add; Op.op ~deps:[ 2 ] Op.Mem |]
+
+let test_behavior_metrics () =
+  let b = Behavior.make "b" [ Behavior.loop ~label:"l" ~trip:10 simple_body ] in
+  Alcotest.(check int) "op count" 40 (Behavior.op_count b);
+  Alcotest.(check int) "class count mem" 2 (Behavior.class_count (List.hd b.Behavior.loops) Op.Mem);
+  Alcotest.(check bool) "used classes" true
+    (Behavior.used_classes b = [ Op.Add; Op.Mul; Op.Mem ]);
+  (* Chain: mem(2) -> mul(3) -> add(1) -> mem(2) = 8. *)
+  Alcotest.(check int) "critical path" 8 (Behavior.body_critical_path (List.hd b.Behavior.loops))
+
+(* ---- schedule ------------------------------------------------------------ *)
+
+let full_alloc = [ (Op.Add, 8); (Op.Mul, 8); (Op.Div, 8); (Op.Mem, 8); (Op.Logic, 8); (Op.Cmp, 8) ]
+
+let test_schedule_chain_is_critical_path () =
+  (* With unlimited units, list scheduling achieves the critical path. *)
+  Alcotest.(check int) "latency = cp" 8 (Schedule.latency simple_body full_alloc)
+
+let test_schedule_resource_serialization () =
+  (* Four independent multiplies on one non-shared... one multiplier: the
+     unit is pipelined, so they issue back to back: latency 3 + 3 = 6? Each
+     issues one cycle apart: starts 0,1,2,3, finishes 3,4,5,6. *)
+  let body = Array.init 4 (fun _ -> Op.op Op.Mul) in
+  Alcotest.(check int) "pipelined unit" 6 (Schedule.latency body [ (Op.Mul, 1) ]);
+  Alcotest.(check int) "two units" 4 (Schedule.latency body [ (Op.Mul, 2) ]);
+  Alcotest.(check int) "four units" 3 (Schedule.latency body [ (Op.Mul, 4) ])
+
+let test_schedule_divider_not_pipelined () =
+  let body = Array.init 2 (fun _ -> Op.op Op.Div) in
+  (* One divider, occupancy 16: second op starts at 16. *)
+  Alcotest.(check int) "serial divs" 32 (Schedule.latency body [ (Op.Div, 1) ]);
+  Alcotest.(check int) "parallel divs" 16 (Schedule.latency body [ (Op.Div, 2) ])
+
+let test_schedule_missing_unit () =
+  Alcotest.check_raises "no unit" (Invalid_argument "Schedule: class mul used but has no unit")
+    (fun () -> ignore (Schedule.latency [| Op.op Op.Mul |] [ (Op.Add, 1) ]))
+
+let test_schedule_empty () =
+  Alcotest.(check int) "empty body" 0 (Schedule.latency [||] [])
+
+let test_min_ii () =
+  let body = Array.init 6 (fun _ -> Op.op Op.Add) in
+  Alcotest.(check int) "6 adds 2 units" 3 (Schedule.resource_min_ii body [ (Op.Add, 2) ]);
+  let body = Array.init 2 (fun _ -> Op.op Op.Div) in
+  Alcotest.(check int) "divider occupancy counts" 32 (Schedule.resource_min_ii body [ (Op.Div, 1) ])
+
+let test_unroll () =
+  let u = Schedule.unroll_body simple_body 3 in
+  Alcotest.(check int) "size" 12 (Array.length u);
+  (* Copy 2's second op depends on copy 2's first. *)
+  Alcotest.(check (list int)) "offset deps" [ 8 ] u.(9).Op.deps
+
+(* Property: scheduling respects dependencies and resource bounds. *)
+let body_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 20 in
+    let* classes = list_repeat n (int_range 0 5) in
+    let* dep_draws = list_repeat n (list_size (int_range 0 2) (int_range 0 100)) in
+    let* units = list_repeat 6 (int_range 1 3) in
+    return (classes, dep_draws, units))
+
+let build_body classes dep_draws =
+  let cls_of i = List.nth Op.all i in
+  Array.of_list
+    (List.mapi
+       (fun i (c, draws) ->
+         let deps = if i = 0 then [] else List.sort_uniq compare (List.map (fun d -> d mod i) draws) in
+         Op.op ~deps (cls_of c))
+       (List.combine classes dep_draws))
+
+let prop_schedule_valid =
+  Helpers.qtest ~count:300 "schedules respect dependencies and unit counts"
+    body_gen (fun (classes, dep_draws, units) ->
+      let body = build_body classes dep_draws in
+      let alloc = List.combine Op.all units in
+      let finish = Schedule.schedule body alloc in
+      let starts = Array.mapi (fun i f -> f - Op.delay body.(i).Op.cls) finish in
+      (* Dependencies: start >= finish of every dep. *)
+      let deps_ok =
+        Array.for_all Fun.id
+          (Array.mapi
+             (fun i (o : Op.t) -> List.for_all (fun d -> starts.(i) >= finish.(d)) o.deps)
+             body)
+      in
+      (* Resources: at any time, ops occupying a class <= units. *)
+      let horizon = Array.fold_left max 0 finish in
+      let resources_ok = ref true in
+      List.iter
+        (fun (cls, u) ->
+          for t = 0 to horizon do
+            let busy = ref 0 in
+            Array.iteri
+              (fun i (o : Op.t) ->
+                if o.Op.cls = cls && starts.(i) <= t && t < starts.(i) + Op.occupancy cls
+                then incr busy)
+              body;
+            if !busy > u then resources_ok := false
+          done)
+        alloc;
+      deps_ok && !resources_ok)
+
+let prop_more_units_never_slower =
+  Helpers.qtest ~count:200 "doubling every unit count never increases latency"
+    body_gen (fun (classes, dep_draws, units) ->
+      let body = build_body classes dep_draws in
+      let alloc = List.combine Op.all units in
+      let alloc2 = List.map (fun (c, u) -> (c, 2 * u)) alloc in
+      Schedule.latency body alloc2 <= Schedule.latency body alloc)
+
+(* ---- design -------------------------------------------------------------- *)
+
+let behavior =
+  Behavior.make "test"
+    [
+      Behavior.loop ~label:"main" ~trip:64 simple_body;
+      Behavior.loop ~label:"acc" ~trip:16 ~recurrence:2
+        [| Op.op Op.Mem; Op.op ~deps:[ 0 ] Op.Add |];
+    ]
+
+let test_design_evaluate_monotone_unroll () =
+  let point u =
+    Design.evaluate behavior { Design.unroll = u; pipelined = true; sharing = Design.Full; banking = 1 }
+  in
+  (* With full allocation and pipelining, more unrolling never hurts. *)
+  Alcotest.(check bool) "u2 <= u1" true ((point 2).Design.latency <= (point 1).Design.latency);
+  Alcotest.(check bool) "u4 <= u2" true ((point 4).Design.latency <= (point 2).Design.latency)
+
+let test_design_pipelining_helps () =
+  let lat pipelined =
+    (Design.evaluate behavior { Design.unroll = 1; pipelined; sharing = Design.Half; banking = 1 }).Design.latency
+  in
+  Alcotest.(check bool) "pipelined faster" true (lat true < lat false)
+
+let test_design_recurrence_floors_ii () =
+  (* The accumulator loop cannot beat trip * recurrence cycles. *)
+  let p = Design.evaluate behavior { Design.unroll = 8; pipelined = true; sharing = Design.Full; banking = 1 } in
+  Alcotest.(check bool) "recurrence floor" true (p.Design.latency >= 16 * 2)
+
+let test_design_sharing_tradeoff () =
+  let p sharing =
+    Design.evaluate behavior { Design.unroll = 4; pipelined = true; sharing; banking = 1 }
+  in
+  Alcotest.(check bool) "minimal smaller" true
+    ((p Design.Minimal).Design.area < (p Design.Full).Design.area);
+  Alcotest.(check bool) "minimal slower or equal" true
+    ((p Design.Minimal).Design.latency >= (p Design.Full).Design.latency)
+
+let test_allocation_minimums () =
+  (* Minimal sharing still grants one unit per used class. *)
+  let alloc = Design.allocation_for behavior ~unroll:1 Design.Minimal in
+  List.iter (fun (_, u) -> Alcotest.(check bool) "at least one unit" true (u >= 1)) alloc;
+  (* Full sharing never exceeds the peak demand. *)
+  let full = Design.allocation_for behavior ~unroll:2 Design.Full in
+  List.iter (fun (_, u) -> Alcotest.(check bool) "bounded by peak" true (u <= 128)) full
+
+let test_latency_critical_path_bound () =
+  (* No knob setting beats the dependence-chain lower bound of a single
+     iteration. *)
+  let l = List.hd behavior.Behavior.loops in
+  let cp = Behavior.body_critical_path l in
+  List.iter
+    (fun p -> Alcotest.(check bool) "latency >= body critical path" true (p.Design.latency >= cp))
+    (Design.sweep behavior)
+
+let test_pareto_properties () =
+  let frontier = Design.pareto_frontier behavior in
+  Alcotest.(check bool) "non-empty" true (frontier <> []);
+  (* Sorted by latency, area strictly decreasing. *)
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "latency increases" true (a.Design.latency < b.Design.latency);
+      Alcotest.(check bool) "area decreases" true (a.Design.area > b.Design.area);
+      check rest
+    | _ -> ()
+  in
+  check frontier;
+  (* No sweep point dominates a frontier point. *)
+  let sweep = Design.sweep behavior in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "frontier not dominated" false
+            (s.Design.latency <= f.Design.latency && s.Design.area < f.Design.area))
+        sweep)
+    frontier
+
+(* ---- memory -------------------------------------------------------------- *)
+
+module Memory = Ermes_hls.Memory
+
+let test_memory_model () =
+  (match Memory.validate { Memory.words = 0; banks = 1 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "accepted zero words");
+  (match Memory.validate { Memory.words = 64; banks = 3 } with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "accepted non-power-of-two banks");
+  Alcotest.(check int) "ports = banks" 4 (Memory.ports { Memory.words = 256; banks = 4 });
+  (* More banks cost more area for the same capacity. *)
+  let a1 = Memory.area { Memory.words = 1024; banks = 1 } in
+  let a4 = Memory.area { Memory.words = 1024; banks = 4 } in
+  let a8 = Memory.area { Memory.words = 1024; banks = 8 } in
+  Alcotest.(check bool) "banking costs area" true (a1 < a4 && a4 < a8);
+  (* The crossbar makes the cost superlinear in ports. *)
+  Alcotest.(check bool) "superlinear" true (a8 -. a4 > a4 -. a1);
+  Alcotest.(check int) "sweep caps small memories" 2
+    (List.length (Memory.sweep ~words:32));
+  (* Multi-porting scales badly; banking delivers ports much cheaper (SS7). *)
+  let mp n = Memory.multiport_area ~words:4096 ~ports:n in
+  Alcotest.(check bool) "multiport grows" true (mp 2 > mp 1 && mp 4 > mp 2);
+  Alcotest.(check bool) "banking beats multiport at 4 ports" true
+    (Memory.area { Memory.words = 4096; banks = 4 } < mp 4)
+
+let memory_behavior =
+  (* A memory-bound kernel: 8 parallel loads + stores per iteration. *)
+  Behavior.make ~local_words:4096 "memcpyish"
+    [ Behavior.loop ~label:"copy" ~trip:256
+        (Array.init 16 (fun i -> if i < 8 then Op.op Op.Mem else Op.op ~deps:[ i - 8 ] Op.Mem)) ]
+
+let test_memory_banking_tradeoff () =
+  (* More banks: faster (more ports) but bigger; single bank: small, slow. *)
+  let point banking =
+    Design.evaluate memory_behavior
+      { Design.unroll = 1; pipelined = true; sharing = Design.Full; banking }
+  in
+  let p1 = point 1 and p8 = point 8 in
+  Alcotest.(check bool) "8 banks faster" true (p8.Design.latency < p1.Design.latency);
+  Alcotest.(check bool) "8 banks bigger" true (p8.Design.area > p1.Design.area);
+  (* The sweep explores banking and the frontier keeps both extremes'
+     trade-off directions. *)
+  let frontier = Design.pareto_frontier memory_behavior in
+  Alcotest.(check bool) "multiple banking points on frontier" true
+    (List.length
+       (List.sort_uniq compare (List.map (fun p -> p.Design.knobs.Design.banking) frontier))
+     >= 2)
+
+let test_memoryless_banking_ignored () =
+  let b = Behavior.make "plain" [ Behavior.loop ~label:"l" ~trip:4 simple_body ] in
+  let p1 =
+    Design.evaluate b { Design.unroll = 1; pipelined = false; sharing = Design.Half; banking = 1 }
+  in
+  let p8 =
+    Design.evaluate b { Design.unroll = 1; pipelined = false; sharing = Design.Half; banking = 8 }
+  in
+  Alcotest.(check int) "same latency" p1.Design.latency p8.Design.latency;
+  Alcotest.(check (float 1e-9)) "same area" p1.Design.area p8.Design.area
+
+let prop_pareto_subset_nondominated =
+  let gen =
+    QCheck2.Gen.(
+      let* trip = int_range 1 40 in
+      let* rec_ = int_range 0 3 in
+      let* classes = list_repeat 6 (int_range 0 5) in
+      return (trip, rec_, classes))
+  in
+  Helpers.qtest ~count:100 "pareto frontier is a non-dominated subset of the sweep" gen
+    (fun (trip, rec_, classes) ->
+      let body =
+        Array.of_list (List.mapi (fun i c ->
+            Op.op ~deps:(if i = 0 then [] else [ i - 1 ]) (List.nth Op.all c)) classes)
+      in
+      let b = Behavior.make "g" [ Behavior.loop ~label:"l" ~trip ~recurrence:rec_ body ] in
+      let sweep = Design.sweep b in
+      let frontier = Design.pareto sweep in
+      List.for_all
+        (fun f ->
+          List.for_all
+            (fun s ->
+              not
+                (s.Design.latency <= f.Design.latency && s.Design.area <= f.Design.area
+                && (s.Design.latency < f.Design.latency || s.Design.area < f.Design.area)))
+            sweep)
+        frontier)
+
+let () =
+  Alcotest.run "hls"
+    [
+      ("op", [ Alcotest.test_case "tables" `Quick test_op_tables ]);
+      ( "behavior",
+        [
+          Alcotest.test_case "validation" `Quick test_behavior_validation;
+          Alcotest.test_case "metrics" `Quick test_behavior_metrics;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "chain = critical path" `Quick test_schedule_chain_is_critical_path;
+          Alcotest.test_case "resource serialization" `Quick test_schedule_resource_serialization;
+          Alcotest.test_case "divider occupancy" `Quick test_schedule_divider_not_pipelined;
+          Alcotest.test_case "missing unit" `Quick test_schedule_missing_unit;
+          Alcotest.test_case "empty body" `Quick test_schedule_empty;
+          Alcotest.test_case "min ii" `Quick test_min_ii;
+          Alcotest.test_case "unroll" `Quick test_unroll;
+        ] );
+      ( "design",
+        [
+          Alcotest.test_case "unroll monotone" `Quick test_design_evaluate_monotone_unroll;
+          Alcotest.test_case "pipelining helps" `Quick test_design_pipelining_helps;
+          Alcotest.test_case "recurrence floor" `Quick test_design_recurrence_floors_ii;
+          Alcotest.test_case "sharing trade-off" `Quick test_design_sharing_tradeoff;
+          Alcotest.test_case "allocation minimums" `Quick test_allocation_minimums;
+          Alcotest.test_case "critical-path bound" `Quick test_latency_critical_path_bound;
+          Alcotest.test_case "pareto frontier" `Quick test_pareto_properties;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "model" `Quick test_memory_model;
+          Alcotest.test_case "banking trade-off" `Quick test_memory_banking_tradeoff;
+          Alcotest.test_case "ignored without local memory" `Quick test_memoryless_banking_ignored;
+        ] );
+      ( "property",
+        [ prop_schedule_valid; prop_more_units_never_slower; prop_pareto_subset_nondominated ] );
+    ]

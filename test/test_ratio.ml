@@ -1,0 +1,108 @@
+module Ratio = Ermes_tmg.Ratio
+
+let r = Helpers.ratio
+
+let test_normalization () =
+  Alcotest.(check int) "num" 2 (Ratio.num (r 4 6));
+  Alcotest.(check int) "den" 3 (Ratio.den (r 4 6));
+  Alcotest.(check int) "sign in num" (-2) (Ratio.num (r 2 (-3)));
+  Alcotest.(check int) "den positive" 3 (Ratio.den (r 2 (-3)));
+  Alcotest.(check int) "zero num" 0 (Ratio.num (r 0 5));
+  Alcotest.(check int) "zero den 1" 1 (Ratio.den (r 0 5))
+
+let test_zero_den () =
+  Alcotest.check_raises "zero denominator" (Invalid_argument "Ratio.make: zero denominator")
+    (fun () -> ignore (r 1 0))
+
+let test_compare () =
+  Alcotest.(check bool) "1/2 < 2/3" true Ratio.(r 1 2 < r 2 3);
+  Alcotest.(check bool) "5/10 = 1/2" true (Ratio.equal (r 5 10) (r 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true Ratio.(r (-1) 2 < r 1 3);
+  Helpers.check_ratio "min" (r 1 2) (Ratio.min (r 1 2) (r 2 3));
+  Helpers.check_ratio "max" (r 2 3) (Ratio.max (r 1 2) (r 2 3))
+
+let test_arith () =
+  Helpers.check_ratio "add" (r 7 6) (Ratio.add (r 1 2) (r 2 3));
+  Helpers.check_ratio "sub" (r (-1) 6) (Ratio.sub (r 1 2) (r 2 3));
+  Helpers.check_ratio "mul" (r 1 3) (Ratio.mul (r 1 2) (r 2 3));
+  Helpers.check_ratio "div" (r 3 4) (Ratio.div (r 1 2) (r 2 3));
+  Helpers.check_ratio "neg" (r (-1) 2) (Ratio.neg (r 1 2));
+  Helpers.check_ratio "inv" (r 2 1) (Ratio.inv (r 1 2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Ratio.div (r 1 2) Ratio.zero));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Ratio.inv Ratio.zero))
+
+let test_printing () =
+  Alcotest.(check string) "integer form" "5" (Ratio.to_string (r 10 2));
+  Alcotest.(check string) "fraction form" "5/2" (Ratio.to_string (r 5 2))
+
+let test_float () =
+  Alcotest.(check (float 1e-12)) "to_float" 2.5 (Ratio.to_float (r 5 2))
+
+let small_ratio_gen =
+  QCheck2.Gen.(
+    let* n = int_range (-50) 50 in
+    let* d = int_range 1 50 in
+    return (n, d))
+
+let prop name gen f = Helpers.qtest name gen f
+
+let prop_add_commutative =
+  prop "addition commutes" QCheck2.Gen.(pair small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d)) ->
+      Ratio.equal (Ratio.add (r a b) (r c d)) (Ratio.add (r c d) (r a b)))
+
+let prop_add_associative =
+  prop "addition associates" QCheck2.Gen.(triple small_ratio_gen small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d), (e, f)) ->
+      let x = r a b and y = r c d and z = r e f in
+      Ratio.equal (Ratio.add x (Ratio.add y z)) (Ratio.add (Ratio.add x y) z))
+
+let prop_mul_distributes =
+  prop "multiplication distributes" QCheck2.Gen.(triple small_ratio_gen small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d), (e, f)) ->
+      let x = r a b and y = r c d and z = r e f in
+      Ratio.equal (Ratio.mul x (Ratio.add y z)) (Ratio.add (Ratio.mul x y) (Ratio.mul x z)))
+
+let prop_sub_add_roundtrip =
+  prop "sub then add round-trips" QCheck2.Gen.(pair small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d)) ->
+      let x = r a b and y = r c d in
+      Ratio.equal x (Ratio.add (Ratio.sub x y) y))
+
+let prop_compare_matches_float =
+  prop "compare agrees with float compare" QCheck2.Gen.(pair small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d)) ->
+      let x = r a b and y = r c d in
+      (* Small magnitudes: float comparison is exact here. *)
+      compare (Ratio.to_float x) (Ratio.to_float y) = Ratio.compare x y)
+
+let prop_normalized =
+  prop "results are always normalized" QCheck2.Gen.(pair small_ratio_gen small_ratio_gen)
+    (fun ((a, b), (c, d)) ->
+      let x = Ratio.add (r a b) (r c d) in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      Ratio.den x > 0 && gcd (abs (Ratio.num x)) (Ratio.den x) <= 1)
+
+let () =
+  Alcotest.run "ratio"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "zero denominator" `Quick test_zero_den;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "arithmetic" `Quick test_arith;
+          Alcotest.test_case "printing" `Quick test_printing;
+          Alcotest.test_case "to_float" `Quick test_float;
+        ] );
+      ( "property",
+        [
+          prop_add_commutative;
+          prop_add_associative;
+          prop_mul_distributes;
+          prop_sub_add_roundtrip;
+          prop_compare_matches_float;
+          prop_normalized;
+        ] );
+    ]

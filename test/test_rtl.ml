@@ -1,0 +1,268 @@
+module Ir = Ermes_rtl.Ir
+module Interp = Ermes_rtl.Interp
+module Emit = Ermes_rtl.Emit
+module Soc_rtl = Ermes_rtl.Soc_rtl
+module System = Ermes_slm.System
+module Motivating = Ermes_slm.Motivating
+module Sim = Ermes_slm.Sim
+module Ratio = Ermes_tmg.Ratio
+
+(* ---- IR builder ------------------------------------------------------------ *)
+
+let test_builder_validation () =
+  let b = Ir.Builder.create ~name:"t" in
+  let r = Ir.Builder.reg b ~name:"r" ~width:4 ~reset:3 in
+  Alcotest.check_raises "undriven register"
+    (Invalid_argument "Ir.Builder: register r never driven") (fun () ->
+      ignore (Ir.Builder.finish b));
+  Ir.Builder.drive b r (Ir.Add (Ir.Sig r, Ir.Const (1, 4)));
+  Alcotest.check_raises "double drive" (Invalid_argument "Ir.Builder: r driven twice")
+    (fun () -> Ir.Builder.drive b r (Ir.Sig r));
+  ignore (Ir.Builder.finish b);
+  let b = Ir.Builder.create ~name:"t" in
+  ignore (Ir.Builder.wire b ~name:"w" ~width:2 (Ir.Const (1, 3)));
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Ir.Builder: w has width 2 but its expression has 3") (fun () ->
+      ignore (Ir.Builder.finish b))
+
+let test_builder_comb_cycle () =
+  let b = Ir.Builder.create ~name:"t" in
+  (* w1 depends on w2 and vice versa: declare w2 later via a forward
+     reference is impossible with this API (expressions reference existing
+     signals), so create the cycle through two wires referencing each other
+     via ids known in advance: not expressible — instead check a self-cycle. *)
+  let rec_wire = Ir.Builder.wire b ~name:"loop" ~width:1 (Ir.Const (0, 1)) in
+  ignore rec_wire;
+  (* A wire cannot reference itself through this API either; combinational
+     cycles are structurally prevented at construction, which is itself the
+     property: building never yields a cyclic design. *)
+  ignore (Ir.Builder.finish b)
+
+let test_builder_duplicate_names () =
+  let b = Ir.Builder.create ~name:"t" in
+  ignore (Ir.Builder.input b ~name:"x" ~width:1);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Ir.Builder: duplicate signal name \"x\"")
+    (fun () -> ignore (Ir.Builder.input b ~name:"x" ~width:2))
+
+(* ---- interpreter ------------------------------------------------------------- *)
+
+let counter_design ~width =
+  let b = Ir.Builder.create ~name:"counter" in
+  let en = Ir.Builder.input b ~name:"en" ~width:1 in
+  let cnt = Ir.Builder.reg b ~name:"cnt" ~width ~reset:0 in
+  Ir.Builder.drive b cnt
+    (Ir.Mux (Ir.Sig en, Ir.Add (Ir.Sig cnt, Ir.Const (1, width)), Ir.Sig cnt));
+  let msb = Ir.Builder.wire b ~name:"is_max" ~width:1
+      (Ir.Eq (Ir.Sig cnt, Ir.Const ((1 lsl width) - 1, width)))
+  in
+  Ir.Builder.output b cnt;
+  (Ir.Builder.finish b, en, cnt, msb)
+
+let test_interp_counter () =
+  let design, en, cnt, is_max = counter_design ~width:3 in
+  let sim = Interp.create design in
+  Alcotest.(check int) "reset value" 0 (Interp.peek sim cnt);
+  Interp.run sim ~cycles:5;
+  Alcotest.(check int) "disabled holds" 0 (Interp.peek sim cnt);
+  Interp.set_input sim en 1;
+  Interp.run sim ~cycles:6;
+  Alcotest.(check int) "counts" 6 (Interp.peek sim cnt);
+  Interp.run sim ~cycles:1;
+  Alcotest.(check int) "is_max wire" 1 (Interp.peek sim is_max);
+  Interp.run sim ~cycles:1;
+  Alcotest.(check int) "wraps" 0 (Interp.peek sim cnt);
+  Alcotest.(check int) "cycle count" 13 (Interp.cycle sim)
+
+let test_interp_two_phase () =
+  (* Registers swap values without a race: both read the pre-edge values. *)
+  let b = Ir.Builder.create ~name:"swap" in
+  let x = Ir.Builder.reg b ~name:"x" ~width:4 ~reset:3 in
+  let y = Ir.Builder.reg b ~name:"y" ~width:4 ~reset:9 in
+  Ir.Builder.drive b x (Ir.Sig y);
+  Ir.Builder.drive b y (Ir.Sig x);
+  let design = Ir.Builder.finish b in
+  let sim = Interp.create design in
+  Interp.step sim;
+  Alcotest.(check (pair int int)) "swapped" (9, 3) (Interp.peek sim x, Interp.peek sim y);
+  Interp.step sim;
+  Alcotest.(check (pair int int)) "swapped back" (3, 9) (Interp.peek sim x, Interp.peek sim y)
+
+let test_interp_wire_chain () =
+  (* Wires evaluate in dependence order regardless of declaration order
+     possibilities offered by the builder. *)
+  let b = Ir.Builder.create ~name:"chain" in
+  let i = Ir.Builder.input b ~name:"i" ~width:8 in
+  let w1 = Ir.Builder.wire b ~name:"w1" ~width:8 (Ir.Add (Ir.Sig i, Ir.Const (1, 8))) in
+  let w2 = Ir.Builder.wire b ~name:"w2" ~width:8 (Ir.Add (Ir.Sig w1, Ir.Sig w1)) in
+  let design = Ir.Builder.finish b in
+  let sim = Interp.create design in
+  Interp.set_input sim i 20;
+  Alcotest.(check int) "comb settles without a clock" 42 (Interp.peek sim w2)
+
+let test_interp_input_validation () =
+  let design, en, _, _ = counter_design ~width:3 in
+  let sim = Interp.create design in
+  Alcotest.check_raises "bad value" (Invalid_argument "Interp.set_input: 2 does not fit en")
+    (fun () -> Interp.set_input sim en 2)
+
+(* ---- soc rtl: shape ----------------------------------------------------------- *)
+
+let test_soc_rtl_fsm_shape () =
+  (* Fig. 2b: P2 has 1 get + compute + 3 puts = 5 states -> 3-bit state. *)
+  let sys = Motivating.system () in
+  let rtl = Soc_rtl.build sys in
+  let p2 = Option.get (System.find_process sys "P2") in
+  let st = rtl.Soc_rtl.state_of.(p2) in
+  Alcotest.(check int) "P2 state width" 3 rtl.Soc_rtl.design.Ir.signals.(st).Ir.width;
+  (* Interpreting from reset, P2 starts at its first statement. *)
+  let sim = Interp.create rtl.Soc_rtl.design in
+  Alcotest.(check int) "reset state" 0 (Interp.peek sim st)
+
+let test_soc_rtl_verilog_wellformed () =
+  let sys = Motivating.optimal () in
+  let rtl = Soc_rtl.build sys in
+  let v = Emit.to_verilog rtl.Soc_rtl.design in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) ("contains " ^ fragment) true (Astring_contains.contains v fragment))
+    [
+      "module motivating_ctrl";
+      "endmodule";
+      "always @(posedge clk)";
+      "if (rst) begin";
+      "assign req_b";
+      "st_P2_q <=";
+    ];
+  (* Every register appears in both branches of the always block. *)
+  Array.iter
+    (fun info ->
+      match info.Ir.kind with
+      | Ir.Reg _ ->
+        (* Output registers are emitted under an internal "_q" name. *)
+        let assigns =
+          String.split_on_char '\n' v
+          |> List.filter (fun l ->
+                 Astring_contains.contains l (info.Ir.name ^ " <= ")
+                 || Astring_contains.contains l (info.Ir.name ^ "_q <= "))
+          |> List.length
+        in
+        Alcotest.(check bool) (info.Ir.name ^ " reset+next") true (assigns >= 2)
+      | Ir.Input | Ir.Wire _ -> ())
+    rtl.Soc_rtl.design.Ir.signals
+
+(* ---- soc rtl: co-simulation ------------------------------------------------------ *)
+
+let rtl_matches_des sys =
+  match (Soc_rtl.measured_cycle_time ~rounds:32 sys, Sim.steady_cycle_time ~rounds:32 sys) with
+  | Some rtl, Ok (Some des) -> Ratio.equal rtl des
+  | None, Error _ -> true  (* both deadlock *)
+  | _ -> false
+
+let test_soc_rtl_motivating () =
+  List.iter
+    (fun (name, sysf) ->
+      Alcotest.(check bool) name true (rtl_matches_des (sysf ())))
+    [
+      ("suboptimal", Motivating.suboptimal);
+      ("optimal", Motivating.optimal);
+      ("listing 1", Motivating.system);
+      ("deadlocking", Motivating.deadlocking);
+    ]
+
+let test_soc_rtl_fifo () =
+  let sys = Motivating.suboptimal () in
+  List.iter (fun c -> System.set_channel_kind sys c (System.Fifo 2)) (System.channels sys);
+  Alcotest.(check bool) "fifo co-simulation" true (rtl_matches_des sys)
+
+let test_soc_rtl_fifo_verilog () =
+  let sys = Motivating.suboptimal () in
+  System.set_channel_kind sys 0 (System.Fifo 2);
+  let rtl = Soc_rtl.build sys in
+  let v = Emit.to_verilog rtl.Soc_rtl.design in
+  List.iter
+    (fun frag ->
+      Alcotest.(check bool) ("fifo rtl has " ^ frag) true (Astring_contains.contains v frag))
+    [ "ch_a_credits"; "ch_a_items"; "ch_a_deq_fire" ]
+
+let test_interp_determinism () =
+  (* Two interpreters over the same design agree cycle by cycle. *)
+  let sys = Motivating.optimal () in
+  let rtl = Soc_rtl.build sys in
+  let a = Interp.create rtl.Soc_rtl.design and b = Interp.create rtl.Soc_rtl.design in
+  for _ = 1 to 100 do
+    Interp.step a;
+    Interp.step b
+  done;
+  Array.iter
+    (fun st -> Alcotest.(check int) "same state" (Interp.peek a st) (Interp.peek b st))
+    rtl.Soc_rtl.state_of
+
+let test_soc_rtl_horizon () =
+  (* A deadlocking system never completes its rounds: None. *)
+  Alcotest.(check bool) "stalls reported as None" true
+    (Soc_rtl.measured_cycle_time ~rounds:4 ~max_cycles:500 (Motivating.deadlocking ()) = None)
+
+let test_soc_rtl_limits () =
+  let sys = System.create () in
+  let src = System.add_simple_process sys ~latency:(1 lsl 30) ~area:0. "src" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  ignore (System.add_channel sys ~name:"c" ~src ~dst:snk ~latency:1);
+  Alcotest.check_raises "latency too large"
+    (Invalid_argument "Soc_rtl.build: latency too large") (fun () ->
+      ignore (Soc_rtl.build sys))
+
+let prop_rtl_matches_des =
+  Helpers.qtest ~count:30 "generated RTL = discrete-event simulation (random systems)"
+    Helpers.dag_system_gen rtl_matches_des
+
+let prop_rtl_matches_des_feedback =
+  Helpers.qtest ~count:20 "generated RTL = simulation on feedback systems"
+    Helpers.feedback_system_gen (fun sys ->
+      (* Keep the horizon sane: skip systems with very slow cycles. *)
+      match Helpers.analyze_ct sys with
+      | Some ct when Ratio.to_float ct < 2000. -> rtl_matches_des sys
+      | _ -> true)
+
+let prop_rtl_matches_des_mixed_fifo =
+  Helpers.qtest ~count:20 "generated RTL = simulation with mixed FIFO depths"
+    QCheck2.Gen.(pair Helpers.dag_system_gen (list_repeat 16 (int_range 0 3)))
+    (fun (sys, draws) ->
+      let draws = Array.of_list draws in
+      List.iteri
+        (fun i c ->
+          match draws.(i mod Array.length draws) with
+          | 0 -> ()
+          | d -> System.set_channel_kind sys c (System.Fifo d))
+        (System.channels sys);
+      rtl_matches_des sys)
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "ir",
+        [
+          Alcotest.test_case "builder validation" `Quick test_builder_validation;
+          Alcotest.test_case "no comb cycles constructible" `Quick test_builder_comb_cycle;
+          Alcotest.test_case "duplicate names" `Quick test_builder_duplicate_names;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "counter" `Quick test_interp_counter;
+          Alcotest.test_case "two-phase update" `Quick test_interp_two_phase;
+          Alcotest.test_case "wire chain" `Quick test_interp_wire_chain;
+          Alcotest.test_case "input validation" `Quick test_interp_input_validation;
+        ] );
+      ( "soc-rtl",
+        [
+          Alcotest.test_case "FSM shape (Fig 2b)" `Quick test_soc_rtl_fsm_shape;
+          Alcotest.test_case "verilog well-formed" `Quick test_soc_rtl_verilog_wellformed;
+          Alcotest.test_case "motivating co-simulation" `Quick test_soc_rtl_motivating;
+          Alcotest.test_case "fifo co-simulation" `Quick test_soc_rtl_fifo;
+          Alcotest.test_case "horizon" `Quick test_soc_rtl_horizon;
+          Alcotest.test_case "fifo verilog" `Quick test_soc_rtl_fifo_verilog;
+          Alcotest.test_case "interp determinism" `Quick test_interp_determinism;
+          Alcotest.test_case "limits" `Quick test_soc_rtl_limits;
+        ] );
+      ( "property",
+        [ prop_rtl_matches_des; prop_rtl_matches_des_feedback; prop_rtl_matches_des_mixed_fifo ] );
+    ]

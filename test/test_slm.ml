@@ -1,0 +1,630 @@
+module System = Ermes_slm.System
+module To_tmg = Ermes_slm.To_tmg
+module Fsm = Ermes_slm.Fsm
+module Sim = Ermes_slm.Sim
+module Soc_format = Ermes_slm.Soc_format
+module Motivating = Ermes_slm.Motivating
+module Heap = Ermes_slm.Heap
+module Tmg = Ermes_tmg.Tmg
+module Howard = Ermes_tmg.Howard
+module Liveness = Ermes_tmg.Liveness
+module Ratio = Ermes_tmg.Ratio
+
+let r = Helpers.ratio
+
+let pipeline2 () =
+  (* src -> A -> B -> snk, latencies 2/3, channels 1 each. *)
+  let sys = System.create ~name:"p2" () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let a = System.add_simple_process sys ~latency:2 ~area:0.1 "A" in
+  let b = System.add_simple_process sys ~latency:3 ~area:0.2 "B" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  ignore (System.add_channel sys ~name:"x" ~src ~dst:a ~latency:1);
+  ignore (System.add_channel sys ~name:"y" ~src:a ~dst:b ~latency:1);
+  ignore (System.add_channel sys ~name:"z" ~src:b ~dst:snk ~latency:1);
+  sys
+
+(* ---- system model --------------------------------------------------------- *)
+
+let test_system_basics () =
+  let sys = pipeline2 () in
+  Alcotest.(check int) "processes" 4 (System.process_count sys);
+  Alcotest.(check int) "channels" 3 (System.channel_count sys);
+  Alcotest.(check (list int)) "sources" [ 0 ] (System.sources sys);
+  Alcotest.(check (list int)) "sinks" [ 3 ] (System.sinks sys);
+  let a = Option.get (System.find_process sys "A") in
+  Alcotest.(check int) "latency" 2 (System.latency sys a);
+  Alcotest.(check (float 1e-9)) "area" 0.1 (System.area sys a);
+  Alcotest.(check (float 1e-9)) "total area" 0.3 (System.total_area sys);
+  Alcotest.(check (float 1e-9)) "order combos" 1. (System.order_combinations sys);
+  match System.validate sys with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_system_impl_selection () =
+  let sys = System.create () in
+  let p =
+    System.add_process sys
+      ~impls:
+        [
+          { System.tag = "fast"; latency = 2; area = 1.0 };
+          { System.tag = "slow"; latency = 9; area = 0.2 };
+        ]
+      "p"
+  in
+  Alcotest.(check int) "initial selection" 0 (System.selected sys p);
+  Alcotest.(check int) "initial latency" 2 (System.latency sys p);
+  System.select sys p 1;
+  Alcotest.(check int) "switched latency" 9 (System.latency sys p);
+  Alcotest.(check (float 1e-9)) "switched area" 0.2 (System.area sys p);
+  Alcotest.check_raises "bad index" (Invalid_argument "System.select: p has no implementation 7")
+    (fun () -> System.select sys p 7)
+
+let test_system_order_validation () =
+  let sys = Motivating.system () in
+  let p2 = Option.get (System.find_process sys "P2") in
+  let b = Option.get (System.find_channel sys "b") in
+  Alcotest.check_raises "not a permutation"
+    (Invalid_argument "System.set_put_order: not a permutation of the process's channels")
+    (fun () -> System.set_put_order sys p2 [ b ])
+
+let test_system_duplicate_names () =
+  let sys = System.create () in
+  ignore (System.add_simple_process sys ~latency:1 ~area:0. "p");
+  Alcotest.check_raises "duplicate process"
+    (Invalid_argument "System.add_process: duplicate process \"p\"") (fun () ->
+      ignore (System.add_simple_process sys ~latency:1 ~area:0. "p"))
+
+let test_system_validate_failures () =
+  let sys = System.create () in
+  (match System.validate sys with
+   | Error _ -> ()
+   | Ok () -> Alcotest.fail "empty system accepted");
+  let a = System.add_simple_process sys ~latency:1 ~area:0. "a" in
+  let b = System.add_simple_process sys ~latency:1 ~area:0. "b" in
+  ignore (System.add_channel sys ~name:"x" ~src:a ~dst:b ~latency:1);
+  ignore (System.add_channel sys ~name:"y" ~src:b ~dst:a ~latency:1);
+  (* Pure 2-cycle: no source, no sink. *)
+  match System.validate sys with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "sourceless cycle accepted"
+
+let test_system_copy_independent () =
+  let sys = Motivating.system () in
+  let copy = System.copy sys in
+  let p2 = Option.get (System.find_process sys "P2") in
+  let order = System.put_order sys p2 in
+  System.set_put_order sys p2 (List.rev order);
+  Alcotest.(check bool) "copy keeps original order" true
+    (System.put_order copy p2 = order)
+
+(* ---- motivating example: the paper's oracle ------------------------------ *)
+
+let analyze sys =
+  let m = To_tmg.build sys in
+  Howard.cycle_time m.To_tmg.tmg
+
+let test_motivating_reference_results () =
+  Alcotest.(check (float 0.)) "36 order combinations" 36.
+    (System.order_combinations (Motivating.system ()));
+  (match analyze (Motivating.suboptimal ()) with
+   | Ok res -> Helpers.check_ratio "suboptimal CT = 20" (r 20 1) res.Howard.cycle_time
+   | Error _ -> Alcotest.fail "suboptimal deadlocked");
+  (match analyze (Motivating.optimal ()) with
+   | Ok res -> Helpers.check_ratio "optimal CT = 12" (r 12 1) res.Howard.cycle_time
+   | Error _ -> Alcotest.fail "optimal deadlocked");
+  match analyze (Motivating.deadlocking ()) with
+  | Error (Howard.Deadlock _) -> ()
+  | _ -> Alcotest.fail "deadlocking order not detected"
+
+let test_motivating_deadlock_cycle_matches_paper () =
+  (* §2: P2 blocked on d, P6 on g, P5 on f. *)
+  let sys = Motivating.deadlocking () in
+  let m = To_tmg.build sys in
+  match Liveness.find_dead_cycle m.To_tmg.tmg with
+  | None -> Alcotest.fail "no dead cycle"
+  | Some dc ->
+    let names = List.map (Tmg.transition_name m.To_tmg.tmg) dc.Liveness.dead_transitions in
+    List.iter
+      (fun ch ->
+        Alcotest.(check bool) (ch ^ " on dead cycle") true (List.mem ch names))
+      [ "d"; "f"; "g" ]
+
+let test_motivating_throughput () =
+  (* Paper: suboptimal throughput 0.05 = 1/20. *)
+  match analyze (Motivating.suboptimal ()) with
+  | Ok res -> Helpers.check_ratio "throughput 1/20" (r 1 20) (Howard.throughput res)
+  | Error _ -> Alcotest.fail "deadlock"
+
+(* ---- TMG construction ------------------------------------------------------ *)
+
+let test_to_tmg_shape () =
+  let sys = Motivating.system () in
+  let m = To_tmg.build sys in
+  let tmg = m.To_tmg.tmg in
+  (* One transition per channel + one per process. *)
+  Alcotest.(check int) "transitions" (8 + 7) (Tmg.transition_count tmg);
+  (* One place per statement: each channel contributes a put-place and a
+     get-place, each process one compute place: 2*8 + 7. *)
+  Alcotest.(check int) "places" ((2 * 8) + 7) (Tmg.place_count tmg);
+  (* One token per process. *)
+  Alcotest.(check int) "tokens" 7 (Tmg.total_tokens tmg);
+  (* Channel transition delays = channel latencies. *)
+  List.iter
+    (fun c ->
+      Alcotest.(check int)
+        (System.channel_name sys c ^ " delay")
+        (System.channel_latency sys c)
+        (Tmg.delay tmg m.To_tmg.channel_entry.(c)))
+    (System.channels sys);
+  (* Compute transition delays = process latencies. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (System.process_name sys p ^ " delay")
+        (System.latency sys p)
+        (Tmg.delay tmg m.To_tmg.compute_transition.(p)))
+    (System.processes sys)
+
+let test_to_tmg_marked_graph_invariant () =
+  (* Every place has exactly one producer and one consumer by construction;
+     additionally each process chain is a simple cycle: the compute
+     transition has exactly one in and one out place. *)
+  let sys = Motivating.system () in
+  let m = To_tmg.build sys in
+  List.iter
+    (fun p ->
+      let t = m.To_tmg.compute_transition.(p) in
+      Alcotest.(check int) "one in" 1 (List.length (Tmg.in_places m.To_tmg.tmg t));
+      Alcotest.(check int) "one out" 1 (List.length (Tmg.out_places m.To_tmg.tmg t)))
+    (System.processes sys)
+
+let test_to_tmg_owner_mapping () =
+  let sys = Motivating.system () in
+  let m = To_tmg.build sys in
+  List.iter
+    (fun c ->
+      match To_tmg.transition_owner m m.To_tmg.channel_entry.(c) with
+      | To_tmg.Channel c' -> Alcotest.(check int) "channel owner" c c'
+      | To_tmg.Process _ -> Alcotest.fail "misclassified channel")
+    (System.channels sys);
+  List.iter
+    (fun p ->
+      match To_tmg.transition_owner m m.To_tmg.compute_transition.(p) with
+      | To_tmg.Process p' -> Alcotest.(check int) "process owner" p p'
+      | To_tmg.Channel _ -> Alcotest.fail "misclassified process")
+    (System.processes sys)
+
+let test_puts_first_breaks_two_cycle () =
+  (* A pure producer/consumer feedback pair deadlocks with Gets_first but is
+     live when the register side is Puts_first. *)
+  let build phase =
+    let sys = System.create () in
+    let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+    let a = System.add_simple_process sys ~latency:1 ~area:0. "a" in
+    let b = System.add_simple_process sys ~phase ~latency:1 ~area:0. "b" in
+    let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+    ignore (System.add_channel sys ~name:"i" ~src ~dst:a ~latency:1);
+    ignore (System.add_channel sys ~name:"f" ~src:a ~dst:b ~latency:1);
+    ignore (System.add_channel sys ~name:"g" ~src:b ~dst:a ~latency:1);
+    ignore (System.add_channel sys ~name:"o" ~src:a ~dst:snk ~latency:1);
+    sys
+  in
+  (match analyze (build System.Gets_first) with
+   | Error (Howard.Deadlock _) -> ()
+   | _ -> Alcotest.fail "gets-first feedback pair should deadlock");
+  match analyze (build System.Puts_first) with
+  | Ok _ -> ()
+  | _ -> Alcotest.fail "puts-first register should break the deadlock"
+
+(* ---- FSM ------------------------------------------------------------------- *)
+
+let test_fsm_shape () =
+  let sys = Motivating.system () in
+  let p2 = Option.get (System.find_process sys "P2") in
+  let fsm = Fsm.of_process sys p2 in
+  (* Reset + 1 get + 5 compute + 3 puts. *)
+  Alcotest.(check int) "state count" 10 (Array.length fsm.Fsm.states);
+  Alcotest.(check int) "io states" 4 (Fsm.io_state_count fsm);
+  Alcotest.(check int) "compute states" 5 (Fsm.compute_state_count fsm);
+  Alcotest.(check bool) "reset first" true (fsm.Fsm.states.(0) = Fsm.Reset);
+  (* Body order: get a, computes, puts b d f (Listing 1). *)
+  let a = Option.get (System.find_channel sys "a") in
+  let b = Option.get (System.find_channel sys "b") in
+  Alcotest.(check bool) "get first" true (fsm.Fsm.states.(1) = Fsm.Get a);
+  Alcotest.(check bool) "first put" true (fsm.Fsm.states.(7) = Fsm.Put b)
+
+let test_fsm_dot () =
+  let sys = pipeline2 () in
+  let fsm = Fsm.of_process sys (Option.get (System.find_process sys "A")) in
+  let dot = Fsm.to_dot sys fsm in
+  Alcotest.(check bool) "wait self-loop rendered" true
+    (Astring_contains.contains dot "label=\"wait\"")
+
+(* ---- simulator --------------------------------------------------------------- *)
+
+let test_sim_pipeline_rate () =
+  (* Pipeline steady state: slowest stage (B: get 1 + compute 3 + put 1)... the
+     analytic CT is what matters; check sim = analysis. *)
+  let sys = pipeline2 () in
+  match (Sim.steady_cycle_time sys, analyze sys) with
+  | Ok (Some measured), Ok res ->
+    Helpers.check_ratio "sim = analysis" res.Howard.cycle_time measured
+  | _ -> Alcotest.fail "simulation or analysis failed"
+
+let test_sim_motivating () =
+  List.iter
+    (fun (name, sysf, expected) ->
+      match Sim.steady_cycle_time ~rounds:80 (sysf ()) with
+      | Ok (Some measured) -> Helpers.check_ratio name (r expected 1) measured
+      | _ -> Alcotest.fail (name ^ ": no steady state"))
+    [
+      ("suboptimal", Motivating.suboptimal, 20);
+      ("optimal", Motivating.optimal, 12);
+      ("listing 1", Motivating.system, 12);
+    ]
+
+let test_sim_deadlock_detection () =
+  match Sim.steady_cycle_time (Motivating.deadlocking ()) with
+  | Error d ->
+    Alcotest.(check bool) "some processes blocked" true (d.Sim.blocked <> []);
+    (* The paper's §2 story: P2 blocked putting on d. *)
+    let sys = Motivating.deadlocking () in
+    let p2 = Option.get (System.find_process sys "P2") in
+    let d_ch = Option.get (System.find_channel sys "d") in
+    Alcotest.(check bool) "P2 blocked on put d" true
+      (List.exists
+         (fun b -> b.Sim.process = p2 && b.Sim.channel = d_ch && b.Sim.direction = Sim.Waiting_put)
+         d.Sim.blocked)
+  | Ok _ -> Alcotest.fail "deadlock missed"
+
+let test_sim_iteration_counts () =
+  let sys = pipeline2 () in
+  let snk = Option.get (System.find_process sys "snk") in
+  let run = Sim.run ~monitor:snk ~max_iterations:10 sys in
+  Alcotest.(check int) "sink iterations" 10 run.Sim.iterations.(snk);
+  Alcotest.(check bool) "upstream at least as many" true
+    (run.Sim.iterations.(0) >= run.Sim.iterations.(snk));
+  Alcotest.(check int) "completion list length" 10
+    (List.length run.Sim.completions.(snk))
+
+let prop_sim_matches_analysis =
+  Helpers.qtest ~count:60 "simulated steady state equals analytic cycle time"
+    Helpers.dag_system_gen (fun sys ->
+      match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
+      | Ok res, Ok (Some measured) -> Ratio.equal res.Howard.cycle_time measured
+      | Ok _, Ok None -> false
+      | Error (Howard.Deadlock _), Error _ -> true
+      | _ -> false)
+
+let prop_sim_matches_analysis_with_feedback =
+  Helpers.qtest ~count:40 "simulation = analysis on feedback systems"
+    Helpers.feedback_system_gen (fun sys ->
+      match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
+      | Ok res, Ok (Some measured) -> Ratio.equal res.Howard.cycle_time measured
+      | Ok _, Ok None -> false
+      | Error (Howard.Deadlock _), Error _ -> true
+      | _ -> false)
+
+let prop_deadlock_agreement =
+  (* Analysis says deadlock <=> simulation says deadlock, under randomly
+     permuted statement orders. *)
+  let gen = QCheck2.Gen.(pair Helpers.dag_system_gen (list_repeat 12 (int_range 0 1000))) in
+  Helpers.qtest ~count:120 "analytic deadlock iff simulated deadlock" gen
+    (fun (sys, draws) ->
+      Helpers.permute_orders sys draws;
+      match (analyze sys, Sim.steady_cycle_time ~rounds:16 sys) with
+      | Ok _, Ok _ -> true
+      | Error (Howard.Deadlock _), Error _ -> true
+      | _ -> false)
+
+let test_sim_max_cycles_cap () =
+  (* A capped run stops without declaring deadlock. *)
+  let sys = pipeline2 () in
+  let r = Sim.run ~max_iterations:1_000_000 ~max_cycles:20 sys in
+  Alcotest.(check bool) "no deadlock" true (r.Sim.deadlock = None);
+  Alcotest.(check bool) "stopped promptly" true (r.Sim.cycles <= 40)
+
+let test_sim_monitor_choice () =
+  (* Monitoring an upstream process counts its iterations, not the sink's. *)
+  let sys = pipeline2 () in
+  let a = Option.get (System.find_process sys "A") in
+  let r = Sim.run ~monitor:a ~max_iterations:5 sys in
+  Alcotest.(check int) "A reached 5" 5 r.Sim.iterations.(a)
+
+let test_fsm_puts_first_order () =
+  let sys = System.create () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let reg = System.add_simple_process sys ~phase:System.Puts_first ~latency:2 ~area:0. "reg" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  ignore (System.add_channel sys ~name:"i" ~src ~dst:reg ~latency:1);
+  ignore (System.add_channel sys ~name:"o" ~src:reg ~dst:snk ~latency:1);
+  let fsm = Fsm.of_process sys reg in
+  (* Reset, put o, compute x2, get i. *)
+  (match fsm.Fsm.states.(1) with
+   | Fsm.Put _ -> ()
+   | _ -> Alcotest.fail "puts-first FSM must put first");
+  match fsm.Fsm.states.(Array.length fsm.Fsm.states - 1) with
+  | Fsm.Get _ -> ()
+  | _ -> Alcotest.fail "puts-first FSM must get last"
+
+let test_to_dot_annotations () =
+  let sys = pipeline2 () in
+  System.set_channel_kind sys 0 (System.Fifo 3);
+  let dot = System.to_dot sys in
+  Alcotest.(check bool) "fifo annotated" true (Astring_contains.contains dot "fifo:3");
+  Alcotest.(check bool) "latency annotated" true (Astring_contains.contains dot "L=2")
+
+(* ---- FIFO channels ---------------------------------------------------------- *)
+
+let all_fifo depth sys =
+  List.iter (fun c -> System.set_channel_kind sys c (System.Fifo depth)) (System.channels sys);
+  sys
+
+let test_fifo_validation () =
+  let sys = pipeline2 () in
+  Alcotest.check_raises "depth 0" (Invalid_argument "System.set_channel_kind: FIFO depth must be >= 1")
+    (fun () -> System.set_channel_kind sys 0 (System.Fifo 0));
+  System.set_channel_kind sys 0 (System.Fifo 3);
+  Alcotest.(check bool) "kind stored" true (System.channel_kind sys 0 = System.Fifo 3);
+  Alcotest.(check int) "get side is 1 cycle" 1 (System.get_side_latency sys 0);
+  Alcotest.(check int) "put side is the latency" (System.channel_latency sys 0)
+    (System.put_side_latency sys 0)
+
+let test_fifo_tmg_shape () =
+  (* A FIFO channel becomes an enqueue/dequeue pair with data and credit
+     places; the credit place carries the depth in tokens. *)
+  let sys = all_fifo 3 (pipeline2 ()) in
+  let m = To_tmg.build sys in
+  let tmg = m.To_tmg.tmg in
+  (* 3 channels x 2 transitions + 4 compute. *)
+  Alcotest.(check int) "transitions" 10 (Tmg.transition_count tmg);
+  (* Chain places (2*3 + 4) + data/credit (2 per channel). *)
+  Alcotest.(check int) "places" (10 + 6) (Tmg.place_count tmg);
+  (* Chain tokens (4) + credit tokens (3 per channel). *)
+  Alcotest.(check int) "tokens" (4 + 9) (Tmg.total_tokens tmg);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "entry <> exit" true
+        (m.To_tmg.channel_entry.(c) <> m.To_tmg.channel_exit.(c));
+      Alcotest.(check int) "dequeue delay 1" 1 (Tmg.delay tmg m.To_tmg.channel_exit.(c)))
+    (System.channels sys)
+
+let test_fifo_decouples_suboptimal_order () =
+  (* The motivating example's suboptimal order costs CT 20 under rendezvous;
+     single-slot FIFOs absorb the cross-coupling entirely. *)
+  let base = Motivating.suboptimal () in
+  let base_ct = match analyze base with Ok r -> r.Howard.cycle_time | Error _ -> assert false in
+  Helpers.check_ratio "rendezvous" (r 20 1) base_ct;
+  let sys = all_fifo 1 (Motivating.suboptimal ()) in
+  match analyze sys with
+  | Ok res ->
+    Alcotest.(check bool) "FIFO strictly faster" true Ratio.(res.Howard.cycle_time < base_ct)
+  | Error _ -> Alcotest.fail "deadlock"
+
+let test_fifo_resolves_protocol_deadlock () =
+  (* The deadlock of §2 is a cyclic rendezvous wait, not a data-dependence
+     cycle, so buffering resolves it. *)
+  let sys = all_fifo 1 (Motivating.deadlocking ()) in
+  match (analyze sys, Sim.steady_cycle_time ~rounds:64 sys) with
+  | Ok a, Ok (Some m) -> Helpers.check_ratio "analysis = sim" a.Howard.cycle_time m
+  | _ -> Alcotest.fail "FIFO should make the protocol deadlock live"
+
+let test_fifo_cannot_fix_data_dependence_cycle () =
+  (* Two gets-first processes feeding each other: each must read before it
+     writes, so no amount of buffering helps. *)
+  let sys = System.create () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let a = System.add_simple_process sys ~latency:1 ~area:0. "a" in
+  let b = System.add_simple_process sys ~latency:1 ~area:0. "b" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  ignore (System.add_channel sys ~name:"i" ~src ~dst:a ~latency:1);
+  ignore (System.add_channel sys ~name:"f" ~src:a ~dst:b ~latency:1);
+  ignore (System.add_channel sys ~name:"g" ~src:b ~dst:a ~latency:1);
+  ignore (System.add_channel sys ~name:"o" ~src:b ~dst:snk ~latency:1);
+  ignore (all_fifo 16 sys);
+  (match analyze sys with
+   | Error (Howard.Deadlock _) -> ()
+   | _ -> Alcotest.fail "data-dependence cycle must deadlock despite FIFOs");
+  match Sim.steady_cycle_time ~rounds:8 sys with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "simulation must deadlock too"
+
+let test_fifo_soc_roundtrip () =
+  let sys = pipeline2 () in
+  System.set_channel_kind sys 1 (System.Fifo 5);
+  match Soc_format.parse (Soc_format.print sys) with
+  | Ok sys' ->
+    Alcotest.(check bool) "fifo preserved" true (System.channel_kind sys' 1 = System.Fifo 5);
+    Alcotest.(check bool) "others rendezvous" true (System.channel_kind sys' 0 = System.Rendezvous)
+  | Error e -> Alcotest.fail e
+
+let prop_fifo_depth_monotone =
+  (* Deeper buffers never hurt throughput (token count only grows). *)
+  Helpers.qtest ~count:60 "FIFO depth is monotone in throughput" Helpers.dag_system_gen
+    (fun sys ->
+      let ct depth =
+        let s = all_fifo depth (System.copy sys) in
+        match analyze s with Ok res -> Some res.Howard.cycle_time | Error _ -> None
+      in
+      match (ct 1, ct 2, ct 8) with
+      | Some a, Some b, Some c -> Ratio.(b <= a) && Ratio.(c <= b)
+      | _ -> false)
+
+let prop_fifo_sim_matches_analysis =
+  Helpers.qtest ~count:40 "FIFO systems: simulation = analysis"
+    QCheck2.Gen.(pair Helpers.dag_system_gen (int_range 1 4))
+    (fun (sys, depth) ->
+      let sys = all_fifo depth sys in
+      match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
+      | Ok res, Ok (Some m) -> Ratio.equal res.Howard.cycle_time m
+      | _ -> false)
+
+let prop_fifo_mixed_kinds_consistent =
+  (* Random mixture of rendezvous and FIFO channels. *)
+  Helpers.qtest ~count:40 "mixed channel kinds: simulation = analysis"
+    QCheck2.Gen.(pair Helpers.dag_system_gen (list_repeat 24 (int_range 0 3)))
+    (fun (sys, draws) ->
+      let draws = Array.of_list draws in
+      List.iteri
+        (fun i c ->
+          match draws.(i mod Array.length draws) with
+          | 0 -> ()
+          | d -> System.set_channel_kind sys c (System.Fifo d))
+        (System.channels sys);
+      match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
+      | Ok res, Ok (Some m) -> Ratio.equal res.Howard.cycle_time m
+      | Error (Howard.Deadlock _), Error _ -> true
+      | _ -> false)
+
+(* ---- heap ---------------------------------------------------------------- *)
+
+let prop_heap_sorts =
+  Helpers.qtest "heap pops keys in order" QCheck2.Gen.(list (int_range 0 1000))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.push h x x) xs;
+      let rec drain acc =
+        match Heap.pop_min h with None -> List.rev acc | Some (k, _) -> drain (k :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* ---- soc format ------------------------------------------------------------- *)
+
+let test_soc_roundtrip_motivating () =
+  let sys = Motivating.suboptimal () in
+  match Soc_format.parse (Soc_format.print sys) with
+  | Error e -> Alcotest.fail e
+  | Ok sys' ->
+    Alcotest.(check string) "same text" (Soc_format.print sys) (Soc_format.print sys');
+    (match (analyze sys, analyze sys') with
+     | Ok a, Ok b -> Helpers.check_ratio "same cycle time" a.Howard.cycle_time b.Howard.cycle_time
+     | _ -> Alcotest.fail "analysis failed")
+
+let test_soc_parse_errors () =
+  let check_error text fragment =
+    match Soc_format.parse text with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ text)
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true
+        (Astring_contains.contains e fragment)
+  in
+  check_error "process p impl a latency 1 area 1" "system";
+  check_error "system s\nfrobnicate x" "unknown directive";
+  check_error "system s\nprocess p" "impl";
+  check_error "system s\nprocess p impl a latency x area 1" "integer";
+  check_error "system s\nsystem t" "duplicate";
+  check_error
+    "system s\nprocess p impl a latency 1 area 1\nselect p 5"
+    "no implementation";
+  check_error
+    "system s\nprocess a impl x latency 1 area 0\nprocess b impl x latency 1 area 0\nchannel c a b latency 1 fifo 0"
+    "depth";
+  check_error "system s\nchannel c a b latency 1" "unknown process";
+  check_error "system s\nprocess p impl a latency 1 area 1\ngets q" "unknown process"
+
+let test_soc_comments_and_whitespace () =
+  let text =
+    "# header comment\n\
+     system s\n\
+     \n\
+     process a impl only latency 1 area 0 # trailing\n\
+     process b impl only latency 2 area 0\n\
+     \tchannel  c　a b latency 3\n"
+  in
+  (* Note: the channel line uses a tab; the unicode space must fail. *)
+  match Soc_format.parse text with
+  | Ok _ -> Alcotest.fail "unicode space accepted as separator"
+  | Error _ -> (
+    let clean = String.concat "\n" [ "system s"; "process a impl only latency 1 area 0"; "process b impl only latency 2 area 0"; "channel c a b latency 3" ] in
+    match Soc_format.parse clean with
+    | Ok sys -> Alcotest.(check int) "parsed channels" 1 (System.channel_count sys)
+    | Error e -> Alcotest.fail e)
+
+let test_soc_puts_first_preserved () =
+  let sys = System.create ~name:"s" () in
+  ignore (System.add_simple_process sys ~phase:System.Puts_first ~latency:1 ~area:0. "reg");
+  match Soc_format.parse (Soc_format.print sys) with
+  | Ok sys' ->
+    let p = Option.get (System.find_process sys' "reg") in
+    Alcotest.(check bool) "phase kept" true (System.phase sys' p = System.Puts_first)
+  | Error e -> Alcotest.fail e
+
+let prop_soc_roundtrip =
+  Helpers.qtest ~count:80 "parse . print = identity on random systems"
+    Helpers.feedback_system_gen (fun sys ->
+      match Soc_format.parse (Soc_format.print sys) with
+      | Ok sys' -> Soc_format.print sys' = Soc_format.print sys
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "slm"
+    [
+      ( "system",
+        [
+          Alcotest.test_case "basics" `Quick test_system_basics;
+          Alcotest.test_case "implementation selection" `Quick test_system_impl_selection;
+          Alcotest.test_case "order validation" `Quick test_system_order_validation;
+          Alcotest.test_case "duplicate names" `Quick test_system_duplicate_names;
+          Alcotest.test_case "validate failures" `Quick test_system_validate_failures;
+          Alcotest.test_case "copy independence" `Quick test_system_copy_independent;
+        ] );
+      ( "motivating-example",
+        [
+          Alcotest.test_case "paper reference results" `Quick test_motivating_reference_results;
+          Alcotest.test_case "deadlock cycle matches §2" `Quick test_motivating_deadlock_cycle_matches_paper;
+          Alcotest.test_case "throughput 0.05" `Quick test_motivating_throughput;
+        ] );
+      ( "to-tmg",
+        [
+          Alcotest.test_case "shape" `Quick test_to_tmg_shape;
+          Alcotest.test_case "marked-graph invariant" `Quick test_to_tmg_marked_graph_invariant;
+          Alcotest.test_case "owner mapping" `Quick test_to_tmg_owner_mapping;
+          Alcotest.test_case "puts-first register" `Quick test_puts_first_breaks_two_cycle;
+        ] );
+      ( "fsm",
+        [
+          Alcotest.test_case "shape (Fig 2b)" `Quick test_fsm_shape;
+          Alcotest.test_case "dot" `Quick test_fsm_dot;
+          Alcotest.test_case "puts-first order" `Quick test_fsm_puts_first_order;
+          Alcotest.test_case "system dot annotations" `Quick test_to_dot_annotations;
+        ] );
+      ( "sim",
+        [
+          Alcotest.test_case "pipeline" `Quick test_sim_pipeline_rate;
+          Alcotest.test_case "motivating cycle times" `Quick test_sim_motivating;
+          Alcotest.test_case "deadlock detection" `Quick test_sim_deadlock_detection;
+          Alcotest.test_case "iteration counting" `Quick test_sim_iteration_counts;
+          Alcotest.test_case "max cycles cap" `Quick test_sim_max_cycles_cap;
+          Alcotest.test_case "monitor choice" `Quick test_sim_monitor_choice;
+        ] );
+      ( "fifo",
+        [
+          Alcotest.test_case "validation" `Quick test_fifo_validation;
+          Alcotest.test_case "tmg shape" `Quick test_fifo_tmg_shape;
+          Alcotest.test_case "decouples suboptimal order" `Quick test_fifo_decouples_suboptimal_order;
+          Alcotest.test_case "resolves protocol deadlock" `Quick test_fifo_resolves_protocol_deadlock;
+          Alcotest.test_case "cannot fix data cycles" `Quick test_fifo_cannot_fix_data_dependence_cycle;
+          Alcotest.test_case "soc round-trip" `Quick test_fifo_soc_roundtrip;
+        ] );
+      ( "soc-format",
+        [
+          Alcotest.test_case "round-trip" `Quick test_soc_roundtrip_motivating;
+          Alcotest.test_case "parse errors" `Quick test_soc_parse_errors;
+          Alcotest.test_case "comments/whitespace" `Quick test_soc_comments_and_whitespace;
+          Alcotest.test_case "puts_first preserved" `Quick test_soc_puts_first_preserved;
+        ] );
+      ( "property",
+        [
+          prop_sim_matches_analysis;
+          prop_sim_matches_analysis_with_feedback;
+          prop_deadlock_agreement;
+          prop_heap_sorts;
+          prop_soc_roundtrip;
+          prop_fifo_depth_monotone;
+          prop_fifo_sim_matches_analysis;
+          prop_fifo_mixed_kinds_consistent;
+        ] );
+    ]

@@ -1,0 +1,101 @@
+module Vec = Ermes_digraph.Vec
+
+let test_empty () =
+  let v = Vec.create () in
+  Alcotest.(check int) "length" 0 (Vec.length v);
+  Alcotest.(check bool) "is_empty" true (Vec.is_empty v);
+  Alcotest.(check (option int)) "pop" None (Vec.pop v);
+  Alcotest.(check (option int)) "last" None (Vec.last v)
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Alcotest.(check int) "push returns index" i (Vec.push v (i * 2))
+  done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    Alcotest.(check int) "get" (i * 2) (Vec.get v i)
+  done;
+  Alcotest.(check (option int)) "last" (Some 198) (Vec.last v)
+
+let test_set () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Vec.set v 1 42;
+  Alcotest.(check (list int)) "after set" [ 1; 42; 3 ] (Vec.to_list v)
+
+let test_bounds () =
+  let v = Vec.of_list [ 1 ] in
+  Alcotest.check_raises "get -1" (Invalid_argument "Vec.get: index -1 out of bounds [0,1)")
+    (fun () -> ignore (Vec.get v (-1)));
+  Alcotest.check_raises "get 1" (Invalid_argument "Vec.get: index 1 out of bounds [0,1)")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "set 5" (Invalid_argument "Vec.set: index 5 out of bounds [0,1)")
+    (fun () -> Vec.set v 5 0)
+
+let test_pop_order () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Vec.pop v);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v)
+
+let test_clear () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v);
+  ignore (Vec.push v 9);
+  Alcotest.(check (list int)) "reusable" [ 9 ] (Vec.to_list v)
+
+let test_make () =
+  let v = Vec.make 4 7 in
+  Alcotest.(check (list int)) "make" [ 7; 7; 7; 7 ] (Vec.to_list v)
+
+let test_iterators () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold" 10 (Vec.fold_left ( + ) 0 v);
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  Alcotest.(check (list (pair int int))) "iteri order"
+    [ (0, 1); (1, 2); (2, 3); (3, 4) ]
+    (List.rev !seen);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  Alcotest.(check (list int)) "map" [ 2; 4; 6; 8 ] (Vec.to_list (Vec.map (fun x -> 2 * x) v))
+
+let test_sort () =
+  let v = Vec.of_list [ 5; 1; 4; 2; 3 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 4; 5 ] (Vec.to_list v)
+
+let prop_roundtrip =
+  Helpers.qtest "of_list/to_list round-trip" QCheck2.Gen.(list int) (fun xs ->
+      Vec.to_list (Vec.of_list xs) = xs)
+
+let prop_push_pop =
+  Helpers.qtest "pushes then pops reverse" QCheck2.Gen.(list int) (fun xs ->
+      let v = Vec.create () in
+      List.iter (fun x -> ignore (Vec.push v x)) xs;
+      let rec drain acc = match Vec.pop v with None -> acc | Some x -> drain (x :: acc) in
+      drain [] = xs)
+
+let prop_to_array =
+  Helpers.qtest "to_array agrees with to_list" QCheck2.Gen.(list int) (fun xs ->
+      Array.to_list (Vec.to_array (Vec.of_list xs)) = xs)
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "push/get" `Quick test_push_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "pop order" `Quick test_pop_order;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "make" `Quick test_make;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+          Alcotest.test_case "sort" `Quick test_sort;
+        ] );
+      ("property", [ prop_roundtrip; prop_push_pop; prop_to_array ]);
+    ]
