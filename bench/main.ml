@@ -93,10 +93,10 @@ let fig2 () =
        (String.concat " " (List.map (System.channel_name dead) d.Perf.dead_channels))
    | _ -> repro "ERROR: deadlock not detected");
   (match Sim.steady_cycle_time dead with
-   | Error d ->
+   | Ok (Sim.Deadlock d) ->
      repro "cycle-accurate simulation confirms: %d processes blocked at cycle %d"
        (List.length d.Sim.blocked) d.Sim.at_cycle
-   | Ok _ -> repro "ERROR: simulation missed the deadlock");
+   | Ok _ | Error _ -> repro "ERROR: simulation missed the deadlock");
   (* Fig 2b: the FSM of P2. *)
   let p2 = Option.get (System.find_process sys "P2") in
   let fsm = Fsm.of_process sys p2 in
@@ -121,7 +121,7 @@ let fig3 () =
    | Some r -> repro "max-plus earliest-firing execution agrees: %s" (Ratio.to_string r)
    | None -> repro "ERROR: no steady state");
   (match Sim.steady_cycle_time sys with
-   | Ok (Some r) -> repro "discrete-event simulation agrees: %s" (Ratio.to_string r)
+   | Ok (Sim.Period r) -> repro "discrete-event simulation agrees: %s" (Ratio.to_string r)
    | _ -> repro "ERROR: simulation disagreed");
   match Ermes_rtl.Soc_rtl.measured_cycle_time sys with
   | Some r -> repro "generated RTL (interpreted cycle by cycle) agrees: %s" (Ratio.to_string r)

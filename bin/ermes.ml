@@ -15,6 +15,10 @@ module Perf = Ermes_core.Perf
 module Order = Ermes_core.Order
 module Explore = Ermes_core.Explore
 module Frontier = Ermes_core.Frontier
+module Fault = Ermes_fault.Fault
+module Differential = Ermes_fault.Differential
+module Fuzz = Ermes_fault.Fuzz
+module Resilience = Ermes_fault.Resilience
 
 open Cmdliner
 
@@ -85,12 +89,14 @@ let analyze_cmd =
        end;
        if simulate then begin
          match Sim.steady_cycle_time sys with
-         | Ok (Some r) ->
+         | Ok (Sim.Period r) ->
            Format.printf "simulated steady-state cycle time: %a (%s)@." Ratio.pp r
              (if Ratio.equal r a.Perf.cycle_time then "matches the analysis"
               else "DIFFERS from the analysis")
-         | Ok None -> Format.printf "simulation: periodicity not reached; raise rounds@."
-         | Error d -> Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d
+         | Ok Sim.No_period -> Format.printf "simulation: periodicity not reached; raise rounds@."
+         | Ok (Sim.Deadlock d) -> Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d
+         | Ok (Sim.Timeout t) -> Format.printf "simulation: %a@." Sim.pp_timeout t
+         | Error e -> Format.printf "simulation: %s@." e
        end
      | Error f ->
        Format.printf "%a@." (Perf.pp_failure sys) f;
@@ -160,21 +166,31 @@ let simulate_cmd =
   let rounds =
     Arg.(value & opt int 64 & info [ "rounds" ] ~docv:"N" ~doc:"Sink iterations to simulate.")
   in
-  let run file rounds =
+  let max_cycles =
+    Arg.(value & opt (some int) None & info [ "max-cycles" ] ~docv:"B"
+           ~doc:"Watchdog cycle budget (default: derived from the system's total latency).")
+  in
+  let run file rounds max_cycles =
     let sys = or_die (load file) in
-    match Sim.steady_cycle_time ~rounds sys with
-    | Ok (Some r) ->
+    match Sim.steady_cycle_time ~rounds ?max_cycles sys with
+    | Ok (Sim.Period r) ->
       Format.printf "steady-state cycle time: %a (throughput %a)@." Ratio.pp r Ratio.pp
         (Ratio.inv r)
-    | Ok None ->
+    | Ok Sim.No_period ->
       Format.printf "no exact periodicity within %d rounds; raise --rounds@." rounds
-    | Error d ->
+    | Ok (Sim.Deadlock d) ->
       Format.printf "%a@." (Sim.pp_deadlock sys) d;
       exit 2
+    | Ok (Sim.Timeout t) ->
+      Format.printf "%a@." Sim.pp_timeout t;
+      exit 3
+    | Error e ->
+      prerr_endline ("ermes: " ^ e);
+      exit 1
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Cycle-accurate rendezvous simulation.")
-    (with_logs Term.(const run $ file_arg $ rounds))
+    (with_logs Term.(const run $ file_arg $ rounds $ max_cycles))
 
 (* ---- dse --------------------------------------------------------------- *)
 
@@ -392,6 +408,132 @@ let rtl_cmd =
     (Cmd.info "rtl" ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel handshakes).")
     (with_logs Term.(const run $ file_arg $ verify $ output_arg))
 
+(* ---- inject ------------------------------------------------------------ *)
+
+let faults_arg =
+  Arg.(value & opt_all string []
+       & info [ "fault" ] ~docv:"SPEC"
+           ~doc:"Fault to inject (repeatable): $(b,jitter:CH:D) (channel latency drift), \
+                 $(b,slow:P:D) (process slowdown), $(b,shrink:CH:K) (FIFO depth cut), \
+                 $(b,stall:CH:C\\@K) (transient stall of C cycles on the K-th transfer), \
+                 $(b,droptoken:P) (lose the process's initial token).")
+
+let inject_cmd =
+  let check =
+    Arg.(value & flag & info [ "check" ]
+           ~doc:"Cross-check the faulted system across every oracle (liveness, Howard, \
+                 Karp, Lawler, token game, max-plus firing, simulator) instead of \
+                 emitting it.")
+  in
+  let rounds =
+    Arg.(value & opt int 96 & info [ "rounds" ] ~docv:"N" ~doc:"Simulation horizon for --check.")
+  in
+  let run file faults check rounds out =
+    let sys = or_die (load file) in
+    let scenario = List.map (fun s -> or_die (Fault.parse_spec sys s)) faults in
+    if check then begin
+      let r = Differential.run_case ~rounds sys scenario in
+      (match r.Differential.verdict with
+       | Some (Differential.Live ct) -> Format.printf "verdict: live, cycle time %a@." Ratio.pp ct
+       | Some Differential.Dead -> Format.printf "verdict: deadlock@."
+       | None -> Format.printf "verdict: unavailable@.");
+      match r.Differential.mismatches with
+      | [] -> Format.printf "all oracles agree@."
+      | ms ->
+        List.iter (fun m -> Format.printf "MISMATCH: %s@." m) ms;
+        exit 2
+    end
+    else begin
+      List.iter
+        (fun f ->
+          if not (Fault.is_structural f) then
+            Format.eprintf "note: %a is a dynamic fault; only --check and the simulator see it@."
+              (Fault.pp sys) f)
+        scenario;
+      let faulted = Fault.apply sys scenario in
+      (match Perf.analyze faulted with
+       | Ok a -> Format.eprintf "faulted cycle time: %a@." Ratio.pp a.Perf.cycle_time
+       | Error f -> Format.eprintf "faulted system: %a@." (Perf.pp_failure faulted) f);
+      save out faulted
+    end
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc:"Apply fault models to a system (and optionally cross-check the oracles).")
+    (with_logs Term.(const run $ file_arg $ faults_arg $ check $ rounds $ output_arg))
+
+(* ---- fuzz -------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Campaign PRNG seed.") in
+  let cases = Arg.(value & opt int 100 & info [ "cases" ] ~docv:"N" ~doc:"Number of random cases.") in
+  let max_processes =
+    Arg.(value & opt int 12 & info [ "max-processes" ] ~docv:"P" ~doc:"Largest generated system.")
+  in
+  let rounds =
+    Arg.(value & opt int 96 & info [ "rounds" ] ~docv:"N" ~doc:"Simulation horizon per case.")
+  in
+  let repro_dir =
+    Arg.(value & opt (some string) (Some ".") & info [ "repro-dir" ] ~docv:"DIR"
+           ~doc:"Where failing cases are written as .soc repro files.")
+  in
+  let no_repro =
+    Arg.(value & flag & info [ "no-repro" ] ~doc:"Do not write repro files.")
+  in
+  let run seed cases max_processes rounds repro_dir no_repro =
+    let config =
+      {
+        Fuzz.seed;
+        cases;
+        max_processes;
+        rounds;
+        repro_dir = (if no_repro then None else repro_dir);
+      }
+    in
+    let s = Fuzz.run ~log:prerr_endline config in
+    Printf.printf "fuzz: seed %d, %d cases: %d live, %d dead, %d faults injected, %d failure(s)\n"
+      seed s.Fuzz.cases_run s.Fuzz.live s.Fuzz.dead s.Fuzz.faults_injected
+      (List.length s.Fuzz.failures);
+    if s.Fuzz.failures <> [] then exit 2
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random systems + fault scenarios, every analysis \
+             cross-checked against the simulator; failures are shrunk and written as \
+             .soc repros.")
+    (with_logs Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro))
+
+(* ---- resilience --------------------------------------------------------- *)
+
+let resilience_cmd =
+  let threshold =
+    Arg.(value & opt int 2 & info [ "threshold" ] ~docv:"T"
+           ~doc:"Components with slack <= T cycles are classified fragile.")
+  in
+  let verify =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Probe every bounded slack with fault injections (slack keeps the cycle \
+                 time, slack+1 degrades it).")
+  in
+  let run file threshold verify =
+    let sys = or_die (load file) in
+    match Resilience.analyze ~verify sys with
+    | Error e ->
+      prerr_endline ("ermes: " ^ e);
+      exit 2
+    | Ok r ->
+      Format.printf "%a@." (Resilience.pp sys ~threshold) r;
+      let entries = List.map snd r.Resilience.processes @ List.map snd r.Resilience.channels in
+      if List.exists (fun e -> e.Resilience.verified = Some false) entries then begin
+        prerr_endline "ermes: slack verification failed (analysis bug)";
+        exit 2
+      end
+  in
+  Cmd.v
+    (Cmd.info "resilience"
+       ~doc:"Latency-slack report: how much each component can degrade before the \
+             cycle time moves; fragile vs robust classification.")
+    (with_logs Term.(const run $ file_arg $ threshold $ verify))
+
 (* ---- dot --------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -428,5 +570,8 @@ let () =
                       report_cmd;
                       buffers_cmd;
                       rtl_cmd;
+                      inject_cmd;
+                      fuzz_cmd;
+                      resilience_cmd;
                       dot_cmd;
                     ]))

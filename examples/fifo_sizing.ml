@@ -56,9 +56,11 @@ let () =
       let sys = buffer_all depth (Motivating.suboptimal ()) in
       let sim =
         match Sim.steady_cycle_time ~rounds:96 sys with
-        | Ok (Some m) -> Ratio.to_string m
-        | Ok None -> "?"
-        | Error _ -> "deadlock"
+        | Ok (Sim.Period m) -> Ratio.to_string m
+        | Ok Sim.No_period -> "?"
+        | Ok (Sim.Deadlock _) -> "deadlock"
+        | Ok (Sim.Timeout _) -> "timeout"
+        | Error e -> e
       in
       Format.printf "   %2d      %-12s    %-12s      %d@." depth (ct_string sys) sim
         (total_slots sys))

@@ -55,10 +55,12 @@ let () =
 
   (* Independent evidence: execute the rendezvous protocol cycle by cycle. *)
   (match Sim.steady_cycle_time ~rounds:64 sys with
-   | Ok (Some measured) ->
+   | Ok (Sim.Period measured) ->
      Format.printf "simulated steady-state cycle time: %a@." Ratio.pp measured
-   | Ok None -> Format.printf "simulation reached no steady state (raise rounds)@."
-   | Error d -> Format.printf "%a@." (Sim.pp_deadlock sys) d);
+   | Ok Sim.No_period -> Format.printf "simulation reached no steady state (raise rounds)@."
+   | Ok (Sim.Deadlock d) -> Format.printf "%a@." (Sim.pp_deadlock sys) d
+   | Ok (Sim.Timeout t) -> Format.printf "%a@." Sim.pp_timeout t
+   | Error e -> Format.printf "simulation: %s@." e);
 
   (* The serial-process bottleneck: even though fir (12) dominates, the
      cycle time exceeds it because split and merge serialize their I/O. *)

@@ -1,0 +1,165 @@
+module System = Ermes_slm.System
+module Sim = Ermes_slm.Sim
+module To_tmg = Ermes_slm.To_tmg
+module Tmg = Ermes_tmg.Tmg
+module Ratio = Ermes_tmg.Ratio
+module Liveness = Ermes_tmg.Liveness
+module Howard = Ermes_tmg.Howard
+module Karp = Ermes_tmg.Karp
+module Lawler = Ermes_tmg.Lawler
+module Token_game = Ermes_tmg.Token_game
+module Firing = Ermes_tmg.Firing
+
+type verdict = Live of Ratio.t | Dead
+
+type report = {
+  verdict : verdict option;
+  mismatches : string list;
+}
+
+let agreed r = r.mismatches = []
+
+let rs = Ratio.to_string
+
+(* Karp solves the cycle-mean problem, i.e. the unit-token cycle-ratio
+   problem; cross-check it against Howard on a copy of the marking where
+   every place holds exactly one token, then restore. *)
+let check_karp add tmg =
+  let add fmt = Printf.ksprintf add fmt in
+  let saved = List.map (fun p -> (p, Tmg.tokens tmg p)) (Tmg.places tmg) in
+  List.iter (fun (p, _) -> Tmg.set_tokens tmg p 1) saved;
+  (match (Howard.cycle_time tmg, Karp.of_unit_tmg tmg) with
+  | Ok h, Some k ->
+    if not (Ratio.equal h.Howard.cycle_time k) then
+      add "karp: unit-token cycle mean %s, howard says %s" (rs k)
+        (rs h.Howard.cycle_time)
+  | Error Howard.No_cycle, None -> ()
+  | Error (Howard.Deadlock _), _ -> add "howard: deadlock on a unit-token net"
+  | Ok h, None ->
+    add "karp: no cycle where howard found cycle time %s" (rs h.Howard.cycle_time)
+  | Error Howard.No_cycle, Some k ->
+    add "karp: cycle mean %s where howard found no cycle" (rs k));
+  List.iter (fun (p, t) -> Tmg.set_tokens tmg p t) saved
+
+let check_token_game add tmg verdict =
+  let g = Token_game.start tmg in
+  match verdict with
+  | Dead ->
+    if Token_game.run_round g then
+      add "token game: completed a full round on a net the analyses deadlock"
+  | Live _ ->
+    if not (Token_game.run_round g) then add "token game: stuck on a live net"
+    else if not (Token_game.at_initial_marking g) then
+      add "token game: marking not restored after a full round"
+
+let check_firing add tmg rounds v =
+  let add fmt = Printf.ksprintf add fmt in
+  match v with
+  | Dead -> ()
+  | Live ct -> (
+    let measure r = Firing.measured_cycle_time tmg ~rounds:r in
+    match (match measure rounds with None -> measure (rounds * 4) | p -> p) with
+    | Some m ->
+      if not (Ratio.equal m ct) then
+        add "firing: max-plus schedule settles at %s, howard says %s" (rs m) (rs ct)
+    | None -> add "firing: no periodic steady state within %d rounds" (rounds * 4))
+
+(* The simulator's verdict is local to its monitor: on a partially
+   deadlocked system a sink that does not depend on the dead cycle keeps
+   iterating, legitimately. A deadlock verdict from the analyses is global,
+   so compare against *every* sink: the system is only cleared if some sink
+   observes the deadlock (directly, or as a watchdog timeout when unrelated
+   activity keeps the event queue busy). Every process of a valid system
+   lies on a source-to-sink path, so a dead cycle always starves or blocks
+   at least one sink. *)
+let check_sim add faulted scenario rounds verdict =
+  let add fmt = Printf.ksprintf add fmt in
+  let hooks = Fault.hooks scenario in
+  let budget r = Sim.default_max_cycles ~max_iterations:r faulted + Fault.stall_budget scenario in
+  let sim ?monitor r =
+    Sim.steady_cycle_time ?monitor ~rounds:r ~max_cycles:(budget r) ~hooks faulted
+  in
+  match verdict with
+  | Live ct -> (
+    let rec check r escalate =
+      match sim r with
+      | Error e -> add "sim: %s" e
+      | Ok (Sim.Period p) ->
+        if not (Ratio.equal p ct) then
+          add "sim: steady period %s, howard says %s" (rs p) (rs ct)
+      | Ok (Sim.Deadlock d) ->
+        add "sim: deadlock at cycle %d on a system the analyses call live" d.Sim.at_cycle
+      | Ok (Sim.Timeout t) ->
+        add "sim: watchdog timeout (budget %d, %d monitor iterations) on a live system"
+          t.Sim.budget t.Sim.monitor_iterations
+      | Ok Sim.No_period ->
+        if escalate then check (r * 4) false
+        else add "sim: no steady period within %d monitored iterations" r
+    in
+    check rounds true)
+  | Dead -> (
+    let sinks = System.sinks faulted in
+    let observed =
+      List.exists
+        (fun s ->
+          match sim ~monitor:s rounds with
+          | Ok (Sim.Deadlock _ | Sim.Timeout _) -> true
+          | Ok (Sim.Period _ | Sim.No_period) | Error _ -> false)
+        sinks
+    in
+    if not observed then
+      match sinks with
+      | [] -> add "sim: deadlocked system has no sink to monitor"
+      | _ ->
+        add "sim: every sink completed %d iterations on a system the analyses deadlock"
+          rounds)
+
+let run_case ?(rounds = 96) sys scenario =
+  let mismatches = ref [] in
+  let record s = mismatches := s :: !mismatches in
+  let add fmt = Printf.ksprintf record fmt in
+  let faulted = Fault.apply sys scenario in
+  match System.validate faulted with
+  | Error e ->
+    {
+      verdict = None;
+      mismatches = [ "fault application broke well-formedness: " ^ e ];
+    }
+  | Ok () ->
+    let m = To_tmg.build faulted in
+    Fault.remove_tokens m scenario;
+    let tmg = m.To_tmg.tmg in
+    let dead_per_liveness = Liveness.find_dead_cycle tmg <> None in
+    let verdict =
+      match Howard.cycle_time tmg with
+      | Ok h -> Some (Live h.Howard.cycle_time)
+      | Error (Howard.Deadlock _) -> Some Dead
+      | Error Howard.No_cycle ->
+        add "howard: no cycle in the TMG of a valid system";
+        None
+    in
+    (match (verdict, dead_per_liveness) with
+    | Some Dead, false -> add "liveness: howard reports deadlock, commoner finds no token-free cycle"
+    | Some (Live ct), true ->
+      add "liveness: commoner finds a token-free cycle, howard reports cycle time %s" (rs ct)
+    | _ -> ());
+    (match (Lawler.cycle_time tmg, verdict) with
+    | Ok (ct, _), Some (Live h) ->
+      if not (Ratio.equal ct h) then add "lawler: %s, howard says %s" (rs ct) (rs h)
+    | Ok (ct, _), Some Dead ->
+      add "lawler: cycle time %s on a system howard deadlocks" (rs ct)
+    | Error Lawler.Deadlock, Some (Live ct) ->
+      add "lawler: deadlock on a system howard times at %s" (rs ct)
+    | Error Lawler.Deadlock, Some Dead -> ()
+    | Error Lawler.No_cycle, Some _ -> add "lawler: no cycle where howard found one"
+    | _, None -> ());
+    check_karp record tmg;
+    (match verdict with
+    | Some v ->
+      check_token_game record tmg v;
+      (* Firing raises on non-live nets; skip it when the liveness oracles
+         already disagree (the mismatch is recorded above). *)
+      if (v = Dead) = dead_per_liveness then check_firing record tmg rounds v;
+      check_sim record faulted scenario rounds v
+    | None -> ());
+    { verdict; mismatches = List.rev !mismatches }

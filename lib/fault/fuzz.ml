@@ -1,0 +1,227 @@
+module System = Ermes_slm.System
+module Soc_format = Ermes_slm.Soc_format
+module Prng = Ermes_synth.Prng
+module Generate = Ermes_synth.Generate
+
+type config = {
+  seed : int;
+  cases : int;
+  max_processes : int;
+  rounds : int;
+  repro_dir : string option;
+}
+
+let default =
+  { seed = 1; cases = 100; max_processes = 12; rounds = 96; repro_dir = Some "." }
+
+type failure = {
+  case : int;
+  scenario : Fault.scenario;
+  mismatches : string list;
+  system : System.t;
+  repro_file : string option;
+}
+
+type summary = {
+  cases_run : int;
+  live : int;
+  dead : int;
+  faults_injected : int;
+  failures : failure list;
+}
+
+let gen_fault rng sys =
+  let channels = System.channels sys in
+  let processes = System.processes sys in
+  let fifos =
+    List.filter
+      (fun c -> match System.channel_kind sys c with System.Fifo _ -> true | _ -> false)
+      channels
+  in
+  let jitter () =
+    Fault.Latency_jitter
+      { channel = Prng.pick rng channels; delta = Prng.int_range rng ~lo:(-5) ~hi:25 }
+  in
+  match Prng.int_range rng ~lo:0 ~hi:99 with
+  | n when n < 30 -> jitter ()
+  | n when n < 55 ->
+    Fault.Process_slowdown
+      { process = Prng.pick rng processes; delta = Prng.int_range rng ~lo:1 ~hi:20 }
+  | n when n < 80 ->
+    Fault.Channel_stall
+      {
+        channel = Prng.pick rng channels;
+        at_transfer = Prng.int_range rng ~lo:0 ~hi:4;
+        cycles = Prng.int_range rng ~lo:1 ~hi:60;
+      }
+  | _ -> (
+    match fifos with
+    | [] -> jitter ()
+    | _ ->
+      Fault.Fifo_shrink
+        { channel = Prng.pick rng fifos; depth = Prng.int_range rng ~lo:1 ~hi:2 })
+
+let gen_case rng ~max_processes =
+  let processes = Prng.int_range rng ~lo:4 ~hi:(max 4 max_processes) in
+  let channels = processes + Prng.int_range rng ~lo:(processes / 2) ~hi:(2 * processes) in
+  let cfg =
+    {
+      Generate.processes;
+      channels;
+      layers = max 2 (processes / 3);
+      feedback_fraction = Prng.float_unit rng *. 0.4;
+      impls = 2;
+      max_process_latency = 50;
+      max_channel_latency = 40;
+      seed = Prng.int_range rng ~lo:1 ~hi:1_000_000;
+    }
+  in
+  let sys = Generate.generate cfg in
+  (* Dress the system up: buffered channels exercise the relay-station TMG
+     expansion, permuted statement orders exercise the deadlock detectors
+     (a permutation may legitimately deadlock a reconvergent path). *)
+  List.iter
+    (fun c ->
+      if Prng.bool_with rng ~probability:0.3 then
+        System.set_channel_kind sys c (System.Fifo (Prng.int_range rng ~lo:1 ~hi:4)))
+    (System.channels sys);
+  if Prng.bool_with rng ~probability:0.4 then
+    List.iter
+      (fun p ->
+        if Prng.bool_with rng ~probability:0.5 then begin
+          System.set_get_order sys p (Prng.shuffle rng (System.get_order sys p));
+          System.set_put_order sys p (Prng.shuffle rng (System.put_order sys p))
+        end)
+      (System.processes sys);
+  let n_faults = Prng.int_range rng ~lo:0 ~hi:3 in
+  let scenario = List.init n_faults (fun _ -> gen_fault rng sys) in
+  let scenario =
+    if Prng.bool_with rng ~probability:0.15 then
+      Fault.Token_removal { process = Prng.pick rng (System.processes sys) } :: scenario
+    else scenario
+  in
+  (sys, scenario)
+
+let fails sys rounds scenario =
+  match Differential.run_case ~rounds sys scenario with
+  | r -> not (Differential.agreed r)
+  | exception _ -> true
+
+(* Greedy shrink: drop whole faults while the failure reproduces, then halve
+   magnitudes fault by fault to a fixpoint. *)
+let shrink sys rounds scenario =
+  let fails sc = fails sys rounds sc in
+  let rec drop sc =
+    let rec try_drop pre = function
+      | [] -> None
+      | f :: rest ->
+        let cand = List.rev_append pre rest in
+        if fails cand then Some cand else try_drop (f :: pre) rest
+    in
+    match try_drop [] sc with Some sc' -> drop sc' | None -> sc
+  in
+  let halve = function
+    | Fault.Latency_jitter { channel; delta } when abs delta > 1 ->
+      Some (Fault.Latency_jitter { channel; delta = delta / 2 })
+    | Fault.Process_slowdown { process; delta } when delta > 1 ->
+      Some (Fault.Process_slowdown { process; delta = delta / 2 })
+    | Fault.Channel_stall { channel; at_transfer; cycles } when cycles > 1 ->
+      Some (Fault.Channel_stall { channel; at_transfer; cycles = cycles / 2 })
+    | _ -> None
+  in
+  let rec reduce sc =
+    let arr = Array.of_list sc in
+    let improved = ref None in
+    (try
+       Array.iteri
+         (fun i f ->
+           match halve f with
+           | None -> ()
+           | Some f' ->
+             let cand = Array.to_list (Array.mapi (fun j g -> if j = i then f' else g) arr) in
+             if fails cand then begin
+               improved := Some cand;
+               raise Exit
+             end)
+         arr
+     with Exit -> ());
+    match !improved with Some sc' -> reduce sc' | None -> sc
+  in
+  reduce (drop scenario)
+
+let one_line s = String.map (function '\n' -> ' ' | c -> c) s
+
+let write_repro dir ~seed ~case sys scenario mismatches =
+  let faulted = Fault.apply sys scenario in
+  let dynamic = List.filter (fun f -> not (Fault.is_structural f)) scenario in
+  let file = Printf.sprintf "fuzz-seed%d-case%d.soc" seed case in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "# ermes fuzz repro: seed %d, case %d\n" seed case;
+  List.iter (fun m -> Printf.bprintf b "# mismatch: %s\n" (one_line m)) mismatches;
+  List.iter
+    (fun f -> Printf.bprintf b "# dynamic fault: %s\n" (Fault.to_spec faulted f))
+    dynamic;
+  Printf.bprintf b "# replay: ermes inject %s%s --check\n" file
+    (String.concat ""
+       (List.map (fun f -> Printf.sprintf " --fault %s" (Fault.to_spec faulted f)) dynamic));
+  Buffer.add_string b (Soc_format.print faulted);
+  let path = Filename.concat dir file in
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
+  path
+
+let run ?(log = fun _ -> ()) config =
+  let rng = Prng.create ~seed:config.seed in
+  let live = ref 0 and dead = ref 0 and faults = ref 0 in
+  let failures = ref [] in
+  for case = 0 to config.cases - 1 do
+    let sys, scenario = gen_case rng ~max_processes:config.max_processes in
+    faults := !faults + List.length scenario;
+    let outcome =
+      match Differential.run_case ~rounds:config.rounds sys scenario with
+      | r -> Ok r
+      | exception e ->
+        Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+    in
+    (match outcome with
+    | Ok r when Differential.agreed r -> (
+      match r.Differential.verdict with
+      | Some (Differential.Live _) -> incr live
+      | Some Differential.Dead -> incr dead
+      | None -> ())
+    | _ ->
+      let scenario = shrink sys config.rounds scenario in
+      let mismatches =
+        match Differential.run_case ~rounds:config.rounds sys scenario with
+        | r when not (Differential.agreed r) -> r.Differential.mismatches
+        | _ -> (
+          (* The shrunk scenario no longer fails deterministically (should
+             not happen); report whatever the original run said. *)
+          match outcome with Ok r -> r.Differential.mismatches | Error e -> [ e ])
+        | exception e ->
+          [ Printf.sprintf "uncaught exception: %s" (Printexc.to_string e) ]
+      in
+      let repro_file =
+        match config.repro_dir with
+        | Some dir -> (
+          match write_repro dir ~seed:config.seed ~case sys scenario mismatches with
+          | path -> Some path
+          | exception Sys_error _ -> None)
+        | None -> None
+      in
+      log
+        (Printf.sprintf "case %d: FAIL — %s%s" case
+           (String.concat "; " (List.map one_line mismatches))
+           (match repro_file with Some f -> " (repro: " ^ f ^ ")" | None -> ""));
+      failures := { case; scenario; mismatches; system = sys; repro_file } :: !failures);
+    if (case + 1) mod 25 = 0 then
+      log
+        (Printf.sprintf "%d/%d cases, %d failures" (case + 1) config.cases
+           (List.length !failures))
+  done;
+  {
+    cases_run = config.cases;
+    live = !live;
+    dead = !dead;
+    faults_injected = !faults;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,65 @@
+(** Crash-isolating differential fuzzer.
+
+    Generates seeded random systems ({!Ermes_synth.Generate}), dresses them
+    up (FIFO-izing channels, permuting statement orders — which may
+    legitimately deadlock them) and random fault scenarios, runs every case
+    through {!Differential.run_case}, and catches both oracle disagreements
+    and uncaught exceptions. A failing case is {e shrunk} — faults dropped
+    greedily, then magnitudes halved, while the failure reproduces — and
+    written out as a [.soc] repro file whose header records the mismatch,
+    the dynamic faults and a replay command line.
+
+    Everything is a pure function of [config.seed]: re-running with the same
+    seed replays the same cases bit-for-bit. *)
+
+module System = Ermes_slm.System
+
+type config = {
+  seed : int;
+  cases : int;
+  max_processes : int;  (** per generated system, ≥ 4 *)
+  rounds : int;  (** simulator/firing horizon per case *)
+  repro_dir : string option;  (** where repro files land; [None] disables *)
+}
+
+val default : config
+(** seed 1, 100 cases, ≤ 12 processes, 96 rounds, repros in the current
+    directory. *)
+
+type failure = {
+  case : int;  (** 0-based case index (deterministic per seed) *)
+  scenario : Fault.scenario;  (** shrunk to a minimal failing scenario *)
+  mismatches : string list;  (** oracle disagreements, or the exception *)
+  system : System.t;  (** the base (unfaulted) generated system *)
+  repro_file : string option;
+}
+
+type summary = {
+  cases_run : int;
+  live : int;  (** cases whose oracles agreed on a cycle time *)
+  dead : int;  (** cases whose oracles agreed on deadlock *)
+  faults_injected : int;
+  failures : failure list;
+}
+
+val run : ?log:(string -> unit) -> config -> summary
+(** [run config] executes the campaign. [log] receives one progress line per
+    failure and per 25 cases. *)
+
+val gen_case : Ermes_synth.Prng.t -> max_processes:int -> System.t * Fault.scenario
+(** One random case: the generated (possibly order-permuted, FIFO-ized)
+    system and a fault scenario for it. Exposed for the test suite. *)
+
+val write_repro :
+  string ->
+  seed:int ->
+  case:int ->
+  System.t ->
+  Fault.scenario ->
+  string list ->
+  string
+(** [write_repro dir ~seed ~case sys scenario mismatches] writes the [.soc]
+    repro for a failing case into [dir] and returns its path: the faulted
+    system with a comment header recording the mismatches, the dynamic
+    faults (structural ones are baked into the printed system) and a
+    replay command line. Exposed for the test suite. *)

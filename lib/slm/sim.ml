@@ -10,12 +10,36 @@ type blocked = {
 
 type deadlock = { at_cycle : int; blocked : blocked list }
 
+type timeout = { budget : int; monitor_iterations : int }
+
+type outcome =
+  | Completed
+  | Deadlocked of deadlock
+  | Timed_out of timeout
+
 type run = {
   cycles : int;
   iterations : int array;
   completions : int list array;
-  deadlock : deadlock option;
+  outcome : outcome;
 }
+
+type hooks = {
+  stall : System.channel -> int -> int;
+  stuck : System.process -> bool;
+}
+
+let no_hooks = { stall = (fun _ _ -> 0); stuck = (fun _ -> false) }
+
+let default_max_cycles ~max_iterations sys =
+  let total =
+    List.fold_left (fun acc p -> acc + System.latency sys p) 0 (System.processes sys)
+    + List.fold_left
+        (fun acc c -> acc + System.channel_latency sys c + 1)
+        0 (System.channels sys)
+  in
+  let np = System.process_count sys in
+  (max_iterations + np + 8) * (total + np + 1)
 
 type stmt = Sget of System.channel | Scompute | Sput of System.channel
 
@@ -25,148 +49,170 @@ type event =
   | Enqueue_done of System.channel  (* FIFO: item landed in the buffer *)
   | Dequeue_done of System.channel  (* FIFO: item handed to the consumer *)
 
-let run ?monitor ?(max_iterations = 64) ?(max_cycles = max_int) sys =
+let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
   let np = System.process_count sys and nc = System.channel_count sys in
-  let monitor =
+  match
     match monitor with
-    | Some p -> p
+    | Some p -> Ok p
     | None -> (
       match System.sinks sys with
-      | s :: _ -> s
-      | [] -> invalid_arg "Sim.run: system has no sink to monitor")
-  in
-  let program =
-    Array.init np (fun p ->
-        let gets = List.map (fun c -> Sget c) (System.get_order sys p) in
-        let puts = List.map (fun c -> Sput c) (System.put_order sys p) in
-        let stmts =
-          match System.phase sys p with
-          | System.Gets_first -> gets @ (Scompute :: puts)
-          | System.Puts_first -> puts @ (Scompute :: gets)
-        in
-        Array.of_list stmts)
-  in
-  let pc = Array.make np 0 in
-  let waiting_get = Array.make nc false in
-  let waiting_put = Array.make nc false in
-  let transfer_active = Array.make nc false in
-  (* FIFO channels: free slots, buffered items, and whether the enqueue or
-     dequeue port is mid-transfer. Rendezvous channels leave these unused. *)
-  let credits = Array.make nc 0 in
-  let items = Array.make nc 0 in
-  let enq_busy = Array.make nc false in
-  let deq_busy = Array.make nc false in
-  List.iter
-    (fun c ->
+      | s :: _ -> Ok s
+      | [] -> Error "Sim.run: system has no sink to monitor")
+  with
+  | Error _ as e -> e
+  | Ok monitor ->
+    let max_cycles =
+      match max_cycles with
+      | Some b -> b
+      | None -> default_max_cycles ~max_iterations sys
+    in
+    let program =
+      Array.init np (fun p ->
+          let gets = List.map (fun c -> Sget c) (System.get_order sys p) in
+          let puts = List.map (fun c -> Sput c) (System.put_order sys p) in
+          let stmts =
+            match System.phase sys p with
+            | System.Gets_first -> gets @ (Scompute :: puts)
+            | System.Puts_first -> puts @ (Scompute :: gets)
+          in
+          Array.of_list stmts)
+    in
+    let pc = Array.make np 0 in
+    let waiting_get = Array.make nc false in
+    let waiting_put = Array.make nc false in
+    let transfer_active = Array.make nc false in
+    (* FIFO channels: free slots, buffered items, and whether the enqueue or
+       dequeue port is mid-transfer. Rendezvous channels leave these unused. *)
+    let credits = Array.make nc 0 in
+    let items = Array.make nc 0 in
+    let enq_busy = Array.make nc false in
+    let deq_busy = Array.make nc false in
+    (* Per-channel transfer counter, for the stall hook. *)
+    let transfers = Array.make nc 0 in
+    List.iter
+      (fun c ->
+        match System.channel_kind sys c with
+        | System.Fifo depth -> credits.(c) <- depth
+        | System.Rendezvous -> ())
+      (System.channels sys);
+    let iterations = Array.make np 0 in
+    let completions = Array.make np [] in
+    let events = Heap.create () in
+    let now = ref 0 in
+    let finished = ref false in
+    let transfer_latency c =
+      let k = transfers.(c) in
+      transfers.(c) <- k + 1;
+      System.channel_latency sys c + max 0 (hooks.stall c k)
+    in
+    (* Entering a statement either arms a timer (compute), or declares
+       readiness on a channel and attempts a transfer. Zero-latency
+       computations fall through immediately; every process has at least one
+       channel statement, so the mutual recursion terminates. *)
+    let rec enter p =
+      match program.(p).(pc.(p)) with
+      | Scompute ->
+        let l = System.latency sys p in
+        if l = 0 then advance p else Heap.push events (!now + l) (Compute_done p)
+      | Sget c ->
+        waiting_get.(c) <- true;
+        try_match c
+      | Sput c ->
+        waiting_put.(c) <- true;
+        try_match c
+    and try_match c =
       match System.channel_kind sys c with
-      | System.Fifo depth -> credits.(c) <- depth
-      | System.Rendezvous -> ())
-    (System.channels sys);
-  let iterations = Array.make np 0 in
-  let completions = Array.make np [] in
-  let events = Heap.create () in
-  let now = ref 0 in
-  let finished = ref false in
-  (* Entering a statement either arms a timer (compute), or declares
-     readiness on a channel and attempts a transfer. Zero-latency
-     computations fall through immediately; every process has at least one
-     channel statement, so the mutual recursion terminates. *)
-  let rec enter p =
-    match program.(p).(pc.(p)) with
-    | Scompute ->
-      let l = System.latency sys p in
-      if l = 0 then advance p else Heap.push events (!now + l) (Compute_done p)
-    | Sget c ->
-      waiting_get.(c) <- true;
-      try_match c
-    | Sput c ->
-      waiting_put.(c) <- true;
-      try_match c
-  and try_match c =
-    match System.channel_kind sys c with
-    | System.Rendezvous ->
-      if waiting_get.(c) && waiting_put.(c) && not transfer_active.(c) then begin
-        waiting_get.(c) <- false;
-        waiting_put.(c) <- false;
-        transfer_active.(c) <- true;
-        Heap.push events (!now + System.channel_latency sys c) (Transfer_done c)
-      end
-    | System.Fifo _ ->
-      (* Enqueue: the producer needs a free slot; the transfer into the
-         buffer takes the channel latency. *)
-      if waiting_put.(c) && credits.(c) > 0 && not enq_busy.(c) then begin
-        waiting_put.(c) <- false;
-        credits.(c) <- credits.(c) - 1;
-        enq_busy.(c) <- true;
-        Heap.push events (!now + System.channel_latency sys c) (Enqueue_done c)
+      | System.Rendezvous ->
+        if waiting_get.(c) && waiting_put.(c) && not transfer_active.(c) then begin
+          waiting_get.(c) <- false;
+          waiting_put.(c) <- false;
+          transfer_active.(c) <- true;
+          Heap.push events (!now + transfer_latency c) (Transfer_done c)
+        end
+      | System.Fifo _ ->
+        (* Enqueue: the producer needs a free slot; the transfer into the
+           buffer takes the channel latency. *)
+        if waiting_put.(c) && credits.(c) > 0 && not enq_busy.(c) then begin
+          waiting_put.(c) <- false;
+          credits.(c) <- credits.(c) - 1;
+          enq_busy.(c) <- true;
+          Heap.push events (!now + transfer_latency c) (Enqueue_done c)
+        end;
+        (* Dequeue: the consumer needs a buffered item; the local read takes
+           one cycle. *)
+        if waiting_get.(c) && items.(c) > 0 && not deq_busy.(c) then begin
+          waiting_get.(c) <- false;
+          items.(c) <- items.(c) - 1;
+          deq_busy.(c) <- true;
+          Heap.push events (!now + 1) (Dequeue_done c)
+        end
+    and advance p =
+      pc.(p) <- (pc.(p) + 1) mod Array.length program.(p);
+      if pc.(p) = 0 then begin
+        iterations.(p) <- iterations.(p) + 1;
+        completions.(p) <- !now :: completions.(p);
+        if p = monitor && iterations.(p) >= max_iterations then finished := true
       end;
-      (* Dequeue: the consumer needs a buffered item; the local read takes
-         one cycle. *)
-      if waiting_get.(c) && items.(c) > 0 && not deq_busy.(c) then begin
-        waiting_get.(c) <- false;
-        items.(c) <- items.(c) - 1;
-        deq_busy.(c) <- true;
-        Heap.push events (!now + 1) (Dequeue_done c)
-      end
-  and advance p =
-    pc.(p) <- (pc.(p) + 1) mod Array.length program.(p);
-    if pc.(p) = 0 then begin
-      iterations.(p) <- iterations.(p) + 1;
-      completions.(p) <- !now :: completions.(p);
-      if p = monitor && iterations.(p) >= max_iterations then finished := true
-    end;
-    enter p
-  in
-  for p = 0 to np - 1 do
-    enter p
-  done;
-  let deadlock = ref None in
-  let continue_ () =
-    (not !finished) && !deadlock = None && !now <= max_cycles
-  in
-  while continue_ () do
-    match Heap.pop_min events with
-    | None ->
-      (* No pending event: every process is stalled at an I/O statement and
-         no transfer can complete — deadlock. *)
-      let blocked =
-        List.filter_map
-          (fun p ->
-            match program.(p).(pc.(p)) with
-            | Sget c -> Some { process = p; channel = c; direction = Waiting_get }
-            | Sput c -> Some { process = p; channel = c; direction = Waiting_put }
-            | Scompute -> None)
-          (System.processes sys)
-      in
-      deadlock := Some { at_cycle = !now; blocked }
-    | Some (t, ev) ->
-      now := t;
-      (match ev with
-       | Compute_done p -> advance p
-       | Transfer_done c ->
-         transfer_active.(c) <- false;
-         (* Both endpoints move past their put/get; the consumer first is an
-            arbitrary but fixed tie-break (no semantic effect: both advance at
-            the same instant). *)
-         advance (System.channel_dst sys c);
-         advance (System.channel_src sys c)
-       | Enqueue_done c ->
-         enq_busy.(c) <- false;
-         items.(c) <- items.(c) + 1;
-         advance (System.channel_src sys c);
-         try_match c
-       | Dequeue_done c ->
-         deq_busy.(c) <- false;
-         credits.(c) <- credits.(c) + 1;
-         advance (System.channel_dst sys c);
-         try_match c)
-  done;
-  {
-    cycles = !now;
-    iterations;
-    completions = Array.map List.rev completions;
-    deadlock = !deadlock;
-  }
+      enter p
+    in
+    for p = 0 to np - 1 do
+      if not (hooks.stuck p) then enter p
+    done;
+    let outcome = ref None in
+    while !finished = false && !outcome = None do
+      match Heap.pop_min events with
+      | None ->
+        (* No pending event: every (unstuck) process is stalled at an I/O
+           statement and no transfer can complete — deadlock. *)
+        let blocked =
+          List.filter_map
+            (fun p ->
+              if hooks.stuck p then None
+              else
+                match program.(p).(pc.(p)) with
+                | Sget c -> Some { process = p; channel = c; direction = Waiting_get }
+                | Sput c -> Some { process = p; channel = c; direction = Waiting_put }
+                | Scompute -> None)
+            (System.processes sys)
+        in
+        outcome := Some (Deadlocked { at_cycle = !now; blocked })
+      | Some (t, ev) ->
+        if t > max_cycles then
+          (* Watchdog: the budget is exhausted before the monitor finished. *)
+          outcome :=
+            Some
+              (Timed_out
+                 { budget = max_cycles; monitor_iterations = iterations.(monitor) })
+        else begin
+          now := t;
+          match ev with
+          | Compute_done p -> advance p
+          | Transfer_done c ->
+            transfer_active.(c) <- false;
+            (* Both endpoints move past their put/get; the consumer first is an
+               arbitrary but fixed tie-break (no semantic effect: both advance at
+               the same instant). *)
+            advance (System.channel_dst sys c);
+            advance (System.channel_src sys c)
+          | Enqueue_done c ->
+            enq_busy.(c) <- false;
+            items.(c) <- items.(c) + 1;
+            advance (System.channel_src sys c);
+            try_match c
+          | Dequeue_done c ->
+            deq_busy.(c) <- false;
+            credits.(c) <- credits.(c) + 1;
+            advance (System.channel_dst sys c);
+            try_match c
+        end
+    done;
+    Ok
+      {
+        cycles = !now;
+        iterations;
+        completions = Array.map List.rev completions;
+        outcome = (match !outcome with None -> Completed | Some o -> o);
+      }
 
 let detect_period times =
   (* [times] oldest first. Find the smallest period c such that the tail of
@@ -194,19 +240,34 @@ let detect_period times =
     search 1
   end
 
-let steady_cycle_time ?(rounds = 64) ?monitor sys =
-  let monitor =
+type measurement =
+  | Period of Ratio.t
+  | No_period
+  | Deadlock of deadlock
+  | Timeout of timeout
+
+let steady_cycle_time ?(rounds = 64) ?monitor ?max_cycles ?hooks sys =
+  match
     match monitor with
-    | Some p -> p
+    | Some p -> Ok p
     | None -> (
       match System.sinks sys with
-      | s :: _ -> s
-      | [] -> invalid_arg "Sim.steady_cycle_time: system has no sink")
-  in
-  let r = run ~monitor ~max_iterations:rounds sys in
-  match r.deadlock with
-  | Some d -> Error d
-  | None -> Ok (detect_period r.completions.(monitor))
+      | s :: _ -> Ok s
+      | [] -> Error "Sim.steady_cycle_time: system has no sink to monitor")
+  with
+  | Error _ as e -> e
+  | Ok monitor -> (
+    match run ~monitor ~max_iterations:rounds ?max_cycles ?hooks sys with
+    | Error _ as e -> e
+    | Ok r ->
+      Ok
+        (match r.outcome with
+        | Deadlocked d -> Deadlock d
+        | Timed_out t -> Timeout t
+        | Completed -> (
+          match detect_period r.completions.(monitor) with
+          | Some p -> Period p
+          | None -> No_period)))
 
 let pp_deadlock sys ppf d =
   Format.fprintf ppf "@[<v>deadlock at cycle %d:@," d.at_cycle;
@@ -218,3 +279,8 @@ let pp_deadlock sys ppf d =
         (System.channel_name sys b.channel))
     d.blocked;
   Format.fprintf ppf "@]"
+
+let pp_timeout ppf t =
+  Format.fprintf ppf
+    "watchdog timeout: cycle budget %d exhausted after %d monitor iterations"
+    t.budget t.monitor_iterations

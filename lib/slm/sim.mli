@@ -11,7 +11,14 @@
     shared semantics code — so the test suite can check that the analytical
     cycle time of {!To_tmg}+[Howard] equals the measured steady-state rate,
     and that analytical deadlocks match simulated deadlocks (the lengthy
-    repeated simulations the paper says ERMES makes unnecessary). *)
+    repeated simulations the paper says ERMES makes unnecessary).
+
+    Every run is guarded by a watchdog: instead of an unbounded horizon the
+    simulation carries a finite cycle budget (by default derived from the
+    system's total latency, see {!default_max_cycles}) and reports budget
+    exhaustion as an explicit {!outcome-Timed_out} outcome, distinct from
+    deadlock. Structural problems (no sink to monitor) are reported as
+    [Error] instead of raising. *)
 
 type direction = Waiting_get | Waiting_put
 
@@ -25,29 +32,81 @@ type deadlock = { at_cycle : int; blocked : blocked list }
 (** All processes are permanently stalled at I/O statements: no transfer can
     ever start again. *)
 
+type timeout = {
+  budget : int;  (** the cycle budget that was exhausted *)
+  monitor_iterations : int;  (** iterations the monitor had completed *)
+}
+(** The watchdog fired: the event clock passed the cycle budget before the
+    monitor finished its iterations and before any deadlock was detected —
+    either the budget was too small for the system's transient, or the
+    system is live-locked away from the monitor. *)
+
+type outcome =
+  | Completed  (** the monitor finished its [max_iterations] iterations *)
+  | Deadlocked of deadlock
+  | Timed_out of timeout
+
 type run = {
   cycles : int;  (** simulated time at which the run stopped *)
   iterations : int array;  (** completed loop iterations, per process *)
   completions : int list array;
       (** per process, completion time of each iteration, oldest first *)
-  deadlock : deadlock option;
+  outcome : outcome;
 }
+
+type hooks = {
+  stall : System.channel -> int -> int;
+      (** [stall c k] is the number of extra cycles injected into the [k]-th
+          (0-based) transfer on channel [c] — a transient channel-stall
+          fault. For FIFO channels the stall applies to the enqueue side. *)
+  stuck : System.process -> bool;
+      (** A stuck process never executes a statement: the operational face of
+          a token-removal fault (its initial enabling token is gone). *)
+}
+
+val no_hooks : hooks
+(** No stalls, no stuck processes — the unfaulted semantics. *)
+
+val default_max_cycles : max_iterations:int -> System.t -> int
+(** A generous but finite watchdog budget: every iteration of a live system
+    completes within the sum of all process and channel latencies (the
+    critical cycle's delay cannot exceed the total delay), so
+    [(max_iterations + processes + 8) * (total_latency + processes + 1)]
+    bounds any legitimate run, including its start-up transient. *)
 
 val run :
   ?monitor:System.process ->
   ?max_iterations:int ->
   ?max_cycles:int ->
+  ?hooks:hooks ->
   System.t ->
-  run
+  (run, string) result
 (** [run sys] simulates until the [monitor] process (default: the first sink)
-    completes [max_iterations] iterations (default 64), the clock exceeds
-    [max_cycles] (default [max_int]), or the system deadlocks. *)
+    completes [max_iterations] iterations (default 64), the system deadlocks,
+    or the watchdog budget [max_cycles] (default {!default_max_cycles}) is
+    exhausted. [Error] if the system has no sink and no [monitor] was
+    given. *)
+
+type measurement =
+  | Period of Ermes_tmg.Ratio.t
+      (** exact steady-state cycle time of the monitored process *)
+  | No_period
+      (** the run completed but no exact periodicity was detected within the
+          horizon — raise [rounds] *)
+  | Deadlock of deadlock
+  | Timeout of timeout
 
 val steady_cycle_time :
-  ?rounds:int -> ?monitor:System.process -> System.t -> (Ermes_tmg.Ratio.t option, deadlock) result
+  ?rounds:int ->
+  ?monitor:System.process ->
+  ?max_cycles:int ->
+  ?hooks:hooks ->
+  System.t ->
+  (measurement, string) result
 (** Measured steady-state cycle time: simulate [rounds] iterations (default
     64) of the monitored process and detect the exact period of its
     completion times, as in {!Ermes_tmg.Firing.measured_cycle_time}.
-    [Ok None] if periodicity is not reached within the horizon. *)
+    [Error] only for structural problems (no sink to monitor). *)
 
 val pp_deadlock : System.t -> Format.formatter -> deadlock -> unit
+val pp_timeout : Format.formatter -> timeout -> unit

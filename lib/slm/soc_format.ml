@@ -3,112 +3,148 @@ let strip_comment line =
   | Some i -> String.sub line 0 i
   | None -> line
 
+(* Tokens paired with their 1-based start column, so errors can point at the
+   offending token rather than just its line. *)
 let tokens line =
-  strip_comment line |> String.split_on_char ' '
-  |> List.concat_map (String.split_on_char '\t')
-  |> List.filter (fun s -> s <> "")
+  let line = strip_comment line in
+  let n = String.length line in
+  let is_sep ch = ch = ' ' || ch = '\t' in
+  let rec scan i acc =
+    if i >= n then List.rev acc
+    else if is_sep line.[i] then scan (i + 1) acc
+    else begin
+      let j = ref i in
+      while !j < n && not (is_sep line.[!j]) do
+        incr j
+      done;
+      scan !j ((String.sub line i (!j - i), i + 1) :: acc)
+    end
+  in
+  scan 0 []
 
-exception Parse_error of string
+exception Parse_error of int * string  (* column, message *)
 
-let fail lineno fmt =
-  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" lineno s))) fmt
+let fail col fmt = Printf.ksprintf (fun s -> raise (Parse_error (col, s))) fmt
 
-let int_of lineno what s =
+let int_of col what s =
   match int_of_string_opt s with
   | Some i -> i
-  | None -> fail lineno "%s: expected integer, got %S" what s
+  | None -> fail col "%s: expected integer, got %S" what s
 
-let float_of lineno what s =
+let float_of col what s =
   match float_of_string_opt s with
   | Some f -> f
-  | None -> fail lineno "%s: expected number, got %S" what s
+  | None -> fail col "%s: expected number, got %S" what s
 
 (* [impl TAG latency INT area FLOAT]+ *)
-let rec parse_impls lineno acc = function
+let rec parse_impls dcol acc = function
   | [] ->
-    if acc = [] then fail lineno "process needs at least one 'impl'";
+    if acc = [] then fail dcol "process needs at least one 'impl'";
     List.rev acc
-  | "impl" :: tag :: "latency" :: l :: "area" :: a :: rest ->
+  | ("impl", _) :: (tag, _) :: ("latency", _) :: (l, lcol) :: ("area", _) :: (a, acol) :: rest
+    ->
     let impl =
-      { System.tag; latency = int_of lineno "latency" l; area = float_of lineno "area" a }
+      { System.tag; latency = int_of lcol "latency" l; area = float_of acol "area" a }
     in
-    parse_impls lineno (impl :: acc) rest
-  | tok :: _ -> fail lineno "expected 'impl TAG latency INT area FLOAT', got %S" tok
+    parse_impls dcol (impl :: acc) rest
+  | (tok, col) :: _ -> fail col "expected 'impl TAG latency INT area FLOAT', got %S" tok
 
-let find_process sys lineno name =
+let find_process sys col name =
   match System.find_process sys name with
   | Some p -> p
-  | None -> fail lineno "unknown process %S" name
+  | None -> fail col "unknown process %S" name
 
-let find_channel sys lineno name =
+let find_channel sys col name =
   match System.find_channel sys name with
   | Some c -> c
-  | None -> fail lineno "unknown channel %S" name
+  | None -> fail col "unknown channel %S" name
 
 let parse text =
   let lines = String.split_on_char '\n' text in
   let sys = ref None in
-  let get_sys lineno =
+  (* Whether a real [system] directive was seen ([sys] may hold a placeholder
+     installed after an error, so that the remaining directives can still be
+     checked and all independent errors reported in one pass). *)
+  let declared = ref false in
+  let get_sys col =
     match !sys with
     | Some s -> s
-    | None -> fail lineno "the first directive must be 'system NAME'"
+    | None -> fail col "the first directive must be 'system NAME'"
   in
-  let handle lineno line =
-    match tokens line with
+  let handle toks =
+    match toks with
     | [] -> ()
-    | [ "system"; name ] ->
-      if !sys <> None then fail lineno "duplicate 'system' directive";
-      sys := Some (System.create ~name ())
-    | "system" :: _ -> fail lineno "usage: system NAME"
-    | "process" :: name :: rest ->
-      let s = get_sys lineno in
+    | [ ("system", dcol); (name, _) ] ->
+      if !declared then fail dcol "duplicate 'system' directive"
+      else begin
+        declared := true;
+        match !sys with
+        | None -> sys := Some (System.create ~name ())
+        | Some _ ->
+          (* Directives before this point were checked against a placeholder;
+             restart with the real system (their errors are already recorded). *)
+          sys := Some (System.create ~name ())
+      end
+    | ("system", col) :: _ -> fail col "usage: system NAME"
+    | ("process", dcol) :: (name, ncol) :: rest ->
+      let s = get_sys dcol in
       let phase, rest =
         match rest with
-        | "puts_first" :: rest -> (System.Puts_first, rest)
+        | ("puts_first", _) :: rest -> (System.Puts_first, rest)
         | rest -> (System.Gets_first, rest)
       in
-      let impls = parse_impls lineno [] rest in
+      let impls = parse_impls dcol [] rest in
       (try ignore (System.add_process s ~phase ~impls name)
-       with Invalid_argument m -> fail lineno "%s" m)
-    | [ "select"; pname; idx ] ->
-      let s = get_sys lineno in
-      let p = find_process s lineno pname in
-      (try System.select s p (int_of lineno "select" idx)
-       with Invalid_argument m -> fail lineno "%s" m)
-    | "channel" :: name :: src :: dst :: "latency" :: l :: rest ->
-      let s = get_sys lineno in
-      let src = find_process s lineno src and dst = find_process s lineno dst in
+       with Invalid_argument m -> fail ncol "%s" m)
+    | [ ("select", dcol); (pname, pcol); (idx, icol) ] ->
+      let s = get_sys dcol in
+      let p = find_process s pcol pname in
+      (try System.select s p (int_of icol "select" idx)
+       with Invalid_argument m -> fail icol "%s" m)
+    | ("channel", dcol) :: (name, ncol) :: (src, scol) :: (dst, tcol) :: ("latency", _)
+      :: (l, lcol) :: rest ->
+      let s = get_sys dcol in
+      let src = find_process s scol src and dst = find_process s tcol dst in
       let c =
-        try System.add_channel s ~name ~src ~dst ~latency:(int_of lineno "latency" l)
-        with Invalid_argument m -> fail lineno "%s" m
+        try System.add_channel s ~name ~src ~dst ~latency:(int_of lcol "latency" l)
+        with Invalid_argument m -> fail ncol "%s" m
       in
       (match rest with
        | [] -> ()
-       | [ "fifo"; k ] -> (
-         try System.set_channel_kind s c (System.Fifo (int_of lineno "fifo" k))
-         with Invalid_argument m -> fail lineno "%s" m)
-       | _ -> fail lineno "usage: channel NAME SRC DST latency INT [fifo INT]")
-    | "channel" :: _ -> fail lineno "usage: channel NAME SRC DST latency INT [fifo INT]"
-    | "gets" :: pname :: chs ->
-      let s = get_sys lineno in
-      let p = find_process s lineno pname in
-      let order = List.map (find_channel s lineno) chs in
+       | [ ("fifo", _); (k, kcol) ] -> (
+         try System.set_channel_kind s c (System.Fifo (int_of kcol "fifo" k))
+         with Invalid_argument m -> fail kcol "%s" m)
+       | _ -> fail dcol "usage: channel NAME SRC DST latency INT [fifo INT]")
+    | ("channel", dcol) :: _ -> fail dcol "usage: channel NAME SRC DST latency INT [fifo INT]"
+    | ("gets", dcol) :: (pname, pcol) :: chs ->
+      let s = get_sys dcol in
+      let p = find_process s pcol pname in
+      let order = List.map (fun (ch, col) -> find_channel s col ch) chs in
       (try System.set_get_order s p order
-       with Invalid_argument m -> fail lineno "%s" m)
-    | "puts" :: pname :: chs ->
-      let s = get_sys lineno in
-      let p = find_process s lineno pname in
-      let order = List.map (find_channel s lineno) chs in
+       with Invalid_argument m -> fail pcol "%s" m)
+    | ("puts", dcol) :: (pname, pcol) :: chs ->
+      let s = get_sys dcol in
+      let p = find_process s pcol pname in
+      let order = List.map (fun (ch, col) -> find_channel s col ch) chs in
       (try System.set_put_order s p order
-       with Invalid_argument m -> fail lineno "%s" m)
-    | tok :: _ -> fail lineno "unknown directive %S" tok
+       with Invalid_argument m -> fail pcol "%s" m)
+    | (tok, col) :: _ -> fail col "unknown directive %S" tok
   in
-  try
-    List.iteri (fun i line -> handle (i + 1) line) lines;
-    match !sys with
-    | Some s -> Ok s
-    | None -> Error "empty description: missing 'system NAME'"
-  with Parse_error m -> Error m
+  let errors = ref [] in
+  List.iteri
+    (fun i line ->
+      match handle (tokens line) with
+      | () -> ()
+      | exception Parse_error (col, msg) ->
+        errors := Printf.sprintf "line %d, col %d: %s" (i + 1) col msg :: !errors;
+        (* Install a placeholder so the remaining lines can still be checked
+           when the description never opened a system. *)
+        if !sys = None then sys := Some (System.create ~name:"(invalid)" ()))
+    lines;
+  match (List.rev !errors, !sys) with
+  | [], Some s when !declared -> Ok s
+  | [], _ -> Error "empty description: missing 'system NAME'"
+  | errs, _ -> Error (String.concat "\n" errs)
 
 let parse_file path =
   match In_channel.with_open_text path In_channel.input_all with

@@ -18,8 +18,10 @@
     selections and orders, which always satisfies this). *)
 
 val parse : string -> (System.t, string) result
-(** [parse text] builds a system, or returns an error message naming the
-    offending line. *)
+(** [parse text] builds a system, or returns an error message. Every error
+    names the offending line {e and column}; independent errors on different
+    lines are all collected in one pass and joined with newlines, so a
+    malformed file reports everything wrong with it at once. *)
 
 val parse_file : string -> (System.t, string) result
 

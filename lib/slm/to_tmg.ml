@@ -9,6 +9,7 @@ type mapping = {
   channel_exit : Tmg.transition array;
   compute_transition : Tmg.transition array;
   owner : owner array;
+  initial_place : Tmg.place option array;
 }
 
 let build sys =
@@ -17,6 +18,7 @@ let build sys =
   let channel_entry = Array.make (max nch 1) (-1) in
   let channel_exit = Array.make (max nch 1) (-1) in
   let compute_transition = Array.make (max np 1) (-1) in
+  let initial_place = Array.make (max np 1) None in
   let owners = Vec.create () in
   let add_transition ~name ~delay owner =
     let t = Tmg.add_transition tmg ~name ~delay () in
@@ -86,12 +88,21 @@ let build sys =
       let j = (i + 1) mod n in
       let s_i = snd arr.(i) and s_j = snd arr.(j) in
       let tokens = if Some j = first_io_index then 1 else 0 in
-      ignore
-        (Tmg.add_place tmg ~name:(stmt_name (fst arr.(j))) ~src:s_i ~dst:s_j ~tokens ())
+      let place =
+        Tmg.add_place tmg ~name:(stmt_name (fst arr.(j))) ~src:s_i ~dst:s_j ~tokens ()
+      in
+      if tokens = 1 then initial_place.(p) <- Some place
     done
   in
   List.iter thread_process (System.processes sys);
-  { tmg; channel_entry; channel_exit; compute_transition; owner = Vec.to_array owners }
+  {
+    tmg;
+    channel_entry;
+    channel_exit;
+    compute_transition;
+    owner = Vec.to_array owners;
+    initial_place;
+  }
 
 let transition_owner mapping t = mapping.owner.(t)
 

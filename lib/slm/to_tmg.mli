@@ -35,6 +35,11 @@ type mapping = {
   compute_transition : Ermes_tmg.Tmg.transition array;
       (** indexed by process id *)
   owner : owner array;  (** indexed by transition id *)
+  initial_place : Ermes_tmg.Tmg.place option array;
+      (** per process, the place of its statement cycle holding the single
+          initial token — the token a token-removal fault deletes. [None]
+          only for a degenerate process with no I/O statement (rejected by
+          {!System.validate}). *)
 }
 
 val build : System.t -> mapping

@@ -73,3 +73,85 @@ Automatic FIFO sizing toward a target cycle time:
   wrote sized.soc
   $ tail -1 buffers.log
   6 slots added; cycle time 2045; target missed
+
+Fault injection: structural faults rebuild the system, dynamic faults are
+simulator-only; --check cross-checks every oracle:
+
+  $ ermes inject sys.soc --fault slow:p0004:5 --check
+  verdict: live, cycle time 3098
+  all oracles agree
+  $ ermes inject sys.soc --fault jitter:c00005:3 -o faulted.soc 2> inject.log
+  wrote faulted.soc
+  $ cat inject.log
+  faulted cycle time: 3096
+  $ ermes inject sys.soc --fault droptoken:p0002 --check
+  verdict: deadlock
+  all oracles agree
+
+Bad fault specs fail cleanly:
+
+  $ ermes inject sys.soc --fault jitter:nosuch:3
+  ermes: fault "jitter:nosuch:3": unknown channel "nosuch"
+  [1]
+
+A malformed description reports every independent error, each with its line
+and column:
+
+  $ cat > bad.soc <<'EOF'
+  > system bad
+  > process A impl only latency x area 1.0
+  > process B impl only latency 3 area 0.5
+  > channel k A B latency 0
+  > frobnicate 1 2 3
+  > EOF
+  $ ermes analyze bad.soc
+  ermes: bad.soc: line 2, col 29: latency: expected integer, got "x"
+  line 4, col 11: unknown process "A"
+  line 5, col 1: unknown directive "frobnicate"
+  [1]
+
+A sink-less system is a structured error, not a crash:
+
+  $ cat > loop.soc <<'EOF'
+  > system loop
+  > process A puts_first impl only latency 1 area 0.1
+  > process B impl only latency 1 area 0.1
+  > channel x A B latency 1
+  > channel y B A latency 1
+  > EOF
+  $ ermes simulate loop.soc
+  ermes: loop.soc: invalid system: system has no source process
+  [1]
+
+Resilience report: latency slack per component, verified by fault probes:
+
+  $ ermes resilience sys.soc --threshold 0 --verify
+  cycle time 3093; fragility threshold 0
+  processes:
+    p0000            slack 1663  robust (verified)
+    p0001            slack 226  robust (verified)
+    p0002            slack 266  robust (verified)
+    p0003            slack 226  robust (verified)
+    p0004            slack 0  fragile (verified)
+    p0005            slack 2019  robust (verified)
+    src              slack 1048  robust (verified)
+    snk              slack 2737  robust (verified)
+  channels:
+    c00000           slack 1663  robust (verified)
+    c00001           slack 1155  robust (verified)
+    c00002           slack 226  robust (verified)
+    c00003           slack 974  robust (verified)
+    c00004           slack 226  robust (verified)
+    c00005           slack 0  fragile (verified)
+    c00006           slack 813  robust (verified)
+    c00007           slack 226  robust (verified)
+    c00008           slack 226  robust (verified)
+    c00009           slack 226  robust (verified)
+    c00010           slack 0  fragile (verified)
+    c00011           slack 226  robust (verified)
+  
+
+Differential fuzzing is deterministic in the seed and must stay clean:
+
+  $ ermes fuzz --seed 1 --cases 50 --no-repro 2>/dev/null
+  fuzz: seed 1, 50 cases: 41 live, 9 dead, 69 faults injected, 0 failure(s)

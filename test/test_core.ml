@@ -538,7 +538,8 @@ let test_explore_with_fifo_channels () =
   let trace = Explore.run ~tct:12 sys in
   Alcotest.(check bool) "met with FIFOs" true trace.Explore.met;
   match (Perf.analyze sys, Ermes_slm.Sim.steady_cycle_time ~rounds:48 sys) with
-  | Ok a, Ok (Some m) -> Helpers.check_ratio "still consistent" a.Perf.cycle_time m
+  | Ok a, Ok (Ermes_slm.Sim.Period m) ->
+    Helpers.check_ratio "still consistent" a.Perf.cycle_time m
   | _ -> Alcotest.fail "analysis/simulation failed"
 
 let test_explore_unreachable_target () =
@@ -675,7 +676,7 @@ let test_explore_result_simulates () =
   System.select sys (find_process sys "B") 2;
   let trace = Explore.run ~tct:12 sys in
   match (Perf.analyze sys, Sim.steady_cycle_time ~rounds:64 sys) with
-  | Ok a, Ok (Some measured) ->
+  | Ok a, Ok (Sim.Period measured) ->
     Helpers.check_ratio "explored system: analysis = simulation" a.Perf.cycle_time measured;
     Helpers.check_ratio "trace final = analysis" (Explore.final_cycle_time trace) a.Perf.cycle_time
   | _ -> Alcotest.fail "analysis or simulation failed"

@@ -1,0 +1,362 @@
+(* Fault models, watchdogs, and the differential harness.
+
+   The anchor property: a token-removal fault is detected identically by
+   Commoner's liveness test, Howard's cycle-time analysis, and the simulator
+   watchdog; structural faults always yield well-formed systems; transient
+   stalls perturb the schedule but never the steady-state cycle time. *)
+
+module System = Ermes_slm.System
+module Sim = Ermes_slm.Sim
+module To_tmg = Ermes_slm.To_tmg
+module Soc_format = Ermes_slm.Soc_format
+module Motivating = Ermes_slm.Motivating
+module Ratio = Ermes_tmg.Ratio
+module Liveness = Ermes_tmg.Liveness
+module Howard = Ermes_tmg.Howard
+module Perf = Ermes_core.Perf
+module Fault = Ermes_fault.Fault
+module Differential = Ermes_fault.Differential
+module Fuzz = Ermes_fault.Fuzz
+module Resilience = Ermes_fault.Resilience
+
+let find_p sys n = Option.get (System.find_process sys n)
+let find_c sys n = Option.get (System.find_channel sys n)
+
+(* ---- structural application ---------------------------------------------- *)
+
+let test_apply_preserves_structure () =
+  let sys = Motivating.suboptimal () in
+  let p2 = find_p sys "P2" and a = find_c sys "a" in
+  let base_latency = System.latency sys p2 in
+  let base_ch = System.channel_latency sys a in
+  let faulted =
+    Fault.apply sys
+      [
+        Fault.Process_slowdown { process = p2; delta = 4 };
+        Fault.Latency_jitter { channel = a; delta = 3 };
+      ]
+  in
+  Alcotest.(check (result unit string)) "well-formed" (Ok ()) (System.validate faulted);
+  Alcotest.(check int) "slowdown applied" (base_latency + 4) (System.latency faulted p2);
+  Alcotest.(check int) "jitter applied" (base_ch + 3) (System.channel_latency faulted a);
+  (* Ids, names and orders survive, so fault specs stay valid on the copy. *)
+  List.iter
+    (fun p ->
+      Alcotest.(check string) "process name" (System.process_name sys p)
+        (System.process_name faulted p);
+      Alcotest.(check bool) "get order" true
+        (System.get_order sys p = System.get_order faulted p);
+      Alcotest.(check bool) "put order" true
+        (System.put_order sys p = System.put_order faulted p))
+    (System.processes sys);
+  (* The base system is untouched. *)
+  Alcotest.(check int) "original latency intact" base_latency (System.latency sys p2)
+
+let test_apply_clamps () =
+  let sys = Motivating.suboptimal () in
+  let a = find_c sys "a" in
+  let faulted = Fault.apply sys [ Fault.Latency_jitter { channel = a; delta = -100 } ] in
+  Alcotest.(check int) "channel latency clamped to 1" 1 (System.channel_latency faulted a);
+  Alcotest.(check (result unit string)) "still valid" (Ok ()) (System.validate faulted)
+
+let test_fifo_shrink () =
+  let sys = Motivating.suboptimal () in
+  let a = find_c sys "a" in
+  System.set_channel_kind sys a (System.Fifo 4);
+  let faulted = Fault.apply sys [ Fault.Fifo_shrink { channel = a; depth = 2 } ] in
+  Alcotest.(check bool) "depth cut" true (System.channel_kind faulted a = System.Fifo 2);
+  (* Shrinking never grows a buffer. *)
+  let f2 = Fault.apply sys [ Fault.Fifo_shrink { channel = a; depth = 9 } ] in
+  Alcotest.(check bool) "no growth" true (System.channel_kind f2 a = System.Fifo 4)
+
+let prop_apply_well_formed =
+  (* Any structural scenario over a valid system yields a valid system with
+     the same shape. *)
+  let gen = QCheck2.Gen.(pair Helpers.dag_system_gen (list_repeat 5 (int_range 0 100_000))) in
+  Helpers.qtest ~count:80 "structural faults preserve well-formedness" gen
+    (fun (sys, draws) ->
+      let procs = Array.of_list (System.processes sys) in
+      let chans = Array.of_list (System.channels sys) in
+      let scenario =
+        List.mapi
+          (fun i d ->
+            let p = procs.(d mod Array.length procs) in
+            let c = chans.(d mod Array.length chans) in
+            match (i + d) mod 3 with
+            | 0 -> Fault.Latency_jitter { channel = c; delta = (d mod 31) - 5 }
+            | 1 -> Fault.Process_slowdown { process = p; delta = d mod 17 }
+            | _ -> Fault.Fifo_shrink { channel = c; depth = 1 + (d mod 3) })
+          draws
+      in
+      let faulted = Fault.apply sys scenario in
+      System.validate faulted = Ok ()
+      && System.process_count faulted = System.process_count sys
+      && System.channel_count faulted = System.channel_count sys)
+
+(* ---- token removal: the three detectors must agree ------------------------ *)
+
+let token_removal_verdicts sys victim =
+  let scenario = [ Fault.Token_removal { process = victim } ] in
+  let m = To_tmg.build sys in
+  Fault.remove_tokens m scenario;
+  let commoner = Liveness.find_dead_cycle m.To_tmg.tmg <> None in
+  let howard =
+    match Howard.cycle_time m.To_tmg.tmg with
+    | Error (Howard.Deadlock _) -> true
+    | Ok _ | Error Howard.No_cycle -> false
+  in
+  let watchdog =
+    match Sim.steady_cycle_time ~hooks:(Fault.hooks scenario) sys with
+    | Ok (Sim.Deadlock _ | Sim.Timeout _) -> true
+    | Ok (Sim.Period _ | Sim.No_period) | Error _ -> false
+  in
+  (commoner, howard, watchdog)
+
+let test_token_removal_agreement () =
+  let sys = Motivating.optimal () in
+  List.iter
+    (fun name ->
+      let commoner, howard, watchdog = token_removal_verdicts sys (find_p sys name) in
+      Alcotest.(check bool) (name ^ ": liveness sees the dead cycle") true commoner;
+      Alcotest.(check bool) (name ^ ": howard reports deadlock") true howard;
+      Alcotest.(check bool) (name ^ ": simulator watchdog trips") true watchdog)
+    [ "Psrc"; "P2"; "P6"; "Psnk" ]
+
+let prop_token_removal_agreement =
+  let gen = QCheck2.Gen.(pair Helpers.feedback_system_gen (int_range 0 10_000)) in
+  Helpers.qtest ~count:40 "token removal: liveness = howard = watchdog" gen
+    (fun (sys, d) ->
+      let procs = Array.of_list (System.processes sys) in
+      let victim = procs.(d mod Array.length procs) in
+      match token_removal_verdicts sys victim with
+      | true, true, true -> true
+      | _ -> false)
+
+(* ---- transient stalls --------------------------------------------------- *)
+
+let test_stall_is_transient () =
+  (* A one-shot stall shifts the transient schedule but cannot change the
+     steady-state period. *)
+  let sys = Motivating.optimal () in
+  let base =
+    match Sim.steady_cycle_time sys with
+    | Ok (Sim.Period p) -> p
+    | _ -> Alcotest.fail "baseline did not settle"
+  in
+  let scenario =
+    [ Fault.Channel_stall { channel = find_c sys "a"; at_transfer = 2; cycles = 37 } ]
+  in
+  let budget =
+    Sim.default_max_cycles ~max_iterations:64 sys + Fault.stall_budget scenario
+  in
+  match Sim.steady_cycle_time ~max_cycles:budget ~hooks:(Fault.hooks scenario) sys with
+  | Ok (Sim.Period p) -> Helpers.check_ratio "same steady period" base p
+  | _ -> Alcotest.fail "stalled run did not settle"
+
+(* ---- watchdog and structured errors -------------------------------------- *)
+
+let test_sinkless_is_error_not_exception () =
+  let sys = System.create ~name:"loop" () in
+  let a = System.add_simple_process sys ~phase:System.Puts_first ~latency:1 ~area:0. "a" in
+  let b = System.add_simple_process sys ~latency:1 ~area:0. "b" in
+  ignore (System.add_channel sys ~name:"x" ~src:a ~dst:b ~latency:1);
+  ignore (System.add_channel sys ~name:"y" ~src:b ~dst:a ~latency:1);
+  (match Sim.run sys with
+  | Error e -> Alcotest.(check bool) "mentions the sink" true
+                 (Astring_contains.contains e "sink")
+  | Ok _ -> Alcotest.fail "expected an error");
+  match Sim.steady_cycle_time sys with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_default_budget_covers_legitimate_runs () =
+  (* The derived watchdog budget never trips on a live system at the default
+     horizon. *)
+  List.iter
+    (fun sysf ->
+      let sys = sysf () in
+      match Sim.steady_cycle_time sys with
+      | Ok (Sim.Period _) -> ()
+      | Ok (Sim.Timeout t) ->
+        Alcotest.failf "spurious watchdog timeout (budget %d)" t.Sim.budget
+      | _ -> Alcotest.fail "expected a steady period")
+    [ Motivating.suboptimal; Motivating.optimal; Motivating.system ]
+
+(* ---- spec round-trip ------------------------------------------------------ *)
+
+let test_spec_roundtrip () =
+  let sys = Motivating.suboptimal () in
+  let a = find_c sys "a" and p2 = find_p sys "P2" in
+  System.set_channel_kind sys a (System.Fifo 3);
+  List.iter
+    (fun f ->
+      match Fault.parse_spec sys (Fault.to_spec sys f) with
+      | Ok f' -> Alcotest.(check bool) (Fault.to_spec sys f ^ " round-trips") true (f = f')
+      | Error e -> Alcotest.fail e)
+    [
+      Fault.Latency_jitter { channel = a; delta = -4 };
+      Fault.Process_slowdown { process = p2; delta = 7 };
+      Fault.Fifo_shrink { channel = a; depth = 2 };
+      Fault.Channel_stall { channel = a; at_transfer = 3; cycles = 11 };
+      Fault.Token_removal { process = p2 };
+    ]
+
+let test_spec_errors () =
+  let sys = Motivating.suboptimal () in
+  let expect_err spec frag =
+    match Fault.parse_spec sys spec with
+    | Error e -> Alcotest.(check bool) (spec ^ " rejected") true (Astring_contains.contains e frag)
+    | Ok _ -> Alcotest.fail (spec ^ " should not parse")
+  in
+  expect_err "jitter:nosuch:3" "unknown channel";
+  expect_err "slow:nosuch:3" "unknown process";
+  expect_err "slow:P2:x" "integer";
+  expect_err "frobnicate:P2" "expected";
+  expect_err "shrink:a:0" "depth"
+
+(* ---- differential harness ------------------------------------------------- *)
+
+let test_differential_live_scenario () =
+  let sys = Motivating.suboptimal () in
+  let scenario =
+    [
+      Fault.Latency_jitter { channel = find_c sys "b"; delta = 2 };
+      Fault.Process_slowdown { process = find_p sys "P4"; delta = 3 };
+      Fault.Channel_stall { channel = find_c sys "a"; at_transfer = 1; cycles = 9 };
+    ]
+  in
+  let r = Differential.run_case sys scenario in
+  Alcotest.(check (list string)) "all oracles agree" [] r.Differential.mismatches;
+  match r.Differential.verdict with
+  | Some (Differential.Live _) -> ()
+  | _ -> Alcotest.fail "expected a live verdict"
+
+let test_differential_dead_scenario () =
+  let sys = Motivating.optimal () in
+  let r =
+    Differential.run_case sys [ Fault.Token_removal { process = find_p sys "P3" } ]
+  in
+  Alcotest.(check (list string)) "all oracles agree" [] r.Differential.mismatches;
+  Alcotest.(check bool) "deadlock verdict" true
+    (r.Differential.verdict = Some Differential.Dead)
+
+(* ---- fuzz campaign -------------------------------------------------------- *)
+
+let test_fuzz_clean_and_deterministic () =
+  let config = { Fuzz.default with Fuzz.cases = 40; seed = 7; repro_dir = None } in
+  let s1 = Fuzz.run config in
+  let s2 = Fuzz.run config in
+  Alcotest.(check (list string)) "no failures"
+    []
+    (List.concat_map (fun f -> f.Fuzz.mismatches) s1.Fuzz.failures);
+  Alcotest.(check int) "cases" 40 s1.Fuzz.cases_run;
+  Alcotest.(check bool) "both verdict kinds exercised" true (s1.Fuzz.live > 0 && s1.Fuzz.dead > 0);
+  Alcotest.(check int) "deterministic live count" s1.Fuzz.live s2.Fuzz.live;
+  Alcotest.(check int) "deterministic dead count" s1.Fuzz.dead s2.Fuzz.dead;
+  Alcotest.(check int) "deterministic fault count" s1.Fuzz.faults_injected s2.Fuzz.faults_injected
+
+let test_fuzz_repro_emission () =
+  (* The repro writer must produce a parseable .soc with the faulted system
+     baked in and a replay header for the dynamic faults. *)
+  let dir = Filename.temp_file "ermes-fuzz" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let sys = Motivating.optimal () in
+  let scenario =
+    [
+      Fault.Process_slowdown
+        { process = Option.get (System.find_process sys "P2"); delta = 3 };
+      Fault.Token_removal { process = Option.get (System.find_process sys "P4") };
+    ]
+  in
+  let path =
+    Fuzz.write_repro dir ~seed:99 ~case:3 sys scenario [ "induced mismatch" ]
+  in
+  Alcotest.(check bool) "repro file exists" true (Sys.file_exists path);
+  let contents = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check bool) "header records the mismatch" true
+    (Astring_contains.contains contents "induced mismatch");
+  Alcotest.(check bool) "header records the dynamic fault" true
+    (Astring_contains.contains contents "droptoken:P4");
+  Alcotest.(check bool) "header has a replay command" true
+    (Astring_contains.contains contents "# replay: ermes inject");
+  (match Soc_format.parse contents with
+  | Ok faulted ->
+    (* The structural slowdown is baked into the printed system. *)
+    let p2 = Option.get (System.find_process faulted "P2") in
+    Alcotest.(check bool) "structural fault baked in" true
+      (Array.exists (fun i -> i.System.latency = 5 + 3) (System.impls faulted p2))
+  | Error e -> Alcotest.fail ("repro does not parse: " ^ e));
+  Sys.remove path;
+  Sys.rmdir dir
+
+(* ---- resilience ----------------------------------------------------------- *)
+
+let test_resilience_motivating () =
+  let sys = Motivating.suboptimal () in
+  match (Perf.analyze sys, Resilience.analyze ~verify:true sys) with
+  | Ok a, Ok r ->
+    (* Critical processes have zero slack; every probe must confirm. *)
+    List.iter
+      (fun p ->
+        match List.assoc p r.Resilience.processes with
+        | { Resilience.slack = Perf.Bounded 0; _ } -> ()
+        | _ -> Alcotest.fail "critical process should have slack 0")
+      a.Perf.critical_processes;
+    let entries =
+      List.map snd r.Resilience.processes @ List.map snd r.Resilience.channels
+    in
+    Alcotest.(check bool) "every bounded slack verified by probing" true
+      (List.for_all (fun e -> e.Resilience.verified <> Some false) entries);
+    let frag = Resilience.fragile sys ~threshold:0 r in
+    Alcotest.(check bool) "critical components are fragile at threshold 0" true
+      (List.length frag >= List.length a.Perf.critical_processes)
+  | _ -> Alcotest.fail "analysis failed"
+
+let test_resilience_deadlock_is_error () =
+  match Resilience.analyze (Motivating.deadlocking ()) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deadlocked system must not produce a report"
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "apply",
+        [
+          Alcotest.test_case "preserves structure" `Quick test_apply_preserves_structure;
+          Alcotest.test_case "clamps latencies" `Quick test_apply_clamps;
+          Alcotest.test_case "fifo shrink" `Quick test_fifo_shrink;
+        ] );
+      ( "token-removal",
+        [ Alcotest.test_case "liveness = howard = watchdog" `Quick test_token_removal_agreement ] );
+      ( "stall", [ Alcotest.test_case "transient only" `Quick test_stall_is_transient ] );
+      ( "watchdog",
+        [
+          Alcotest.test_case "sink-less is a structured error" `Quick
+            test_sinkless_is_error_not_exception;
+          Alcotest.test_case "budget covers legitimate runs" `Quick
+            test_default_budget_covers_legitimate_runs;
+        ] );
+      ( "spec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "live scenario" `Quick test_differential_live_scenario;
+          Alcotest.test_case "dead scenario" `Quick test_differential_dead_scenario;
+        ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "clean + deterministic" `Quick test_fuzz_clean_and_deterministic;
+          Alcotest.test_case "repro emission" `Quick test_fuzz_repro_emission;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "motivating report" `Quick test_resilience_motivating;
+          Alcotest.test_case "deadlock is an error" `Quick test_resilience_deadlock_is_error;
+        ] );
+      ( "property",
+        [ prop_apply_well_formed; prop_token_removal_agreement ] );
+    ]

@@ -154,8 +154,8 @@ let test_soc_rtl_verilog_wellformed () =
 
 let rtl_matches_des sys =
   match (Soc_rtl.measured_cycle_time ~rounds:32 sys, Sim.steady_cycle_time ~rounds:32 sys) with
-  | Some rtl, Ok (Some des) -> Ratio.equal rtl des
-  | None, Error _ -> true  (* both deadlock *)
+  | Some rtl, Ok (Sim.Period des) -> Ratio.equal rtl des
+  | None, Ok (Sim.Deadlock _) -> true  (* both deadlock *)
   | _ -> false
 
 let test_soc_rtl_motivating () =

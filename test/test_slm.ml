@@ -248,7 +248,7 @@ let test_sim_pipeline_rate () =
      analytic CT is what matters; check sim = analysis. *)
   let sys = pipeline2 () in
   match (Sim.steady_cycle_time sys, analyze sys) with
-  | Ok (Some measured), Ok res ->
+  | Ok (Sim.Period measured), Ok res ->
     Helpers.check_ratio "sim = analysis" res.Howard.cycle_time measured
   | _ -> Alcotest.fail "simulation or analysis failed"
 
@@ -256,7 +256,7 @@ let test_sim_motivating () =
   List.iter
     (fun (name, sysf, expected) ->
       match Sim.steady_cycle_time ~rounds:80 (sysf ()) with
-      | Ok (Some measured) -> Helpers.check_ratio name (r expected 1) measured
+      | Ok (Sim.Period measured) -> Helpers.check_ratio name (r expected 1) measured
       | _ -> Alcotest.fail (name ^ ": no steady state"))
     [
       ("suboptimal", Motivating.suboptimal, 20);
@@ -266,7 +266,7 @@ let test_sim_motivating () =
 
 let test_sim_deadlock_detection () =
   match Sim.steady_cycle_time (Motivating.deadlocking ()) with
-  | Error d ->
+  | Ok (Sim.Deadlock d) ->
     Alcotest.(check bool) "some processes blocked" true (d.Sim.blocked <> []);
     (* The paper's §2 story: P2 blocked putting on d. *)
     let sys = Motivating.deadlocking () in
@@ -276,12 +276,16 @@ let test_sim_deadlock_detection () =
       (List.exists
          (fun b -> b.Sim.process = p2 && b.Sim.channel = d_ch && b.Sim.direction = Sim.Waiting_put)
          d.Sim.blocked)
-  | Ok _ -> Alcotest.fail "deadlock missed"
+  | _ -> Alcotest.fail "deadlock missed"
 
 let test_sim_iteration_counts () =
   let sys = pipeline2 () in
   let snk = Option.get (System.find_process sys "snk") in
-  let run = Sim.run ~monitor:snk ~max_iterations:10 sys in
+  let run =
+    match Sim.run ~monitor:snk ~max_iterations:10 sys with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
   Alcotest.(check int) "sink iterations" 10 run.Sim.iterations.(snk);
   Alcotest.(check bool) "upstream at least as many" true
     (run.Sim.iterations.(0) >= run.Sim.iterations.(snk));
@@ -292,18 +296,16 @@ let prop_sim_matches_analysis =
   Helpers.qtest ~count:60 "simulated steady state equals analytic cycle time"
     Helpers.dag_system_gen (fun sys ->
       match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
-      | Ok res, Ok (Some measured) -> Ratio.equal res.Howard.cycle_time measured
-      | Ok _, Ok None -> false
-      | Error (Howard.Deadlock _), Error _ -> true
+      | Ok res, Ok (Sim.Period measured) -> Ratio.equal res.Howard.cycle_time measured
+      | Error (Howard.Deadlock _), Ok (Sim.Deadlock _) -> true
       | _ -> false)
 
 let prop_sim_matches_analysis_with_feedback =
   Helpers.qtest ~count:40 "simulation = analysis on feedback systems"
     Helpers.feedback_system_gen (fun sys ->
       match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
-      | Ok res, Ok (Some measured) -> Ratio.equal res.Howard.cycle_time measured
-      | Ok _, Ok None -> false
-      | Error (Howard.Deadlock _), Error _ -> true
+      | Ok res, Ok (Sim.Period measured) -> Ratio.equal res.Howard.cycle_time measured
+      | Error (Howard.Deadlock _), Ok (Sim.Deadlock _) -> true
       | _ -> false)
 
 let prop_deadlock_agreement =
@@ -314,23 +316,29 @@ let prop_deadlock_agreement =
     (fun (sys, draws) ->
       Helpers.permute_orders sys draws;
       match (analyze sys, Sim.steady_cycle_time ~rounds:16 sys) with
-      | Ok _, Ok _ -> true
-      | Error (Howard.Deadlock _), Error _ -> true
+      | Ok _, Ok (Sim.Period _ | Sim.No_period) -> true
+      | Error (Howard.Deadlock _), Ok (Sim.Deadlock _) -> true
       | _ -> false)
 
 let test_sim_max_cycles_cap () =
-  (* A capped run stops without declaring deadlock. *)
+  (* A capped run stops with an explicit watchdog timeout, distinct from a
+     deadlock verdict. *)
   let sys = pipeline2 () in
-  let r = Sim.run ~max_iterations:1_000_000 ~max_cycles:20 sys in
-  Alcotest.(check bool) "no deadlock" true (r.Sim.deadlock = None);
-  Alcotest.(check bool) "stopped promptly" true (r.Sim.cycles <= 40)
+  match Sim.run ~max_iterations:1_000_000 ~max_cycles:20 sys with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+    (match r.Sim.outcome with
+     | Sim.Timed_out t -> Alcotest.(check int) "budget recorded" 20 t.Sim.budget
+     | Sim.Completed | Sim.Deadlocked _ -> Alcotest.fail "expected a watchdog timeout");
+    Alcotest.(check bool) "stopped promptly" true (r.Sim.cycles <= 40)
 
 let test_sim_monitor_choice () =
   (* Monitoring an upstream process counts its iterations, not the sink's. *)
   let sys = pipeline2 () in
   let a = Option.get (System.find_process sys "A") in
-  let r = Sim.run ~monitor:a ~max_iterations:5 sys in
-  Alcotest.(check int) "A reached 5" 5 r.Sim.iterations.(a)
+  match Sim.run ~monitor:a ~max_iterations:5 sys with
+  | Ok r -> Alcotest.(check int) "A reached 5" 5 r.Sim.iterations.(a)
+  | Error e -> Alcotest.fail e
 
 let test_fsm_puts_first_order () =
   let sys = System.create () in
@@ -407,7 +415,7 @@ let test_fifo_resolves_protocol_deadlock () =
      cycle, so buffering resolves it. *)
   let sys = all_fifo 1 (Motivating.deadlocking ()) in
   match (analyze sys, Sim.steady_cycle_time ~rounds:64 sys) with
-  | Ok a, Ok (Some m) -> Helpers.check_ratio "analysis = sim" a.Howard.cycle_time m
+  | Ok a, Ok (Sim.Period m) -> Helpers.check_ratio "analysis = sim" a.Howard.cycle_time m
   | _ -> Alcotest.fail "FIFO should make the protocol deadlock live"
 
 let test_fifo_cannot_fix_data_dependence_cycle () =
@@ -427,8 +435,8 @@ let test_fifo_cannot_fix_data_dependence_cycle () =
    | Error (Howard.Deadlock _) -> ()
    | _ -> Alcotest.fail "data-dependence cycle must deadlock despite FIFOs");
   match Sim.steady_cycle_time ~rounds:8 sys with
-  | Error _ -> ()
-  | Ok _ -> Alcotest.fail "simulation must deadlock too"
+  | Ok (Sim.Deadlock _) -> ()
+  | _ -> Alcotest.fail "simulation must deadlock too"
 
 let test_fifo_soc_roundtrip () =
   let sys = pipeline2 () in
@@ -457,7 +465,7 @@ let prop_fifo_sim_matches_analysis =
     (fun (sys, depth) ->
       let sys = all_fifo depth sys in
       match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
-      | Ok res, Ok (Some m) -> Ratio.equal res.Howard.cycle_time m
+      | Ok res, Ok (Sim.Period m) -> Ratio.equal res.Howard.cycle_time m
       | _ -> false)
 
 let prop_fifo_mixed_kinds_consistent =
@@ -473,8 +481,8 @@ let prop_fifo_mixed_kinds_consistent =
           | d -> System.set_channel_kind sys c (System.Fifo d))
         (System.channels sys);
       match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
-      | Ok res, Ok (Some m) -> Ratio.equal res.Howard.cycle_time m
-      | Error (Howard.Deadlock _), Error _ -> true
+      | Ok res, Ok (Sim.Period m) -> Ratio.equal res.Howard.cycle_time m
+      | Error (Howard.Deadlock _), Ok (Sim.Deadlock _) -> true
       | _ -> false)
 
 (* ---- heap ---------------------------------------------------------------- *)
