@@ -4,9 +4,11 @@
    Usage:  dune exec bench/main.exe              (full run, a few minutes)
            dune exec bench/main.exe -- --quick   (skip the 10k-process sweep)
            dune exec bench/main.exe -- SECTION   (one section by name)
+           dune exec bench/main.exe -- --json FILE   (machine-readable metrics)
+           dune exec bench/main.exe -- --jobs J      (fan sweeps over J domains)
 
    Sections: table1 fig2 fig3 fig4 m1 fig6-timing fig6-area scalability
-             ablation-mcm ablation-ordering ablation-dse micro              *)
+             ablation-mcm ablation-ordering ablation-dse incremental micro   *)
 
 module System = Ermes_slm.System
 module Motivating = Ermes_slm.Motivating
@@ -27,8 +29,57 @@ module Frontier = Ermes_core.Frontier
 module Soc = Ermes_mpeg2.Soc
 module Behaviors = Ermes_mpeg2.Behaviors
 module Generate = Ermes_synth.Generate
+module Incremental = Ermes_core.Incremental
+module Parallel = Ermes_parallel.Parallel
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
+
+(* Value-taking flags, prescanned from argv (the section filter in [main]
+   skips flag/value pairs). *)
+let argv_value flag =
+  let rec go = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: tl -> go tl
+    | [] -> None
+  in
+  go (Array.to_list Sys.argv)
+
+let json_file = argv_value "--json"
+
+let jobs =
+  match argv_value "--jobs" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some _ | None ->
+      prerr_endline "bench: --jobs expects a positive integer";
+      exit 1)
+  | None -> Parallel.default_jobs ()
+
+(* Machine-readable outcomes, dumped as a flat JSON object by --json FILE:
+   per-section wall-clock, headline cycle-time/area/speedup numbers, and the
+   microbenchmark ns/run estimates. *)
+let metrics : (string * float) list ref = ref []
+let metric key v = metrics := (key, v) :: !metrics
+
+let write_json file =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  let entries = List.rev !metrics in
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let v =
+        if Float.is_nan v then "null" (* NaN is not JSON *)
+        else if Float.is_integer v && Float.abs v < 1e15 then
+          Printf.sprintf "%.0f" v
+        else Printf.sprintf "%.6g" v
+      in
+      Printf.bprintf b "  %S: %s" k v)
+    entries;
+  Buffer.add_string b "\n}\n";
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b))
 
 let hr title =
   Format.printf "@.======================================================================@.";
@@ -186,19 +237,25 @@ let m1 () =
   repro "from the conservative baseline: CT %s -> %s (%.1f%%), area unchanged"
     (Ratio.to_string before) (Ratio.to_string after)
     (100. *. (1. -. (Ratio.to_float after /. Ratio.to_float before)));
-  (* Distribution over random live designer orders. *)
+  (* Distribution over random live designer orders. Each seed is independent
+     given its own copy, so the sweep fans out over [jobs] domains; the
+     result set is identical for any jobs value. *)
   let n = if quick then 30 else 100 in
-  let gains = ref [] in
-  for seed = 1 to n do
-    Order.conservative_random ~seed sys;
-    let b, a = Explore.reorder_only sys in
-    gains := (100. *. (1. -. (Ratio.to_float a /. Ratio.to_float b))) :: !gains
-  done;
-  let gains = List.sort compare !gains in
+  let gains =
+    Parallel.map ~jobs
+      (fun (seed, sys) ->
+        Order.conservative_random ~seed sys;
+        let b, a = Explore.reorder_only sys in
+        100. *. (1. -. (Ratio.to_float a /. Ratio.to_float b)))
+      (List.init n (fun i -> (i + 1, System.copy sys)))
+  in
+  let gains = List.sort compare gains in
   let pct k = List.nth gains (k * (List.length gains - 1) / 100) in
   paper "reordering resolved unnecessary serialization: 5%% CT improvement";
   repro "over %d random live designer orders: median %.1f%%, p75 %.1f%%, max %.1f%%" n
-    (pct 50) (pct 75) (pct 100)
+    (pct 50) (pct 75) (pct 100);
+  metric "m1.gain_pct.median" (pct 50);
+  metric "m1.gain_pct.max" (pct 100)
 
 (* ----------------------------------------------------------- fig 6 (both) *)
 
@@ -229,7 +286,11 @@ let run_exploration ~label ~paper_line ~tct_frac sys m2p =
   repro "target %s; speed-up %.2fx; CT %+.1f%%; area %+.1f%% vs M2"
     (if trace.Explore.met then "met" else "missed")
     speedup ct_change area_change;
-  ignore label
+  metric (Printf.sprintf "fig6.%s.met" label) (if trace.Explore.met then 1. else 0.);
+  metric (Printf.sprintf "fig6.%s.cycle_time" label)
+    (Ratio.to_float (Explore.final_cycle_time trace));
+  metric (Printf.sprintf "fig6.%s.area_mm2" label) (Explore.final_area trace);
+  metric (Printf.sprintf "fig6.%s.seconds" label) t
 
 let fig6_timing () =
   hr "Fig. 6 left - timing optimization from M2 (paper TCT = 2,000 KC = 0.556 x M2)";
@@ -261,6 +322,8 @@ let scalability () =
       let sys, tgen = time (fun () -> Generate.scaled ~processes:np ~channels:nc ()) in
       let _, tana = time (fun () -> analyze_exn sys) in
       let _, tord = time (fun () -> Order.apply_safe sys) in
+      metric (Printf.sprintf "scalability.%d.analyze_s" np) tana;
+      metric (Printf.sprintf "scalability.%d.order_s" np) tord;
       row "  %5d  %5d   %7.2fs   %7.2fs   %10.2fs   %6.2fs@." np
         (System.channel_count sys) tgen tana tord (tgen +. tana +. tord))
     sizes;
@@ -370,38 +433,54 @@ let ablation_ordering () =
     sys
   in
   let n = if quick then 40 else 120 in
-  let optimal = ref 0 and ls_optimal = ref 0 and total = ref 0 in
-  let gaps = ref [] and cons_gaps = ref [] and ls_gaps = ref [] in
-  while !total < n do
-    let sys = random_sys () in
-    if System.order_combinations sys <= 3000. then begin
-      match Oracle.search ~limit:3001 sys with
-      | None -> ()
-      | Some oracle ->
-        incr total;
-        let best = Ratio.to_float oracle.Oracle.best_cycle_time in
-        Order.conservative sys;
-        let cons = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
-        ignore (Order.apply_safe sys);
-        let got = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
-        if got <= best +. 1e-9 then incr optimal;
-        ignore (Order.local_search ~max_evaluations:2000 sys);
-        let refined = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
-        if refined <= best +. 1e-9 then incr ls_optimal;
-        gaps := (got /. best) :: !gaps;
-        ls_gaps := (refined /. best) :: !ls_gaps;
-        cons_gaps := (cons /. best) :: !cons_gaps
-    end
-  done;
+  (* Candidate generation draws from the shared rng, so it stays sequential
+     (the candidate set is identical for any jobs value); the per-candidate
+     evaluation — oracle + both ordering algorithms + local search on a
+     private system — fans out over [jobs] domains. *)
+  let candidates =
+    let acc = ref [] in
+    while List.length !acc < n do
+      let sys = random_sys () in
+      if System.order_combinations sys <= 3000. then acc := sys :: !acc
+    done;
+    List.rev !acc
+  in
+  let results =
+    Parallel.map ~jobs
+      (fun sys ->
+        match Oracle.search ~limit:3001 sys with
+        | None -> None
+        | Some oracle ->
+          let best = Ratio.to_float oracle.Oracle.best_cycle_time in
+          Order.conservative sys;
+          let cons = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
+          ignore (Order.apply_safe sys);
+          let got = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
+          ignore (Order.local_search ~max_evaluations:2000 sys);
+          let refined = Ratio.to_float (analyze_exn sys).Perf.cycle_time in
+          Some (cons /. best, got /. best, refined /. best))
+      candidates
+    |> List.filter_map Fun.id
+  in
+  let total = List.length results in
+  let cons_gaps = List.map (fun (c, _, _) -> c) results in
+  let gaps = List.map (fun (_, g, _) -> g) results in
+  let ls_gaps = List.map (fun (_, _, r) -> r) results in
+  let optimal = List.length (List.filter (fun g -> g <= 1. +. 1e-9) gaps) in
+  let ls_optimal = List.length (List.filter (fun g -> g <= 1. +. 1e-9) ls_gaps) in
   let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
   let worst xs = List.fold_left max 1. xs in
-  repro "on %d small systems with exhaustive ground truth:" !total;
-  repro "  conservative baseline:   mean gap %.3fx, worst %.2fx" (mean !cons_gaps)
-    (worst !cons_gaps);
-  repro "  Algorithm 1 (safe):      optimal in %3d/%d, mean gap %.3fx, worst %.2fx" !optimal
-    !total (mean !gaps) (worst !gaps);
+  repro "on %d small systems with exhaustive ground truth:" total;
+  repro "  conservative baseline:   mean gap %.3fx, worst %.2fx" (mean cons_gaps)
+    (worst cons_gaps);
+  repro "  Algorithm 1 (safe):      optimal in %3d/%d, mean gap %.3fx, worst %.2fx" optimal
+    total (mean gaps) (worst gaps);
   repro "  + local search (beyond the paper): optimal in %3d/%d, mean gap %.3fx, worst %.2fx"
-    !ls_optimal !total (mean !ls_gaps) (worst !ls_gaps)
+    ls_optimal total (mean ls_gaps) (worst ls_gaps);
+  metric "ablation_ordering.algorithm1.mean_gap" (mean gaps);
+  metric "ablation_ordering.local_search.mean_gap" (mean ls_gaps);
+  metric "ablation_ordering.local_search.optimal" (float_of_int ls_optimal);
+  metric "ablation_ordering.total" (float_of_int total)
 
 (* ------------------------------------------------------------ ablation DSE *)
 
@@ -530,6 +609,139 @@ let ablation_memory () =
           (List.map (fun (p : Design.point) -> p.Design.knobs.Design.banking) frontier)))
     (List.length frontier)
 
+(* ------------------------------------------------------ incremental engine *)
+
+(* A layered system whose order space is oracle-affordable but nontrivial:
+   hub 4!·3! = 144 times hub2 3!·2! = 12, i.e. 1,728 combinations. *)
+let oracle_playground () =
+  let sys = System.create ~name:"oracle-playground" () in
+  let proc lat name = System.add_simple_process sys ~latency:lat ~area:0.01 name in
+  let chan name src dst lat =
+    ignore (System.add_channel sys ~name ~src ~dst ~latency:lat)
+  in
+  let srcs = Array.init 4 (fun i -> proc (2 + (3 * i)) (Printf.sprintf "src%d" i)) in
+  let hub = proc 7 "hub" in
+  let mids = Array.init 3 (fun i -> proc (3 + (2 * i)) (Printf.sprintf "mid%d" i)) in
+  let hub2 = proc 5 "hub2" in
+  let snks = Array.init 2 (fun i -> proc (1 + i) (Printf.sprintf "snk%d" i)) in
+  Array.iteri (fun i s -> chan (Printf.sprintf "a%d" i) s hub (1 + (2 * i))) srcs;
+  Array.iteri (fun i m -> chan (Printf.sprintf "b%d" i) hub m (5 - i)) mids;
+  Array.iteri (fun i m -> chan (Printf.sprintf "c%d" i) m hub2 (2 + i)) mids;
+  Array.iteri (fun i t -> chan (Printf.sprintf "d%d" i) hub2 t (3 - i)) snks;
+  sys
+
+let incremental () =
+  hr "Incremental engine - session probes vs fresh analysis; multicore oracle";
+  (* Repeated probes in the shape of every search inner loop: mutate a
+     selection (even steps) or swap a statement order (odd steps), then
+     re-analyze. The fresh path rebuilds the TMG and solves cold each time;
+     the session path edits the TMG in place and solves warm. *)
+  let k = if quick then 100 else 400 in
+  let mutate sys procs i =
+    let p = procs.(i mod Array.length procs) in
+    if i land 1 = 0 then
+      let n = Array.length (System.impls sys p) in
+      System.select sys p ((System.selected sys p + 1) mod n)
+    else
+      match System.put_order sys p with
+      | a :: b :: rest -> System.set_put_order sys p (b :: a :: rest)
+      | _ -> ()
+  in
+  let run_probes analyze sys =
+    let procs = Array.of_list (System.processes sys) in
+    let cts = ref [] in
+    let (), t =
+      time (fun () ->
+          for i = 0 to k - 1 do
+            mutate sys procs i;
+            cts := (analyze sys : Perf.analysis).Perf.cycle_time :: !cts
+          done)
+    in
+    (List.rev !cts, t)
+  in
+  let base = Lazy.force mpeg2 in
+  let fresh_cts, t_fresh = run_probes analyze_exn (System.copy base) in
+  let inc_sys = System.copy base in
+  let session = Incremental.create inc_sys in
+  let inc_cts, t_inc = run_probes (fun _ -> Incremental.analyze_exn session) inc_sys in
+  if not (List.for_all2 Ratio.equal fresh_cts inc_cts) then
+    failwith "incremental bench: session disagrees with fresh analysis";
+  let stats = Incremental.stats session in
+  repro "%d mutate+analyze probes on the MPEG-2 system (identical cycle times):" k;
+  repro "  fresh rebuild each probe: %6.2f ms total (%.3f ms/probe)" (1000. *. t_fresh)
+    (1000. *. t_fresh /. float_of_int k);
+  repro "  incremental session:      %6.2f ms total (%.3f ms/probe) — %.1fx faster"
+    (1000. *. t_inc) (1000. *. t_inc /. float_of_int k) (t_fresh /. t_inc);
+  repro "  session absorbed %d delay edits + %d rethreads, %d rebuilds"
+    stats.Incremental.delay_edits stats.Incremental.rethreads stats.Incremental.rebuilds;
+  metric "incremental.fresh_s" t_fresh;
+  metric "incremental.session_s" t_inc;
+  metric "incremental.speedup" (t_fresh /. t_inc);
+  (* Same loop on a 1,000-process synthetic SoC, where the per-probe rebuild
+     the session avoids is ~10,000x the delay edit that replaces it. *)
+  let k_big = if quick then 20 else 50 in
+  let big = Generate.scaled ~processes:1000 ~channels:1500 () in
+  let run_big analyze sys =
+    let procs = Array.of_list (System.processes sys) in
+    let cts = ref [] in
+    let (), t =
+      time (fun () ->
+          for i = 0 to k_big - 1 do
+            mutate sys procs (2 * i + 1) (* odd steps: order swaps *);
+            cts := (analyze sys : Perf.analysis).Perf.cycle_time :: !cts
+          done)
+    in
+    (List.rev !cts, t)
+  in
+  let fresh_cts, t_fresh_big = run_big analyze_exn (System.copy big) in
+  let big_inc = System.copy big in
+  let big_session = Incremental.create big_inc in
+  let inc_cts, t_inc_big =
+    run_big (fun _ -> Incremental.analyze_exn big_session) big_inc
+  in
+  if not (List.for_all2 Ratio.equal fresh_cts inc_cts) then
+    failwith "incremental bench: session disagrees with fresh analysis (synth-1000)";
+  repro "%d order-swap probes on a 1,000-process synthetic SoC:" k_big;
+  repro "  fresh rebuild each probe: %6.1f ms total (%.2f ms/probe)"
+    (1000. *. t_fresh_big)
+    (1000. *. t_fresh_big /. float_of_int k_big);
+  repro "  incremental session:      %6.1f ms total (%.2f ms/probe) — %.1fx faster"
+    (1000. *. t_inc_big)
+    (1000. *. t_inc_big /. float_of_int k_big)
+    (t_fresh_big /. t_inc_big);
+  metric "incremental.synth1000.fresh_s" t_fresh_big;
+  metric "incremental.synth1000.session_s" t_inc_big;
+  metric "incremental.synth1000.speedup" (t_fresh_big /. t_inc_big);
+  (* The multicore oracle: same 1,728-combination search at 1, 2 and 4
+     domains; the three results must be bit-identical. *)
+  let osys = oracle_playground () in
+  repro "oracle playground: %.0f order combinations" (System.order_combinations osys);
+  let results =
+    List.map
+      (fun j ->
+        let r, t = time (fun () -> Oracle.search ~limit:10_000 ~jobs:j osys) in
+        let r = Option.get r in
+        repro "  oracle ~jobs:%d: optimum %s over %d combinations (%d deadlock) in %.2f ms"
+          j
+          (Ratio.to_string r.Oracle.best_cycle_time)
+          r.Oracle.evaluated r.Oracle.deadlocked (1000. *. t);
+        metric (Printf.sprintf "incremental.oracle.jobs%d_s" j) t;
+        (j, r))
+      [ 1; 2; 4 ]
+  in
+  let _, r1 = List.hd results in
+  List.iter
+    (fun (_, r) ->
+      if
+        not
+          (Ratio.equal r.Oracle.best_cycle_time r1.Oracle.best_cycle_time
+          && r.Oracle.evaluated = r1.Oracle.evaluated
+          && r.Oracle.deadlocked = r1.Oracle.deadlocked)
+      then failwith "incremental bench: parallel oracle deviates from sequential")
+    results;
+  repro "  all job counts agree bit-for-bit (%d host cores available)"
+    (Parallel.available ())
+
 (* ------------------------------------------------------- bechamel microbench *)
 
 let micro () =
@@ -551,6 +763,17 @@ let micro () =
         (Staged.stage (fun () -> Howard.cycle_time mpeg2_tmg));
       Test.make ~name:"howard/synth-1000"
         (Staged.stage (fun () -> Howard.cycle_time synth_tmg));
+      Test.make ~name:"howard-warm/mpeg2"
+        (Staged.stage
+           (let solver = Howard.make_solver mpeg2_tmg in
+            fun () -> Howard.solve solver));
+      Test.make ~name:"fresh-analyze/synth-1000"
+        (Staged.stage (fun () -> Perf.analyze synth_sys));
+      Test.make ~name:"incremental-vs-fresh/synth-1000"
+        (Staged.stage
+           (let session = Incremental.create synth_sys in
+            let p0 = List.hd (System.processes synth_sys) in
+            fun () -> Incremental.probe session [ Incremental.Slow_process (p0, 1) ]));
       Test.make ~name:"karp/mpeg2-unit-ring"
         (Staged.stage
            (let g = Tmg.graph mpeg2_tmg in
@@ -602,6 +825,7 @@ let micro () =
             else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
             else Printf.sprintf "%8.0f ns" ns
           in
+          metric (Printf.sprintf "micro.%s.ns" name) ns;
           row "  %-32s %14s@." name pretty)
         results)
     tests
@@ -623,12 +847,20 @@ let sections =
     ("ablation-dse", ablation_dse);
     ("ablation-memory", ablation_memory);
     ("ermes-frontier", ermes_frontier);
+    ("incremental", incremental);
     ("micro", micro);
   ]
 
 let () =
   let wanted =
-    Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick")
+    (* Everything that is not a flag (or a flag's value) is a section name. *)
+    let rec keep = function
+      | [] -> []
+      | "--quick" :: tl -> keep tl
+      | ("--json" | "--jobs") :: _ :: tl -> keep tl
+      | a :: tl -> a :: keep tl
+    in
+    keep (List.tl (Array.to_list Sys.argv))
   in
   let to_run =
     if wanted = [] then sections
@@ -644,5 +876,14 @@ let () =
         wanted
   in
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, f) -> f ()) to_run;
-  Format.printf "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0)
+  List.iter
+    (fun (name, f) ->
+      let (), t = time f in
+      metric (Printf.sprintf "section.%s.seconds" name) t)
+    to_run;
+  Format.printf "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0);
+  match json_file with
+  | Some file ->
+    write_json file;
+    Format.printf "metrics written to %s@." file
+  | None -> ()

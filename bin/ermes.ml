@@ -19,6 +19,7 @@ module Fault = Ermes_fault.Fault
 module Differential = Ermes_fault.Differential
 module Fuzz = Ermes_fault.Fuzz
 module Resilience = Ermes_fault.Resilience
+module Parallel = Ermes_parallel.Parallel
 
 open Cmdliner
 
@@ -30,6 +31,16 @@ let verbosity =
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
+
+(* Shared by every multicore-capable subcommand. Results are bit-identical
+   for any value — parallelism only changes wall-clock. *)
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"J"
+         ~doc:"Fan the work over J domains (default: the $(b,ERMES_JOBS) \
+               environment variable, else sequential). The result is identical \
+               for every J.")
+
+let resolve_jobs = function Some j -> j | None -> Parallel.default_jobs ()
 
 let load path =
   match Soc_format.parse_file path with
@@ -119,7 +130,7 @@ let order_cmd =
     Arg.(value & opt (some int) None & info [ "refine" ] ~docv:"N"
            ~doc:"After ordering, run up to N local-search analyses to close the remaining gap.")
   in
-  let run file strategy refine out =
+  let run file strategy refine jobs out =
     let sys = or_die (load file) in
     let before =
       match Perf.analyze sys with
@@ -145,7 +156,16 @@ let order_cmd =
            Printf.eprintf "note: optimized order would be slower; kept the incumbent\n")));
     (match refine with
      | Some budget when Perf.analyze sys |> Result.is_ok ->
-       let evals = Order.local_search ~max_evaluations:budget sys in
+       (* --jobs (or ERMES_JOBS > 1) switches the refinement to the
+          deterministic batch mode; otherwise the sequential greedy runs. *)
+       let jobs =
+         match jobs with
+         | Some j -> Some j
+         | None ->
+           let d = Parallel.default_jobs () in
+           if d > 1 then Some d else None
+       in
+       let evals = Order.local_search ~max_evaluations:budget ?jobs sys in
        Format.eprintf "local search: %d analyses@." evals
      | Some _ | None -> ());
     (match (before, Perf.analyze sys) with
@@ -158,7 +178,7 @@ let order_cmd =
   in
   Cmd.v
     (Cmd.info "order" ~doc:"Reorder the put/get statements (paper §4).")
-    (with_logs Term.(const run $ file_arg $ strategy $ refine $ output_arg))
+    (with_logs Term.(const run $ file_arg $ strategy $ refine $ jobs_arg $ output_arg))
 
 (* ---- simulate ---------------------------------------------------------- *)
 
@@ -312,9 +332,9 @@ let oracle_cmd =
   let limit =
     Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Refuse beyond this many order combinations.")
   in
-  let run file limit =
+  let run file limit jobs =
     let sys = or_die (load file) in
-    match Ermes_core.Oracle.search ~limit sys with
+    match Ermes_core.Oracle.search ~limit ~jobs:(resolve_jobs jobs) sys with
     | Some res ->
       Format.printf "best cycle time over %d order combinations: %a (%d deadlock)@."
         res.Ermes_core.Oracle.evaluated Ratio.pp res.Ermes_core.Oracle.best_cycle_time
@@ -326,7 +346,7 @@ let oracle_cmd =
   in
   Cmd.v
     (Cmd.info "oracle" ~doc:"Exhaustive statement-order search (small systems only).")
-    (with_logs Term.(const run $ file_arg $ limit))
+    (with_logs Term.(const run $ file_arg $ limit $ jobs_arg))
 
 (* ---- report ------------------------------------------------------------- *)
 
@@ -479,7 +499,7 @@ let fuzz_cmd =
   let no_repro =
     Arg.(value & flag & info [ "no-repro" ] ~doc:"Do not write repro files.")
   in
-  let run seed cases max_processes rounds repro_dir no_repro =
+  let run seed cases max_processes rounds repro_dir no_repro jobs =
     let config =
       {
         Fuzz.seed;
@@ -489,7 +509,7 @@ let fuzz_cmd =
         repro_dir = (if no_repro then None else repro_dir);
       }
     in
-    let s = Fuzz.run ~log:prerr_endline config in
+    let s = Fuzz.run ~log:prerr_endline ~jobs:(resolve_jobs jobs) config in
     Printf.printf "fuzz: seed %d, %d cases: %d live, %d dead, %d faults injected, %d failure(s)\n"
       seed s.Fuzz.cases_run s.Fuzz.live s.Fuzz.dead s.Fuzz.faults_injected
       (List.length s.Fuzz.failures);
@@ -500,7 +520,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random systems + fault scenarios, every analysis \
              cross-checked against the simulator; failures are shrunk and written as \
              .soc repros.")
-    (with_logs Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro))
+    (with_logs Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro $ jobs_arg))
 
 (* ---- resilience --------------------------------------------------------- *)
 

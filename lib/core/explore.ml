@@ -18,10 +18,12 @@ type step = {
 
 type trace = { tct : int; steps : step list; met : bool }
 
-let analyze_exn sys =
-  match Perf.analyze sys with
+let session_analyze_exn session =
+  match Incremental.analyze session with
   | Ok a -> a
-  | Error f -> Format.kasprintf failwith "Explore: %a" (Perf.pp_failure sys) f
+  | Error f ->
+    Format.kasprintf failwith "Explore: %a"
+      (Perf.pp_failure (Incremental.system session)) f
 
 let orders_signature sys =
   List.map (fun p -> (System.get_order sys p, System.put_order sys p)) (System.processes sys)
@@ -35,21 +37,27 @@ let restore_orders sys signature =
 
 (* Reorder monotonically; returns whether the orders changed plus the fresh
    analysis. *)
-let reorder_if_better sys =
+let reorder_if_better ~session sys =
   let saved = orders_signature sys in
-  match Order.apply_safe sys with
-  | Order.Applied _ -> (orders_signature sys <> saved, analyze_exn sys)
-  | Order.Kept_incumbent _ -> (false, analyze_exn sys)
+  match Order.apply_safe ~session sys with
+  | Order.Applied _ -> (orders_signature sys <> saved, session_analyze_exn session)
+  | Order.Kept_incumbent _ -> (false, session_analyze_exn session)
 
 let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
+  (* One incremental session carries every analysis of the exploration loop:
+     selection changes are delay edits, reorderings are chain rewires, and
+     each Howard run warm-starts from the previous policy. *)
+  let session = Incremental.create sys in
   let visited = Hashtbl.create 16 in
   let remember () = Hashtbl.replace visited (Ilp_select.selection_vector sys) () in
   remember ();
   (* Track the best configuration seen, to restore at convergence: among
-     states meeting the target the cheapest, otherwise the fastest. *)
+     states meeting the target the cheapest, otherwise the fastest. The
+     caller passes the analysis it already holds — re-analyzing here would
+     repeat the work it just did. *)
   let best = ref None in
-  let note_best () =
-    let ct = (analyze_exn sys).Perf.cycle_time in
+  let note_best (a : Perf.analysis) =
+    let ct = a.Perf.cycle_time in
     let area = System.total_area sys in
     let snapshot () =
       (Ilp_select.selection_vector sys, orders_signature sys, ct, area)
@@ -73,8 +81,8 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
       List.iteri (fun p i -> System.select sys p i) (Array.to_list selection);
       restore_orders sys orders
   in
-  let a0 = analyze_exn sys in
-  note_best ();
+  let a0 = session_analyze_exn session in
+  note_best a0;
   let steps =
     ref
       [
@@ -135,7 +143,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
       (* Close on the best configuration encountered, not on wherever the
          oscillation happened to stop. *)
       restore_best ();
-      let a' = analyze_exn sys in
+      let a' = session_analyze_exn session in
       current := a';
       steps :=
         {
@@ -159,12 +167,12 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
             (List.length changes));
       Ilp_select.apply_changes sys changes;
       remember ();
-      let after_changes = analyze_exn sys in
+      let after_changes = session_analyze_exn session in
       let reordered, a' =
-        if reorder then reorder_if_better sys else (false, after_changes)
+        if reorder then reorder_if_better ~session sys else (false, after_changes)
       in
       current := a';
-      note_best ();
+      note_best a';
       Log.info (fun m ->
           m "iter %d: CT=%s area=%.4f%s" !iteration
             (Ratio.to_string a'.Perf.cycle_time)
@@ -186,7 +194,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
     (* Iteration budget exhausted mid-oscillation: still ship (and record)
        the best configuration seen. *)
     restore_best ();
-    let a' = analyze_exn sys in
+    let a' = session_analyze_exn session in
     current := a';
     steps :=
       {
@@ -203,8 +211,9 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
   { tct; steps = List.rev !steps; met = Ratio.(final_ct <= Ratio.of_int tct) }
 
 let reorder_only sys =
-  let before = (analyze_exn sys).Perf.cycle_time in
-  let _, a = reorder_if_better sys in
+  let session = Incremental.create sys in
+  let before = (session_analyze_exn session).Perf.cycle_time in
+  let _, a = reorder_if_better ~session sys in
   (before, a.Perf.cycle_time)
 
 let last_step trace =

@@ -1,0 +1,149 @@
+module System = Ermes_slm.System
+module To_tmg = Ermes_slm.To_tmg
+module Tmg = Ermes_tmg.Tmg
+module Howard = Ermes_tmg.Howard
+module Ratio = Ermes_tmg.Ratio
+
+type stats = {
+  mutable analyses : int;
+  mutable delay_edits : int;
+  mutable rethreads : int;
+  mutable rebuilds : int;
+}
+
+type t = {
+  sys : System.t;
+  mutable mapping : To_tmg.mapping;
+  mutable solver : Howard.solver;
+  lat : int array;
+  gets : System.channel list array;
+  puts : System.channel list array;
+  kinds : System.channel_kind array;
+  stats : stats;
+}
+
+let snapshot sess =
+  let sys = sess.sys in
+  for p = 0 to System.process_count sys - 1 do
+    sess.lat.(p) <- System.latency sys p;
+    sess.gets.(p) <- System.get_order sys p;
+    sess.puts.(p) <- System.put_order sys p
+  done;
+  for c = 0 to System.channel_count sys - 1 do
+    sess.kinds.(c) <- System.channel_kind sys c
+  done
+
+let create sys =
+  let np = System.process_count sys and nc = System.channel_count sys in
+  let mapping = To_tmg.build sys in
+  let sess =
+    {
+      sys;
+      mapping;
+      solver = Howard.make_solver mapping.To_tmg.tmg;
+      lat = Array.make (max np 1) 0;
+      gets = Array.make (max np 1) [];
+      puts = Array.make (max np 1) [];
+      kinds = Array.make (max nc 1) System.Rendezvous;
+      stats = { analyses = 0; delay_edits = 0; rethreads = 0; rebuilds = 0 };
+    }
+  in
+  snapshot sess;
+  sess
+
+let system sess = sess.sys
+let stats sess = sess.stats
+let mapping sess = sess.mapping
+
+(* Diff the cached shadow state against the live system and translate each
+   difference into the cheapest TMG edit: a selection change is one delay
+   write, an order change rewires one process chain, a channel-kind change
+   (FIFO-ization or depth change — it alters the transition set) falls back
+   to a full rebuild. Callers mutate the System freely between analyses; no
+   notification protocol is needed. *)
+let sync sess =
+  let sys = sess.sys in
+  let kind_changed = ref false in
+  for c = 0 to System.channel_count sys - 1 do
+    if System.channel_kind sys c <> sess.kinds.(c) then kind_changed := true
+  done;
+  if !kind_changed then begin
+    sess.mapping <- To_tmg.build sys;
+    sess.solver <- Howard.make_solver sess.mapping.To_tmg.tmg;
+    sess.stats.rebuilds <- sess.stats.rebuilds + 1;
+    snapshot sess
+  end
+  else begin
+    let m = sess.mapping in
+    for p = 0 to System.process_count sys - 1 do
+      let l = System.latency sys p in
+      if l <> sess.lat.(p) then begin
+        Tmg.set_delay m.To_tmg.tmg m.To_tmg.compute_transition.(p) l;
+        sess.lat.(p) <- l;
+        sess.stats.delay_edits <- sess.stats.delay_edits + 1
+      end;
+      let g = System.get_order sys p and q = System.put_order sys p in
+      if g <> sess.gets.(p) || q <> sess.puts.(p) then begin
+        To_tmg.rethread m sys p;
+        sess.gets.(p) <- g;
+        sess.puts.(p) <- q;
+        sess.stats.rethreads <- sess.stats.rethreads + 1
+      end
+    done
+  end
+
+let analyze sess =
+  sync sess;
+  sess.stats.analyses <- sess.stats.analyses + 1;
+  Perf.of_howard sess.mapping (Howard.solve sess.solver)
+
+let analyze_exn sess =
+  match analyze sess with
+  | Ok a -> a
+  | Error f ->
+    Format.kasprintf failwith "Incremental.analyze_exn: %a"
+      (Perf.pp_failure sess.sys) f
+
+let cycle_time_opt sess =
+  match analyze sess with Ok a -> Some a.Perf.cycle_time | Error _ -> None
+
+type probe =
+  | Slow_process of System.process * int
+  | Jitter_channel of System.channel * int
+
+(* Transient delay overrides with Fault.apply's accumulate-then-clamp
+   semantics: deltas on the same component sum; a process latency clamps at
+   0, a channel latency at 1. Only the producer-side (entry) transition
+   carries the channel latency, for rendezvous and FIFO channels alike. *)
+let probe sess probes =
+  sync sess;
+  let sys = sess.sys and m = sess.mapping in
+  let tmg = m.To_tmg.tmg in
+  let deltas = Hashtbl.create 8 in
+  let bump key d =
+    Hashtbl.replace deltas key (d + Option.value ~default:0 (Hashtbl.find_opt deltas key))
+  in
+  List.iter
+    (function
+      | Slow_process (p, d) -> bump (`P p) d
+      | Jitter_channel (c, d) -> bump (`C c) d)
+    probes;
+  let saved =
+    Hashtbl.fold
+      (fun key delta acc ->
+        let t, faulted =
+          match key with
+          | `P p ->
+            (m.To_tmg.compute_transition.(p), max 0 (System.latency sys p + delta))
+          | `C c ->
+            (m.To_tmg.channel_entry.(c), max 1 (System.channel_latency sys c + delta))
+        in
+        let before = Tmg.delay tmg t in
+        Tmg.set_delay tmg t faulted;
+        (t, before) :: acc)
+      deltas []
+  in
+  sess.stats.analyses <- sess.stats.analyses + 1;
+  let outcome = Howard.solve sess.solver in
+  List.iter (fun (t, before) -> Tmg.set_delay tmg t before) saved;
+  Perf.of_howard m outcome

@@ -17,7 +17,7 @@ let rec permutations = function
         List.map (fun p -> x :: p) (permutations rest))
       xs
 
-let search ?(limit = 100_000) sys =
+let search ?(limit = 100_000) ?(jobs = 1) sys =
   let combos = System.order_combinations sys in
   if combos > float_of_int limit then
     invalid_arg
@@ -33,32 +33,76 @@ let search ?(limit = 100_000) sys =
         (p, List.concat_map (fun g -> List.map (fun o -> (g, o)) puts) gets))
       (System.processes work)
   in
+  (* Split the enumeration into contiguous lexicographic slices by expanding
+     a prefix of the per-process choices. Each slice is evaluated on its own
+     System copy with its own incremental session; slice results merge in
+     slice order with strict improvement, which reproduces the sequential
+     first-found-minimum exactly — the outcome is bit-identical for every
+     [jobs] value (only wall-clock differs). *)
+  let threshold = if jobs <= 1 then 1 else jobs * 8 in
+  let rec slice prefixes rest =
+    match rest with
+    | (p, opts) :: tail when List.length prefixes < threshold ->
+      let prefixes' =
+        List.concat_map
+          (fun pre -> List.map (fun choice -> (p, choice) :: pre) opts)
+          prefixes
+      in
+      slice prefixes' tail
+    | _ -> (List.map List.rev prefixes, rest)
+  in
+  let prefixes, rest = slice [ [] ] choices in
+  (* Copies are made sequentially, before any domain spawns. *)
+  let tasks = List.map (fun pre -> (pre, System.copy work)) prefixes in
+  let run (pre, w) =
+    List.iter
+      (fun (p, (g, o)) ->
+        System.set_get_order w p g;
+        System.set_put_order w p o)
+      pre;
+    let session = Incremental.create w in
+    let best = ref None in
+    let evaluated = ref 0 and deadlocked = ref 0 in
+    let evaluate () =
+      incr evaluated;
+      match Incremental.analyze session with
+      | Ok a ->
+        let better =
+          match !best with
+          | None -> true
+          | Some (ct, _) -> Ratio.(a.Perf.cycle_time < ct)
+        in
+        if better then best := Some (a.Perf.cycle_time, System.copy w)
+      | Error (Perf.Deadlock _) -> incr deadlocked
+      | Error Perf.No_cycle -> ()
+    in
+    let rec enumerate = function
+      | [] -> evaluate ()
+      | (p, opts) :: tail ->
+        List.iter
+          (fun (g, o) ->
+            System.set_get_order w p g;
+            System.set_put_order w p o;
+            enumerate tail)
+          opts
+    in
+    enumerate rest;
+    (!best, !evaluated, !deadlocked)
+  in
+  let results = Ermes_parallel.Parallel.map ~jobs run tasks in
   let best = ref None in
   let evaluated = ref 0 and deadlocked = ref 0 in
-  let evaluate () =
-    incr evaluated;
-    match Perf.analyze work with
-    | Ok a ->
-      let better =
+  List.iter
+    (fun (b, e, d) ->
+      evaluated := !evaluated + e;
+      deadlocked := !deadlocked + d;
+      match b with
+      | None -> ()
+      | Some (ct, s) -> (
         match !best with
-        | None -> true
-        | Some (ct, _) -> Ratio.(a.Perf.cycle_time < ct)
-      in
-      if better then best := Some (a.Perf.cycle_time, System.copy work)
-    | Error (Perf.Deadlock _) -> incr deadlocked
-    | Error Perf.No_cycle -> ()
-  in
-  let rec enumerate = function
-    | [] -> evaluate ()
-    | (p, opts) :: rest ->
-      List.iter
-        (fun (g, o) ->
-          System.set_get_order work p g;
-          System.set_put_order work p o;
-          enumerate rest)
-        opts
-  in
-  enumerate choices;
+        | None -> best := Some (ct, s)
+        | Some (ct0, _) -> if Ratio.(ct < ct0) then best := Some (ct, s)))
+    results;
   match !best with
   | None -> None
   | Some (ct, s) ->

@@ -1,5 +1,7 @@
 module System = Ermes_slm.System
 module Traversal = Ermes_digraph.Traversal
+module Ratio = Ermes_tmg.Ratio
+module Parallel = Ermes_parallel.Parallel
 
 let log_src = Logs.Src.create "ermes.order" ~doc:"channel ordering"
 
@@ -157,12 +159,6 @@ type safe_outcome =
   | Applied of labels
   | Kept_incumbent of [ `Would_deadlock | `Would_regress ]
 
-let cycle_time_opt sys =
-  let mapping = Ermes_slm.To_tmg.build sys in
-  match Ermes_tmg.Howard.cycle_time mapping.Ermes_slm.To_tmg.tmg with
-  | Ok r -> Some r.Ermes_tmg.Howard.cycle_time
-  | Error _ -> None
-
 (* The first-iteration dependence graph over channels: a process must
    complete every channel of its first phase before any channel of its last
    phase (gets before puts, or the reverse for [Puts_first] processes).
@@ -215,10 +211,15 @@ let conservative sys =
              (List.map (System.channel_name sys) cycle))));
   install_by_rank sys rank
 
-let local_search ?(max_evaluations = 10_000) sys =
+(* Sequential first-improvement greedy: sweep all adjacent swaps, keep each
+   strict improvement immediately, repeat until a full sweep finds none.
+   Every probe goes through one incremental session on [sys] (an order
+   change is a chain rewire plus a warm Howard run, not a TMG rebuild). *)
+let local_search_greedy ~max_evaluations sys =
+  let session = Incremental.create sys in
   let best_ct =
     ref
-      (match cycle_time_opt sys with
+      (match Incremental.cycle_time_opt session with
        | Some ct -> ct
        | None -> failwith "Order.local_search: the incumbent orders deadlock")
   in
@@ -236,8 +237,8 @@ let local_search ?(max_evaluations = 10_000) sys =
         order.(i + 1) <- t;
         set_order sys p (Array.to_list order);
         incr evals;
-        match cycle_time_opt sys with
-        | Some ct when Ermes_tmg.Ratio.(ct < !best_ct) ->
+        match Incremental.cycle_time_opt session with
+        | Some ct when Ratio.(ct < !best_ct) ->
           best_ct := ct;
           true
         | Some _ | None ->
@@ -266,6 +267,92 @@ let local_search ?(max_evaluations = 10_000) sys =
       (System.processes sys)
   done;
   !evals
+
+(* Batch variant for multicore: each iteration evaluates the whole neighbor
+   set (fanned over [jobs] domains, each on its own copy + session) and
+   applies the first improving swap by neighbor index. Deterministic in
+   [jobs] — only wall-clock changes — but the improvement trajectory may
+   visit different (equally monotone) intermediate orders than the greedy
+   sweep, which accepts swaps mid-sweep. *)
+let local_search_batch ~max_evaluations ~jobs sys =
+  let master = Incremental.create sys in
+  let best_ct =
+    ref
+      (match Incremental.cycle_time_opt master with
+       | Some ct -> ct
+       | None -> failwith "Order.local_search: the incumbent orders deadlock")
+  in
+  let accessors = function
+    | `Get -> (System.get_order, System.set_get_order)
+    | `Put -> (System.put_order, System.set_put_order)
+  in
+  let swap_at w (p, which, i) =
+    let get, set = accessors which in
+    let order = Array.of_list (get w p) in
+    let t = order.(i) in
+    order.(i) <- order.(i + 1);
+    order.(i + 1) <- t;
+    set w p (Array.to_list order)
+  in
+  let evals = ref 0 in
+  let improved = ref true in
+  while !improved && !evals < max_evaluations do
+    improved := false;
+    let neighbors =
+      List.concat_map
+        (fun p ->
+          let gets = List.length (System.get_order sys p) in
+          let puts = List.length (System.put_order sys p) in
+          List.init (max 0 (gets - 1)) (fun i -> (p, `Get, i))
+          @ List.init (max 0 (puts - 1)) (fun i -> (p, `Put, i)))
+        (System.processes sys)
+    in
+    let budget = max_evaluations - !evals in
+    let neighbors = List.filteri (fun i _ -> i < budget) neighbors in
+    if neighbors <> [] then begin
+      let arr = Array.of_list neighbors in
+      let n = Array.length arr in
+      let nchunks = max 1 (min jobs n) in
+      let tasks =
+        List.init nchunks (fun k ->
+            let lo = n * k / nchunks and hi = n * (k + 1) / nchunks in
+            (Array.sub arr lo (hi - lo), System.copy sys))
+      in
+      let run (chunk, w) =
+        let session = Incremental.create w in
+        Array.to_list
+          (Array.map
+             (fun neighbor ->
+               swap_at w neighbor;
+               let ct = Incremental.cycle_time_opt session in
+               swap_at w neighbor;
+               ct)
+             chunk)
+      in
+      let results = List.concat (Parallel.map ~jobs run tasks) in
+      evals := !evals + List.length results;
+      let chosen = ref None in
+      List.iteri
+        (fun idx ct ->
+          if !chosen = None then
+            match ct with
+            | Some ct when Ratio.(ct < !best_ct) -> chosen := Some (idx, ct)
+            | Some _ | None -> ())
+        results;
+      match !chosen with
+      | Some (idx, ct) ->
+        swap_at sys arr.(idx);
+        best_ct := ct;
+        improved := true
+      | None -> ()
+    end
+  done;
+  !evals
+
+let local_search ?(max_evaluations = 10_000) ?jobs sys =
+  match jobs with
+  | None -> local_search_greedy ~max_evaluations sys
+  | Some jobs -> local_search_batch ~max_evaluations ~jobs sys
 
 (* splitmix64, kept local so the core library stays free of global random
    state. *)
@@ -322,9 +409,18 @@ let apply_constrained sys =
   install_by_rank sys rank;
   lb
 
-let apply_safe sys =
+let apply_safe ?session sys =
+  let session =
+    match session with
+    | Some s ->
+      if Incremental.system s != sys then
+        invalid_arg "Order.apply_safe: session bound to a different system";
+      s
+    | None -> Incremental.create sys
+  in
+  let probe () = Incremental.cycle_time_opt session in
   let incumbent_ct =
-    match cycle_time_opt sys with
+    match probe () with
     | Some ct -> ct
     | None -> failwith "Order.apply_safe: the incumbent orders deadlock"
   in
@@ -343,14 +439,14 @@ let apply_safe sys =
      incumbent). *)
   let lb = apply sys in
   let unconstrained =
-    match cycle_time_opt sys with
+    match probe () with
     | Some ct -> Some (ct, List.map (fun p -> (System.get_order sys p, System.put_order sys p)) (System.processes sys))
     | None -> None
   in
   restore ();
   let lb2 = apply_constrained sys in
   let constrained_ct =
-    match cycle_time_opt sys with
+    match probe () with
     | Some ct -> ct
     | None -> assert false (* linear extensions are always live *)
   in

@@ -68,11 +68,15 @@ type safe_outcome =
   | Applied of labels  (** new orders installed; cycle time ≤ incumbent *)
   | Kept_incumbent of [ `Would_deadlock | `Would_regress ]
 
-val apply_safe : System.t -> safe_outcome
-(** Runs both {!apply} and {!apply_constrained}, verifies each with
-    {!Ermes_tmg.Howard.cycle_time}, and installs the fastest live result —
-    unless the incumbent order is faster still, in which case it is
-    restored. This makes the optimization monotone.
+val apply_safe : ?session:Incremental.t -> System.t -> safe_outcome
+(** Runs both {!apply} and {!apply_constrained}, verifies each
+    incrementally, and installs the fastest live result — unless the
+    incumbent order is faster still, in which case it is restored. This
+    makes the optimization monotone. All three verification probes go
+    through one {!Incremental} session (order changes are chain rewires on
+    a single TMG, with warm-started Howard runs).
+    @param session reuse a caller-held session on [sys] instead of creating
+    one ([Invalid_argument] if it is bound to a different system).
     @raise Failure if the {e incumbent} orders already deadlock (order the
     system with {!conservative} first). *)
 
@@ -91,7 +95,7 @@ val conservative : System.t -> unit
     exists. @raise Invalid_argument when no deadlock-free order exists (a
     feedback loop without a [Puts_first] process). *)
 
-val local_search : ?max_evaluations:int -> System.t -> int
+val local_search : ?max_evaluations:int -> ?jobs:int -> System.t -> int
 (** Beyond the paper: an anytime first-improvement local search over
     statement orders. Repeatedly tries swapping adjacent statements in every
     process's get and put orders, keeping a swap when the analyzed cycle
@@ -99,8 +103,18 @@ val local_search : ?max_evaluations:int -> System.t -> int
     back), until a full sweep finds no improvement or [max_evaluations]
     analyses (default 10,000) have been spent. Monotone by construction;
     typically run after {!apply_safe} to close its remaining optimality gap
-    (the ablation bench quantifies this). Returns the number of analyses
+    (the ablation bench quantifies this). Every probe runs through one
+    incremental session on the input system. Returns the number of analyses
     performed.
+
+    Without [jobs] the search is the sequential greedy sweep (the
+    reference semantics). With [jobs] (any value, including 1) it switches
+    to steepest-batch mode: each iteration evaluates {e all} adjacent-swap
+    neighbors — fanned over up to [jobs] domains, each probing its own
+    [System.copy] through its own session — and applies the first
+    improving swap by neighbor index. Batch mode is deterministic in
+    [jobs] ([~jobs:4] lands exactly where [~jobs:1] does), but may take a
+    different (equally monotone) improvement path than the greedy sweep.
     @raise Failure if the incumbent orders deadlock. *)
 
 val conservative_random : seed:int -> System.t -> unit

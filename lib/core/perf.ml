@@ -22,10 +22,9 @@ type deadlock = {
 
 type failure = Deadlock of deadlock | No_cycle
 
-let analyze sys =
-  let mapping = To_tmg.build sys in
+let of_howard mapping outcome =
   let tmg = mapping.To_tmg.tmg in
-  match Howard.cycle_time tmg with
+  match outcome with
   | Ok r ->
     Ok
       {
@@ -53,6 +52,10 @@ let analyze sys =
            dead_cycle = List.map (Tmg.transition_name tmg) ts;
          })
   | Error Howard.No_cycle -> Error No_cycle
+
+let analyze sys =
+  let mapping = To_tmg.build sys in
+  of_howard mapping (Howard.cycle_time mapping.To_tmg.tmg)
 
 let cycle_time_exn sys =
   match analyze sys with

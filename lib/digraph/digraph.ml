@@ -1,7 +1,11 @@
 type vertex = int
 type arc = int
 
-type ('v, 'a) arc_record = { src : vertex; dst : vertex; mutable alabel : 'a }
+type ('v, 'a) arc_record = {
+  mutable src : vertex;
+  mutable dst : vertex;
+  mutable alabel : 'a;
+}
 
 type ('v, 'a) vertex_record = {
   mutable vlabel : 'v;
@@ -63,6 +67,22 @@ let arc_dst g a =
   (Vec.get g.arc_recs a).dst
 
 let arc_ends g a = (arc_src g a, arc_dst g a)
+
+let rewire_arc g a ~src ~dst =
+  check_arc g a "rewire_arc";
+  check_vertex g src "rewire_arc";
+  check_vertex g dst "rewire_arc";
+  let r = Vec.get g.arc_recs a in
+  if r.src <> src then begin
+    ignore (Vec.remove_first (Vec.get g.verts r.src).out_arcs (Int.equal a));
+    ignore (Vec.push (Vec.get g.verts src).out_arcs a);
+    r.src <- src
+  end;
+  if r.dst <> dst then begin
+    ignore (Vec.remove_first (Vec.get g.verts r.dst).in_arcs (Int.equal a));
+    ignore (Vec.push (Vec.get g.verts dst).in_arcs a);
+    r.dst <- dst
+  end
 
 let out_arcs g v =
   check_vertex g v "out_arcs";

@@ -37,6 +37,13 @@ val arc_dst : ('v, 'a) t -> arc -> vertex
 val arc_ends : ('v, 'a) t -> arc -> vertex * vertex
 (** [arc_ends g a] is [(arc_src g a, arc_dst g a)]. *)
 
+val rewire_arc : ('v, 'a) t -> arc -> src:vertex -> dst:vertex -> unit
+(** [rewire_arc g a ~src ~dst] moves the existing arc [a] between new
+    endpoints, keeping its id and label. The arc leaves its old position in
+    the old endpoints' adjacency lists and is appended at the {e end} of the
+    new ones, so adjacency insertion order reflects rewiring history.
+    @raise Invalid_argument if the arc or either endpoint does not exist. *)
+
 val out_arcs : ('v, 'a) t -> vertex -> arc list
 (** Outgoing arcs of a vertex, in insertion order. *)
 

@@ -2,6 +2,7 @@ module System = Ermes_slm.System
 module Soc_format = Ermes_slm.Soc_format
 module Prng = Ermes_synth.Prng
 module Generate = Ermes_synth.Generate
+module Parallel = Ermes_parallel.Parallel
 
 type config = {
   seed : int;
@@ -169,55 +170,84 @@ let write_repro dir ~seed ~case sys scenario mismatches =
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
   path
 
-let run ?(log = fun _ -> ()) config =
+(* The campaign runs in three phases so it can fan out over domains without
+   changing a single output bit relative to the sequential run:
+
+   1. {e Generate} (sequential): every case comes from the single seeded Prng
+      in case order — exactly the draws the sequential loop would make.
+   2. {e Execute} (parallel): differential run + shrink + mismatch extraction
+      are a pure function of one case (each worker only touches its own
+      generated system), fanned over [jobs] domains with index-ordered
+      results.
+   3. {e Classify} (sequential, in case order): counters, repro files and log
+      lines replay exactly the sequential order. *)
+let run ?(log = fun _ -> ()) ?jobs config =
   let rng = Prng.create ~seed:config.seed in
-  let live = ref 0 and dead = ref 0 and faults = ref 0 in
+  let faults = ref 0 in
+  let cases =
+    let acc = ref [] in
+    for case = 0 to config.cases - 1 do
+      let sys, scenario = gen_case rng ~max_processes:config.max_processes in
+      faults := !faults + List.length scenario;
+      acc := (case, sys, scenario) :: !acc
+    done;
+    List.rev !acc
+  in
+  let executed =
+    Parallel.map ?jobs
+      (fun (case, sys, scenario) ->
+        let outcome =
+          match Differential.run_case ~rounds:config.rounds sys scenario with
+          | r -> Ok r
+          | exception e ->
+            Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
+        in
+        match outcome with
+        | Ok r when Differential.agreed r -> (case, sys, scenario, `Agreed r)
+        | _ ->
+          let scenario = shrink sys config.rounds scenario in
+          let mismatches =
+            match Differential.run_case ~rounds:config.rounds sys scenario with
+            | r when not (Differential.agreed r) -> r.Differential.mismatches
+            | _ -> (
+              (* The shrunk scenario no longer fails deterministically (should
+                 not happen); report whatever the original run said. *)
+              match outcome with Ok r -> r.Differential.mismatches | Error e -> [ e ])
+            | exception e ->
+              [ Printf.sprintf "uncaught exception: %s" (Printexc.to_string e) ]
+          in
+          (case, sys, scenario, `Failed mismatches))
+      cases
+  in
+  let live = ref 0 and dead = ref 0 in
   let failures = ref [] in
-  for case = 0 to config.cases - 1 do
-    let sys, scenario = gen_case rng ~max_processes:config.max_processes in
-    faults := !faults + List.length scenario;
-    let outcome =
-      match Differential.run_case ~rounds:config.rounds sys scenario with
-      | r -> Ok r
-      | exception e ->
-        Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
-    in
-    (match outcome with
-    | Ok r when Differential.agreed r -> (
-      match r.Differential.verdict with
-      | Some (Differential.Live _) -> incr live
-      | Some Differential.Dead -> incr dead
-      | None -> ())
-    | _ ->
-      let scenario = shrink sys config.rounds scenario in
-      let mismatches =
-        match Differential.run_case ~rounds:config.rounds sys scenario with
-        | r when not (Differential.agreed r) -> r.Differential.mismatches
-        | _ -> (
-          (* The shrunk scenario no longer fails deterministically (should
-             not happen); report whatever the original run said. *)
-          match outcome with Ok r -> r.Differential.mismatches | Error e -> [ e ])
-        | exception e ->
-          [ Printf.sprintf "uncaught exception: %s" (Printexc.to_string e) ]
-      in
-      let repro_file =
-        match config.repro_dir with
-        | Some dir -> (
-          match write_repro dir ~seed:config.seed ~case sys scenario mismatches with
-          | path -> Some path
-          | exception Sys_error _ -> None)
-        | None -> None
-      in
-      log
-        (Printf.sprintf "case %d: FAIL — %s%s" case
-           (String.concat "; " (List.map one_line mismatches))
-           (match repro_file with Some f -> " (repro: " ^ f ^ ")" | None -> ""));
-      failures := { case; scenario; mismatches; system = sys; repro_file } :: !failures);
-    if (case + 1) mod 25 = 0 then
-      log
-        (Printf.sprintf "%d/%d cases, %d failures" (case + 1) config.cases
-           (List.length !failures))
-  done;
+  List.iter
+    (fun (case, sys, scenario, verdict) ->
+      (match verdict with
+      | `Agreed r -> (
+        match r.Differential.verdict with
+        | Some (Differential.Live _) -> incr live
+        | Some Differential.Dead -> incr dead
+        | None -> ())
+      | `Failed mismatches ->
+        let repro_file =
+          match config.repro_dir with
+          | Some dir -> (
+            match write_repro dir ~seed:config.seed ~case sys scenario mismatches with
+            | path -> Some path
+            | exception Sys_error _ -> None)
+          | None -> None
+        in
+        log
+          (Printf.sprintf "case %d: FAIL — %s%s" case
+             (String.concat "; " (List.map one_line mismatches))
+             (match repro_file with Some f -> " (repro: " ^ f ^ ")" | None -> ""));
+        failures := { case; scenario; mismatches; system = sys; repro_file } :: !failures);
+      if (case + 1) mod 25 = 0 then
+        log
+          (Printf.sprintf "%d/%d cases, %d failures" (case + 1) config.cases
+             (List.length !failures)))
+    executed;
   {
     cases_run = config.cases;
     live = !live;

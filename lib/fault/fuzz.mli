@@ -10,7 +10,12 @@
     the dynamic faults and a replay command line.
 
     Everything is a pure function of [config.seed]: re-running with the same
-    seed replays the same cases bit-for-bit. *)
+    seed replays the same cases bit-for-bit — including under parallel
+    execution. Case generation draws from the single seeded Prng
+    sequentially; the differential runs and shrinks (pure per case) fan out
+    over [jobs] domains; classification, repro writing and logging replay
+    sequentially in case order. The summary, every repro file and every log
+    line are identical for any [jobs]. *)
 
 module System = Ermes_slm.System
 
@@ -42,9 +47,11 @@ type summary = {
   failures : failure list;
 }
 
-val run : ?log:(string -> unit) -> config -> summary
+val run : ?log:(string -> unit) -> ?jobs:int -> config -> summary
 (** [run config] executes the campaign. [log] receives one progress line per
-    failure and per 25 cases. *)
+    failure and per 25 cases. [jobs] fans the per-case differential runs
+    over domains (default: [ERMES_JOBS], else sequential) — the outcome is
+    bit-identical for any value. *)
 
 val gen_case : Ermes_synth.Prng.t -> max_processes:int -> System.t * Fault.scenario
 (** One random case: the generated (possibly order-permuted, FIFO-ized)

@@ -1,6 +1,7 @@
 module System = Ermes_slm.System
 module Ratio = Ermes_tmg.Ratio
 module Perf = Ermes_core.Perf
+module Incremental = Ermes_core.Incremental
 
 type entry = {
   slack : Perf.slack;
@@ -14,11 +15,12 @@ type t = {
 }
 
 (* A slack of [s] is tight iff slowing the component by [s] keeps the cycle
-   time and by [s + 1] degrades it. Each probe is one Howard run on a faulted
-   copy. *)
-let probe sys base fault_of s =
+   time and by [s + 1] degrades it. Each probe is one warm Howard run on the
+   session's TMG with a transient delay edit — no faulted copy, no rebuild
+   ([Incremental.probe] matches [Fault.apply]'s clamp semantics exactly). *)
+let probe session base probe_of s =
   let ct delta =
-    match Perf.analyze (Fault.apply sys [ fault_of delta ]) with
+    match Incremental.probe session [ probe_of delta ] with
     | Ok a -> Some a.Perf.cycle_time
     | Error _ -> None
   in
@@ -29,26 +31,29 @@ let probe sys base fault_of s =
   keeps && degrades
 
 let analyze ?(verify = false) sys =
-  match Perf.analyze sys with
+  let session = Incremental.create sys in
+  match Incremental.analyze session with
   | Error f -> Error (Format.asprintf "%a" (Perf.pp_failure sys) f)
   | Ok a ->
     let base = a.Perf.cycle_time in
-    let entry fault_of = function
+    let entry probe_of = function
       | Perf.Unbounded -> { slack = Perf.Unbounded; verified = None }
       | Perf.Bounded s ->
-        let verified = if verify then Some (probe sys base fault_of s) else None in
+        let verified =
+          if verify then Some (probe session base probe_of s) else None
+        in
         { slack = Perf.Bounded s; verified }
     in
     let processes =
       List.map
         (fun (p, s) ->
-          (p, entry (fun delta -> Fault.Process_slowdown { process = p; delta }) s))
+          (p, entry (fun delta -> Incremental.Slow_process (p, delta)) s))
         (Perf.latency_slack sys)
     in
     let channels =
       List.map
         (fun (c, s) ->
-          (c, entry (fun delta -> Fault.Latency_jitter { channel = c; delta }) s))
+          (c, entry (fun delta -> Incremental.Jitter_channel (c, delta)) s))
         (Perf.channel_slack sys)
     in
     Ok { cycle_time = base; processes; channels }

@@ -1,0 +1,62 @@
+let available () = Domain.recommended_domain_count ()
+
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some n
+  | Some _ | None -> None
+
+let env_jobs () = Option.bind (Sys.getenv_opt "ERMES_JOBS") parse_jobs
+
+let default_jobs () = match env_jobs () with Some n -> n | None -> 1
+
+exception Worker_failure of int * exn
+
+(* Deterministic fan-out: tasks are claimed from a shared atomic counter and
+   every result lands at its input index, so the output order (and any
+   exception surfaced — lowest index wins) is independent of worker count and
+   scheduling. Exceptions are caught per task; after all domains join, the
+   first failing index re-raises. *)
+let run_tasks jobs n task =
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let jobs = max 1 (min jobs n) in
+    if jobs = 1 then
+      for i = 0 to n - 1 do
+        results.(i) <- Some (try Ok (task i) with e -> Error e)
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue_ := false
+          else results.(i) <- Some (try Ok (task i) with e -> Error e)
+        done
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains
+    end;
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise (Worker_failure (i, e))
+        | None -> assert false)
+      results
+  end
+
+let map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let arr = Array.of_list xs in
+  Array.to_list (run_tasks jobs (Array.length arr) (fun i -> f arr.(i)))
+
+let map_array ?jobs f arr =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  run_tasks jobs (Array.length arr) (fun i -> f arr.(i))
+
+let init ?jobs n f =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  run_tasks jobs n f

@@ -1,0 +1,37 @@
+(** A tiny stdlib-only domain pool (OCaml 5 [Domain] + [Atomic]).
+
+    Fan a list of independent tasks over [jobs] domains. Tasks are claimed
+    from a shared atomic counter; every result is written to the slot of its
+    input index, so {e result order is deterministic} — identical for any
+    [jobs] value and any scheduling — and a parallel run returns bit-for-bit
+    what the sequential run would. Only scheduling (hence wall-clock) varies.
+
+    Concurrency contract: tasks must not share mutable state. ERMES callers
+    give each task its own [System.copy] (made sequentially, before
+    spawning — [Hashtbl]-backed structures are not safe to mutate, or even
+    resize-on-read, concurrently).
+
+    [jobs] defaults to [ERMES_JOBS] when set (the CLI's [--jobs] flag
+    overrides it), else 1: parallelism is opt-in, sequential semantics are
+    the reference. *)
+
+val available : unit -> int
+(** [Domain.recommended_domain_count ()] — the host's useful parallelism. *)
+
+val default_jobs : unit -> int
+(** The [ERMES_JOBS] environment variable if set to a positive integer,
+    else 1. *)
+
+exception Worker_failure of int * exn
+(** A task raised: carries the lowest failing input index and its exception.
+    Raised from the calling domain after all workers joined. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains
+    (clamped to the task count; [jobs <= 1] runs inline with no domain
+    spawned). *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val init : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [init ~jobs n f] is [Array.init n f] with [f] fanned out. *)

@@ -10,7 +10,42 @@ type mapping = {
   compute_transition : Tmg.transition array;
   owner : owner array;
   initial_place : Tmg.place option array;
+  chain_places : Tmg.place array array;
 }
+
+(* The per-process statement chain, as the places a fresh build would create:
+   index [i] is the place from statement [i] to statement [i+1] (cyclically),
+   named after the statement it enters, carrying the initial token iff it
+   enters the first I/O statement. Shared between [build] (which creates the
+   places) and [rethread] (which rewires them in place after an order
+   change). *)
+let chain_spec ~channel_entry ~channel_exit ~compute_transition sys p =
+  let gets = List.map (fun c -> (`Get c, channel_exit.(c))) (System.get_order sys p) in
+  let puts = List.map (fun c -> (`Put c, channel_entry.(c))) (System.put_order sys p) in
+  let compute = (`Compute, compute_transition.(p)) in
+  let stmts =
+    match System.phase sys p with
+    | System.Gets_first -> gets @ (compute :: puts)
+    | System.Puts_first -> puts @ (compute :: gets)
+  in
+  let pname = System.process_name sys p in
+  let stmt_name = function
+    | `Get c -> Printf.sprintf "get_%s_%s" pname (System.channel_name sys c)
+    | `Put c -> Printf.sprintf "put_%s_%s" pname (System.channel_name sys c)
+    | `Compute -> Printf.sprintf "comp_%s" pname
+  in
+  let first_io_index =
+    List.mapi (fun i (s, _) -> (i, s)) stmts
+    |> List.find_opt (fun (_, s) ->
+           match s with `Put _ | `Get _ -> true | `Compute -> false)
+    |> Option.map fst
+  in
+  let n = List.length stmts in
+  let arr = Array.of_list stmts in
+  Array.init n (fun i ->
+      let j = (i + 1) mod n in
+      let tokens = if Some j = first_io_index then 1 else 0 in
+      (stmt_name (fst arr.(j)), snd arr.(i), snd arr.(j), tokens))
 
 let build sys =
   let tmg = Tmg.create () in
@@ -19,6 +54,7 @@ let build sys =
   let channel_exit = Array.make (max nch 1) (-1) in
   let compute_transition = Array.make (max np 1) (-1) in
   let initial_place = Array.make (max np 1) None in
+  let chain_places = Array.make (max np 1) [||] in
   let owners = Vec.create () in
   let add_transition ~name ~delay owner =
     let t = Tmg.add_transition tmg ~name ~delay () in
@@ -52,47 +88,20 @@ let build sys =
     (System.processes sys);
   (* One cyclic chain of places per process: gets, compute, puts (or puts
      first). The place closing the cycle into the first I/O statement carries
-     the initial token. Puts attach to the channel's producer-side transition
-     and gets to its consumer side. *)
+     the initial token (paper §3: "a token is placed in the first get-place of
+     each process ... [and] on the put-place of the test-bench process"). A
+     process with no channels would be rejected by [System.validate]; it is
+     threaded token-free defensively. Puts attach to the channel's
+     producer-side transition and gets to its consumer side. *)
   let thread_process p =
-    let gets = List.map (fun c -> (`Get c, channel_exit.(c))) (System.get_order sys p) in
-    let puts = List.map (fun c -> (`Put c, channel_entry.(c))) (System.put_order sys p) in
-    let compute = (`Compute, compute_transition.(p)) in
-    let stmts =
-      match System.phase sys p with
-      | System.Gets_first -> gets @ (compute :: puts)
-      | System.Puts_first -> puts @ (compute :: gets)
-    in
-    let pname = System.process_name sys p in
-    let stmt_name = function
-      | `Get c -> Printf.sprintf "get_%s_%s" pname (System.channel_name sys c)
-      | `Put c -> Printf.sprintf "put_%s_%s" pname (System.channel_name sys c)
-      | `Compute -> Printf.sprintf "comp_%s" pname
-    in
-    (* The token goes into the place entering the first I/O statement of the
-       chain (paper §3: "a token is placed in the first get-place of each
-       process ... [and] on the put-place of the test-bench process"). A
-       process with no channels would be rejected by [System.validate];
-       thread it token-free defensively. *)
-    let first_io_index =
-      List.mapi (fun i (s, _) -> (i, s)) stmts
-      |> List.find_opt (fun (_, s) ->
-             match s with `Put _ | `Get _ -> true | `Compute -> false)
-      |> Option.map fst
-    in
-    let n = List.length stmts in
-    let arr = Array.of_list stmts in
-    for i = 0 to n - 1 do
-      (* Place from statement i to statement i+1 (cyclically): it enters
-         statement i+1 and is named after it. *)
-      let j = (i + 1) mod n in
-      let s_i = snd arr.(i) and s_j = snd arr.(j) in
-      let tokens = if Some j = first_io_index then 1 else 0 in
-      let place =
-        Tmg.add_place tmg ~name:(stmt_name (fst arr.(j))) ~src:s_i ~dst:s_j ~tokens ()
-      in
-      if tokens = 1 then initial_place.(p) <- Some place
-    done
+    let spec = chain_spec ~channel_entry ~channel_exit ~compute_transition sys p in
+    chain_places.(p) <-
+      Array.map
+        (fun (name, src, dst, tokens) ->
+          let place = Tmg.add_place tmg ~name ~src ~dst ~tokens () in
+          if tokens = 1 then initial_place.(p) <- Some place;
+          place)
+        spec
   in
   List.iter thread_process (System.processes sys);
   {
@@ -102,7 +111,29 @@ let build sys =
     compute_transition;
     owner = Vec.to_array owners;
     initial_place;
+    chain_places;
   }
+
+let rethread mapping sys p =
+  let spec =
+    chain_spec ~channel_entry:mapping.channel_entry ~channel_exit:mapping.channel_exit
+      ~compute_transition:mapping.compute_transition sys p
+  in
+  let chain = mapping.chain_places.(p) in
+  if Array.length spec <> Array.length chain then
+    invalid_arg "To_tmg.rethread: statement count changed (rebuild required)";
+  let tmg = mapping.tmg in
+  Array.iteri
+    (fun i (name, src, dst, tokens) ->
+      let place = chain.(i) in
+      if
+        Tmg.place_src tmg place <> src
+        || Tmg.place_dst tmg place <> dst
+        || Tmg.tokens tmg place <> tokens
+        || not (String.equal (Tmg.place_name tmg place) name)
+      then Tmg.rewire_place tmg place ~name ~src ~dst ~tokens ();
+      if tokens = 1 then mapping.initial_place.(p) <- Some place)
+    spec
 
 let transition_owner mapping t = mapping.owner.(t)
 

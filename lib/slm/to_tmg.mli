@@ -40,11 +40,24 @@ type mapping = {
           initial token — the token a token-removal fault deletes. [None]
           only for a degenerate process with no I/O statement (rejected by
           {!System.validate}). *)
+  chain_places : Ermes_tmg.Tmg.place array array;
+      (** per process, its statement-cycle places in creation order: index
+          [i] is the place entering statement [i+1] (cyclically). These are
+          the places {!rethread} rewires in place after an order change. *)
 }
 
 val build : System.t -> mapping
 (** [build sys] constructs the TMG of the system under its current statement
     orders, implementation selections and channel kinds. *)
+
+val rethread : mapping -> System.t -> System.process -> unit
+(** [rethread mapping sys p] rewires process [p]'s chain places to match the
+    system's {e current} [get]/[put] orders, producing a net bit-identical
+    (same ids, names, endpoints, marking) to what [build] would create from
+    scratch — without rebuilding anything. Selection changes need no rethread
+    (use {!Ermes_tmg.Tmg.set_delay} on [compute_transition]); channel-kind
+    changes do require a fresh {!build}.
+    @raise Invalid_argument if the statement count changed. *)
 
 val transition_owner : mapping -> Ermes_tmg.Tmg.transition -> owner
 

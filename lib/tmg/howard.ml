@@ -172,8 +172,11 @@ let max_iterations = 200
 
 (* Run Howard inside one SCC; returns the best exact policy-cycle ratio found
    together with that cycle (as vertices in policy order) and the number of
-   improvement rounds. *)
-let howard_scc view members in_scc =
+   improvement rounds. [warm], when given, seeds the initial policy from a
+   previous run (entries are reused only where still a valid internal out-arc)
+   and receives the converged policy back. Certification makes the result
+   exact for any starting policy; warmth only cuts improvement rounds. *)
+let howard_scc ?warm view members in_scc =
   let st =
     {
       policy = Array.make view.n (-1);
@@ -183,9 +186,18 @@ let howard_scc view members in_scc =
   in
   List.iter
     (fun u ->
-      match List.find_opt (fun a -> in_scc.(a)) view.out_arcs.(u) with
-      | Some a -> st.policy.(u) <- a
-      | None -> assert false)
+      let reused =
+        match warm with
+        | Some w when w.(u) >= 0 && w.(u) < view.m && view.src.(w.(u)) = u && in_scc.(w.(u))
+          ->
+          st.policy.(u) <- w.(u);
+          true
+        | _ -> false
+      in
+      if not reused then
+        match List.find_opt (fun a -> in_scc.(a)) view.out_arcs.(u) with
+        | Some a -> st.policy.(u) <- a
+        | None -> assert false)
     members;
   let best = ref None in
   let note_cycles cycles =
@@ -204,6 +216,9 @@ let howard_scc view members in_scc =
     note_cycles cycles;
     if not (improve view members in_scc st) then continue_ := false
   done;
+  (match warm with
+  | Some w -> List.iter (fun u -> w.(u) <- st.policy.(u)) members
+  | None -> ());
   match !best with
   | Some (r, c) -> (r, c, !rounds)
   | None -> assert false
@@ -217,17 +232,34 @@ let howard_scc view members in_scc =
    Each relaxation records a parent arc and a path length; a path length
    reaching n proves the parent chain revisits a vertex, and any cycle in the
    parent-pointer graph under longest-path relaxation has strictly positive
-   cost. Returns the cycle as arc ids in arc order, or None. *)
-let find_positive_cycle view ratio =
+   cost. Returns the cycle as arc ids in arc order, or None.
+
+   [in_scc] masks the arcs worth relaxing: every cycle lies inside one
+   strongly connected component, so arcs between components can never be on
+   a positive cycle — skipping them avoids propagating longest paths through
+   the (often large) acyclic part of the net.
+
+   [d] holds the starting potentials and is relaxed in place. Correctness
+   does not depend on its contents (a positive cycle forces unbounded
+   relaxation from any start; without one the relaxation reaches a
+   fixpoint), so a caller may pass the fixpoint of a {e previous}
+   certification: when the net barely changed, most arcs still satisfy
+   d(v) >= d(u) + cost and the search starts from — often is — the answer.
+   Only vertices with a violated out-arc are enqueued; a fully feasible [d]
+   certifies in one O(m) scan with no relaxation at all. *)
+let find_positive_cycle view in_scc d ratio =
   let p = Ratio.num ratio and q = Ratio.den ratio in
   let cost a = (q * view.w.(a)) - (p * view.t.(a)) in
-  let d = Array.make view.n 0 in
   let parent = Array.make view.n (-1) in
   let len = Array.make view.n 0 in
-  let in_queue = Array.make view.n true in
+  let in_queue = Array.make view.n false in
   let queue = Queue.create () in
-  for v = 0 to view.n - 1 do
-    Queue.add v queue
+  for u = 0 to view.n - 1 do
+    let violated a = in_scc.(a) && d.(u) + cost a > d.(view.dst.(a)) in
+    if List.exists violated view.out_arcs.(u) then begin
+      in_queue.(u) <- true;
+      Queue.add u queue
+    end
   done;
   let extract_cycle v =
     (* Follow parent arcs from [v] looking for a repeated vertex. Any cycle in
@@ -284,7 +316,8 @@ let find_positive_cycle view ratio =
         end
       end
     in
-    if !found = None then List.iter relax view.out_arcs.(u)
+    if !found = None then
+      List.iter (fun a -> if in_scc.(a) then relax a) view.out_arcs.(u)
   done;
   !found
 
@@ -295,46 +328,137 @@ let exact_ratio view arcs =
   assert (tsum > 0);
   Ratio.make wsum tsum
 
-let rec certify view ratio cycle_arcs rounds =
-  match find_positive_cycle view ratio with
+let rec certify view in_scc d ratio cycle_arcs rounds =
+  match find_positive_cycle view in_scc d ratio with
   | None -> (ratio, cycle_arcs, rounds)
-  | Some arcs -> certify view (exact_ratio view arcs) arcs (rounds + 1)
+  | Some arcs -> certify view in_scc d (exact_ratio view arcs) arcs (rounds + 1)
 
 (* ------------------------------------------------------------------ *)
+(* Reusable solver: cached view / SCC decomposition / liveness verdict and a
+   warm-start policy, re-synced against the (mutated) net on each solve.      *)
+(* ------------------------------------------------------------------ *)
 
-let cycle_time tmg =
-  match Liveness.find_dead_cycle tmg with
+type solver = {
+  stmg : Tmg.t;
+  mutable n : int;
+  mutable m : int;
+  mutable view : view;
+  mutable in_scc : bool array;
+  mutable cyclic : int list list;  (* member lists of SCCs that contain a cycle *)
+  mutable scc_dirty : bool;
+  mutable warm : int array;  (* last converged policy; -1 = none *)
+  mutable potentials : int array;
+      (* last certification fixpoint; warm-starts the next one *)
+  mutable liveness : Liveness.dead_cycle option option;
+      (* None = unknown; Some v = cached Liveness.find_dead_cycle verdict *)
+}
+
+let make_solver tmg =
+  let view = view_of_tmg tmg in
+  {
+    stmg = tmg;
+    n = view.n;
+    m = view.m;
+    view;
+    in_scc = [||];
+    cyclic = [];
+    scc_dirty = true;
+    warm = Array.make view.n (-1);
+    potentials = Array.make view.n 0;
+    liveness = None;
+  }
+
+let compute_scc_state s =
+  let view = s.view in
+  let scc = Scc.compute (Tmg.graph s.stmg) in
+  let in_scc = Array.make view.m false in
+  for a = 0 to view.m - 1 do
+    in_scc.(a) <- scc.component.(view.src.(a)) = scc.component.(view.dst.(a))
+  done;
+  (* Only components containing at least one internal arc have cycles. *)
+  let cyclic =
+    Array.to_list (Scc.components scc)
+    |> List.filter (fun members ->
+           List.exists
+             (fun u -> List.exists (fun a -> in_scc.(a)) view.out_arcs.(u))
+             members)
+  in
+  s.in_scc <- in_scc;
+  s.cyclic <- cyclic;
+  s.scc_dirty <- false
+
+(* Re-sync the cached view with the live net. Delay edits are absorbed for
+   free (the weight array is re-read every time); endpoint rewires mark the
+   SCC decomposition dirty and rebuild the out-arc lists from the arc-id
+   order, so results never depend on rewiring history; token edits only
+   invalidate the cached liveness verdict. A change in transition/place count
+   falls back to a full rebuild. *)
+let refresh s =
+  let n = Tmg.transition_count s.stmg and m = Tmg.place_count s.stmg in
+  if n <> s.n || m <> s.m then begin
+    s.view <- view_of_tmg s.stmg;
+    s.n <- n;
+    s.m <- m;
+    s.warm <- Array.make n (-1);
+    s.potentials <- Array.make n 0;
+    s.scc_dirty <- true;
+    s.liveness <- None
+  end
+  else begin
+    let view = s.view in
+    let structural = ref false and marking = ref false in
+    List.iter
+      (fun p ->
+        let src = Tmg.place_src s.stmg p and dst = Tmg.place_dst s.stmg p in
+        if src <> view.src.(p) || dst <> view.dst.(p) then begin
+          structural := true;
+          view.src.(p) <- src;
+          view.dst.(p) <- dst
+        end;
+        let tk = Tmg.tokens s.stmg p in
+        if tk <> view.t.(p) then begin
+          marking := true;
+          view.t.(p) <- tk
+        end;
+        view.w.(p) <- Tmg.delay s.stmg dst)
+      (Tmg.places s.stmg);
+    if !structural then begin
+      let out_arcs = Array.make n [] in
+      for p = m - 1 downto 0 do
+        out_arcs.(view.src.(p)) <- p :: out_arcs.(view.src.(p))
+      done;
+      s.view <- { view with out_arcs };
+      s.scc_dirty <- true
+    end;
+    if !structural || !marking then s.liveness <- None
+  end
+
+let solve s =
+  refresh s;
+  let dead =
+    match s.liveness with
+    | Some verdict -> verdict
+    | None ->
+      let verdict = Liveness.find_dead_cycle s.stmg in
+      s.liveness <- Some verdict;
+      verdict
+  in
+  match dead with
   | Some dead -> Error (Deadlock dead)
   | None ->
-    let view = view_of_tmg tmg in
-    let g = Tmg.graph tmg in
-    let scc = Scc.compute g in
-    let in_scc = Array.make view.m false in
-    for a = 0 to view.m - 1 do
-      in_scc.(a) <- scc.component.(view.src.(a)) = scc.component.(view.dst.(a))
-    done;
-    let comps = Scc.components scc in
-    (* Only components containing at least one internal arc have cycles. *)
-    let cyclic =
-      Array.to_list comps
-      |> List.filter (fun members ->
-             List.exists
-               (fun u -> List.exists (fun a -> in_scc.(a)) view.out_arcs.(u))
-               members)
-    in
-    if cyclic = [] then Error No_cycle
+    if s.scc_dirty then compute_scc_state s;
+    let view = s.view and in_scc = s.in_scc in
+    if s.cyclic = [] then Error No_cycle
     else begin
       let best = ref None and iters = ref 0 in
       let run members =
-        (* Restrict to vertices that have an internal out-arc companion: in a
-           cyclic SCC every member does. *)
-        let r, cyc, rounds = howard_scc view members in_scc in
+        let r, cyc, rounds = howard_scc ~warm:s.warm view members in_scc in
         iters := !iters + rounds;
         match !best with
         | None -> best := Some (r, cyc)
         | Some (r0, _) -> if Ratio.(r > r0) then best := Some (r, cyc)
       in
-      List.iter run cyclic;
+      List.iter run s.cyclic;
       match !best with
       | None -> assert false
       | Some (ratio, cycle_vertices) ->
@@ -369,7 +493,9 @@ let cycle_time tmg =
            maximal reduced weight, so their ratio dominates the policy
            cycle's. *)
         assert (Ratio.(seed_ratio >= ratio));
-        let final_ratio, final_arcs, cancels = certify view seed_ratio seed_arcs 0 in
+        let final_ratio, final_arcs, cancels =
+          certify view in_scc s.potentials seed_ratio seed_arcs 0
+        in
         Ok
           {
             cycle_time = final_ratio;
@@ -379,3 +505,5 @@ let cycle_time tmg =
             cancel_iterations = cancels;
           }
     end
+
+let cycle_time tmg = solve (make_solver tmg)

@@ -38,5 +38,30 @@ val cycle_time : Tmg.t -> (result, error) Stdlib.result
     Works on arbitrary (not necessarily strongly connected) nets by taking the
     worst component. *)
 
+type solver
+(** A reusable analysis context bound to one {!Tmg.t}. It caches everything
+    [cycle_time] would recompute from scratch — the compact arc view, the SCC
+    decomposition, the liveness verdict — plus the last converged Howard
+    policy, and re-syncs against the live net on every {!solve}:
+
+    - delay edits ({!Tmg.set_delay}) are absorbed for free;
+    - endpoint rewires ({!Tmg.rewire_place}) trigger an SCC recomputation but
+      keep the warm policy where it remains a valid internal arc;
+    - token edits invalidate only the cached liveness verdict;
+    - a change in transition/place count falls back to a full rebuild.
+
+    Warm-starting affects only the number of policy-improvement rounds and
+    possibly {e which} of several equally critical cycles is reported; the
+    returned cycle time is exact regardless, because the final candidate is
+    always certified by exact positive-cycle cancellation. *)
+
+val make_solver : Tmg.t -> solver
+
+val solve : solver -> (result, error) Stdlib.result
+(** [solve s] re-syncs the cached state with the net and computes the cycle
+    time, warm-started from the previous call's policy. The first call is
+    equivalent to {!cycle_time}; later calls return the same verdicts and the
+    same exact cycle time a fresh analysis would. *)
+
 val throughput : result -> Ratio.t
 (** Reciprocal of the cycle time. *)

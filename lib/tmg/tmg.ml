@@ -5,8 +5,8 @@ module Dot = Ermes_digraph.Dot
 type transition = Digraph.vertex
 type place = Digraph.arc
 
-type trans_info = { tname : string; tdelay : int }
-type place_info = { pname : string; mutable ptokens : int }
+type trans_info = { tname : string; mutable tdelay : int }
+type place_info = { mutable pname : string; mutable ptokens : int }
 
 type t = { g : (trans_info, place_info) Digraph.t }
 
@@ -30,6 +30,10 @@ let place_count tmg = Digraph.arc_count tmg.g
 let delay tmg t = (Digraph.vertex_label tmg.g t).tdelay
 let transition_name tmg t = (Digraph.vertex_label tmg.g t).tname
 
+let set_delay tmg t d =
+  if d < 0 then invalid_arg "Tmg.set_delay: negative delay";
+  (Digraph.vertex_label tmg.g t).tdelay <- d
+
 let tokens tmg p = (Digraph.arc_label tmg.g p).ptokens
 
 let set_tokens tmg p n =
@@ -39,6 +43,13 @@ let set_tokens tmg p n =
 let place_name tmg p = (Digraph.arc_label tmg.g p).pname
 let place_src tmg p = Digraph.arc_src tmg.g p
 let place_dst tmg p = Digraph.arc_dst tmg.g p
+
+let rewire_place tmg p ?name ~src ~dst ~tokens () =
+  if tokens < 0 then invalid_arg "Tmg.rewire_place: negative marking";
+  Digraph.rewire_arc tmg.g p ~src ~dst;
+  let info = Digraph.arc_label tmg.g p in
+  (match name with Some n -> info.pname <- n | None -> ());
+  info.ptokens <- tokens
 
 let in_places tmg t = Digraph.in_arcs tmg.g t
 let out_places tmg t = Digraph.out_arcs tmg.g t

@@ -32,6 +32,12 @@ val transition_count : t -> int
 val place_count : t -> int
 
 val delay : t -> transition -> int
+
+val set_delay : t -> transition -> int -> unit
+(** [set_delay tmg t d] replaces the firing delay of [t] in place — the
+    incremental hook for micro-architecture selection changes.
+    @raise Invalid_argument if [d < 0]. *)
+
 val transition_name : t -> transition -> string
 
 val tokens : t -> place -> int
@@ -40,6 +46,14 @@ val place_name : t -> place -> string
 
 val place_src : t -> place -> transition
 val place_dst : t -> place -> transition
+
+val rewire_place :
+  t -> place -> ?name:string -> src:transition -> dst:transition -> tokens:int -> unit -> unit
+(** [rewire_place tmg p ~src ~dst ~tokens ()] moves the existing place [p]
+    between new endpoint transitions and replaces its marking (and optionally
+    its name), keeping its id — the incremental hook for statement-order
+    changes, which rewire a process's chain places without rebuilding the
+    net. @raise Invalid_argument if [tokens < 0] or an endpoint is unknown. *)
 
 val in_places : t -> transition -> place list
 (** Places feeding a transition, in insertion order. *)

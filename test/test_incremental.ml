@@ -1,0 +1,275 @@
+(* Incremental-analysis sessions and the multicore engines.
+
+   The contract under test: a session must be observationally equivalent to
+   fresh [Perf.analyze] calls after ANY sequence of system mutations, and
+   every parallel engine must return bit-identical results at any job count.
+   Cycle times are compared exactly (both paths certify), deadlock verdicts
+   must name the same dead channels (the rethreaded net is bit-identical to
+   a fresh build), and critical cycles must be internally consistent —
+   though the representative cycle may differ when several tie. *)
+
+module System = Ermes_slm.System
+module Motivating = Ermes_slm.Motivating
+module Ratio = Ermes_tmg.Ratio
+module Perf = Ermes_core.Perf
+module Incremental = Ermes_core.Incremental
+module Order = Ermes_core.Order
+module Oracle = Ermes_core.Oracle
+module Fault = Ermes_fault.Fault
+module Fuzz = Ermes_fault.Fuzz
+module Parallel = Ermes_parallel.Parallel
+
+(* ---- mutation scripts --------------------------------------------------- *)
+
+(* Three integer draws encode one mutation: a selection change, an adjacent
+   get-order swap, or an adjacent put-order swap on a drawn process. *)
+let swap_adjacent xs k =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  if n >= 2 then begin
+    let i = k mod (n - 1) in
+    let t = a.(i) in
+    a.(i) <- a.(i + 1);
+    a.(i + 1) <- t
+  end;
+  Array.to_list a
+
+let apply_mutation sys (kind, which, detail) =
+  let procs = Array.of_list (System.processes sys) in
+  let p = procs.(which mod Array.length procs) in
+  match kind mod 3 with
+  | 0 ->
+    let n = Array.length (System.impls sys p) in
+    System.select sys p (detail mod n)
+  | 1 -> System.set_get_order sys p (swap_adjacent (System.get_order sys p) detail)
+  | _ -> System.set_put_order sys p (swap_adjacent (System.put_order sys p) detail)
+
+let mutations_gen =
+  QCheck2.Gen.(
+    list_size (int_range 4 12)
+      (triple (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range 0 1_000_000)))
+
+(* One analysis comparison; returns false on any observable disagreement. *)
+let agrees fresh inc =
+  match (fresh, inc) with
+  | Ok (f : Perf.analysis), Ok (g : Perf.analysis) ->
+    Ratio.equal f.Perf.cycle_time g.Perf.cycle_time
+    (* the incremental critical cycle must be genuinely critical *)
+    && Ratio.equal (Ratio.make g.Perf.critical_delay g.Perf.critical_tokens) g.Perf.cycle_time
+    && g.Perf.critical_cycle <> []
+  | Error (Perf.Deadlock df), Error (Perf.Deadlock dg) ->
+    List.sort compare df.Perf.dead_channels = List.sort compare dg.Perf.dead_channels
+  | Error Perf.No_cycle, Error Perf.No_cycle -> true
+  | _ -> false
+
+let prop_session_equiv (sys, script) =
+  let session = Incremental.create sys in
+  let ok =
+    List.for_all
+      (fun mutation ->
+        apply_mutation sys mutation;
+        agrees (Perf.analyze sys) (Incremental.analyze session))
+      script
+  in
+  (* Selection and order mutations must never fall back to a rebuild. *)
+  ok && (Incremental.stats session).Incremental.rebuilds = 0
+
+let test_session_equiv_feedback =
+  Helpers.qtest ~count:120 "session == fresh (feedback systems)"
+    QCheck2.Gen.(pair Helpers.feedback_system_gen mutations_gen)
+    prop_session_equiv
+
+let test_session_equiv_dag =
+  Helpers.qtest ~count:60 "session == fresh (DAG systems)"
+    QCheck2.Gen.(pair Helpers.dag_system_gen mutations_gen)
+    prop_session_equiv
+
+(* A channel-kind change alters the transition set: the session must fall
+   back to a full rebuild and still agree with a fresh analysis. *)
+let test_rebuild_on_kind_change () =
+  let sys = Motivating.suboptimal () in
+  let session = Incremental.create sys in
+  (match Incremental.analyze session with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "motivating system deadlocked");
+  let c = Option.get (System.find_channel sys "a") in
+  System.set_channel_kind sys c (System.Fifo 2);
+  Alcotest.(check bool) "agrees after FIFO-ization" true
+    (agrees (Perf.analyze sys) (Incremental.analyze session));
+  Alcotest.(check bool) "rebuilt" true
+    ((Incremental.stats session).Incremental.rebuilds >= 1);
+  (* And keeps absorbing ordinary mutations afterwards. *)
+  apply_mutation sys (0, 1, 1);
+  Alcotest.(check bool) "agrees after rebuild + mutation" true
+    (agrees (Perf.analyze sys) (Incremental.analyze session))
+
+(* ---- transient probes --------------------------------------------------- *)
+
+let prop_probe_matches_fault (sys, (dp, dc, pdelta, cdelta)) =
+  let session = Incremental.create sys in
+  let procs = Array.of_list (System.processes sys) in
+  let chans = Array.of_list (System.channels sys) in
+  let p = procs.(dp mod Array.length procs) in
+  let c = chans.(dc mod Array.length chans) in
+  let via_probe =
+    Incremental.probe session
+      [ Incremental.Slow_process (p, pdelta); Incremental.Jitter_channel (c, cdelta) ]
+  in
+  let via_fault =
+    Perf.analyze
+      (Fault.apply sys
+         [
+           Fault.Process_slowdown { process = p; delta = pdelta };
+           Fault.Latency_jitter { channel = c; delta = cdelta };
+         ])
+  in
+  let same =
+    match (via_probe, via_fault) with
+    | Ok a, Ok b -> Ratio.equal a.Perf.cycle_time b.Perf.cycle_time
+    | Error _, Error _ -> true
+    | _ -> false
+  in
+  (* The probe must leave no trace. *)
+  same && agrees (Perf.analyze sys) (Incremental.analyze session)
+
+let test_probe_matches_fault =
+  Helpers.qtest ~count:100 "probe == Fault.apply + fresh analysis"
+    QCheck2.Gen.(
+      pair Helpers.feedback_system_gen
+        (quad (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range (-10) 25)
+           (int_range (-10) 25)))
+    prop_probe_matches_fault
+
+(* ---- parallel oracle ---------------------------------------------------- *)
+
+let orders_signature sys =
+  List.map (fun p -> (System.get_order sys p, System.put_order sys p)) (System.processes sys)
+
+let oracle_results_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (x : Oracle.result), Some (y : Oracle.result) ->
+    Ratio.equal x.Oracle.best_cycle_time y.Oracle.best_cycle_time
+    && x.Oracle.evaluated = y.Oracle.evaluated
+    && x.Oracle.deadlocked = y.Oracle.deadlocked
+    && orders_signature x.Oracle.best_system = orders_signature y.Oracle.best_system
+  | _ -> false
+
+let prop_oracle_jobs sys =
+  System.order_combinations sys > 600.
+  ||
+  let r1 = Oracle.search ~limit:1000 ~jobs:1 sys in
+  let r2 = Oracle.search ~limit:1000 ~jobs:2 sys in
+  let r4 = Oracle.search ~limit:1000 ~jobs:4 sys in
+  oracle_results_equal r1 r2 && oracle_results_equal r1 r4
+
+let test_oracle_jobs =
+  Helpers.qtest ~count:60 "Oracle.search ~jobs:{2,4} == ~jobs:1"
+    Helpers.dag_system_gen prop_oracle_jobs
+
+let test_oracle_jobs_motivating () =
+  let sys = Motivating.system () in
+  let r1 = Oracle.search ~jobs:1 sys in
+  let r4 = Oracle.search ~jobs:4 sys in
+  Alcotest.(check bool) "identical results" true (oracle_results_equal r1 r4);
+  match r1 with
+  | Some r -> Alcotest.(check int) "all 36 combinations" 36 r.Oracle.evaluated
+  | None -> Alcotest.fail "oracle found nothing"
+
+(* ---- parallel ordering -------------------------------------------------- *)
+
+let prop_local_search_jobs sys =
+  Order.conservative sys;
+  let a = System.copy sys in
+  let b = System.copy sys in
+  let ea = Order.local_search ~max_evaluations:300 ~jobs:1 a in
+  let eb = Order.local_search ~max_evaluations:300 ~jobs:4 b in
+  ea = eb && orders_signature a = orders_signature b
+
+let test_local_search_jobs =
+  Helpers.qtest ~count:40 "batch local search deterministic in jobs"
+    Helpers.dag_system_gen prop_local_search_jobs
+
+let prop_apply_safe_session sys =
+  Order.conservative sys;
+  let a = System.copy sys in
+  let b = System.copy sys in
+  let session = Incremental.create a in
+  let ra = Order.apply_safe ~session a in
+  let rb = Order.apply_safe b in
+  let same_outcome =
+    match (ra, rb) with
+    | Order.Applied _, Order.Applied _ -> true
+    | Order.Kept_incumbent x, Order.Kept_incumbent y -> x = y
+    | _ -> false
+  in
+  same_outcome && orders_signature a = orders_signature b
+  && agrees (Perf.analyze a) (Incremental.analyze session)
+
+let test_apply_safe_session =
+  Helpers.qtest ~count:60 "apply_safe ?session == apply_safe"
+    Helpers.dag_system_gen prop_apply_safe_session
+
+(* ---- parallel fuzzing --------------------------------------------------- *)
+
+let failure_signature (f : Fuzz.failure) = (f.Fuzz.case, f.Fuzz.scenario, f.Fuzz.mismatches)
+
+let test_fuzz_jobs () =
+  let config =
+    { Fuzz.seed = 7; cases = 12; max_processes = 8; rounds = 48; repro_dir = None }
+  in
+  let s1 = Fuzz.run ~jobs:1 config in
+  let s2 = Fuzz.run ~jobs:2 config in
+  Alcotest.(check int) "cases" s1.Fuzz.cases_run s2.Fuzz.cases_run;
+  Alcotest.(check int) "live" s1.Fuzz.live s2.Fuzz.live;
+  Alcotest.(check int) "dead" s1.Fuzz.dead s2.Fuzz.dead;
+  Alcotest.(check int) "faults" s1.Fuzz.faults_injected s2.Fuzz.faults_injected;
+  Alcotest.(check bool) "failures" true
+    (List.map failure_signature s1.Fuzz.failures
+    = List.map failure_signature s2.Fuzz.failures)
+
+(* ---- the domain pool itself --------------------------------------------- *)
+
+let test_parallel_map () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (list int)) "jobs 4 == List.map" (List.map f xs) (Parallel.map ~jobs:4 f xs);
+  Alcotest.(check (list int)) "jobs 1 == List.map" (List.map f xs) (Parallel.map ~jobs:1 f xs);
+  Alcotest.(check (list int)) "empty" [] (Parallel.map ~jobs:4 f []);
+  Alcotest.(check (array int)) "init" (Array.init 37 f) (Parallel.init ~jobs:3 37 f)
+
+let test_parallel_failure () =
+  match
+    Parallel.map ~jobs:4
+      (fun i -> if i >= 50 then failwith "boom" else i)
+      (List.init 100 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failure"
+  | exception Parallel.Worker_failure (i, Failure m) ->
+    Alcotest.(check int) "lowest failing index" 50 i;
+    Alcotest.(check string) "payload" "boom" m
+  | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "session",
+        [
+          test_session_equiv_feedback;
+          test_session_equiv_dag;
+          Alcotest.test_case "kind change rebuilds" `Quick test_rebuild_on_kind_change;
+        ] );
+      ("probe", [ test_probe_matches_fault ]);
+      ( "oracle",
+        [
+          test_oracle_jobs;
+          Alcotest.test_case "motivating, jobs 4" `Quick test_oracle_jobs_motivating;
+        ] );
+      ("ordering", [ test_local_search_jobs; test_apply_safe_session ]);
+      ("fuzz", [ Alcotest.test_case "jobs 2 == jobs 1" `Quick test_fuzz_jobs ]);
+      ( "parallel",
+        [
+          Alcotest.test_case "map/init deterministic" `Quick test_parallel_map;
+          Alcotest.test_case "worker failure index" `Quick test_parallel_failure;
+        ] );
+    ]
