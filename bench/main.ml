@@ -875,6 +875,12 @@ let () =
             exit 1)
         wanted
   in
+  (* Collect the instrumentation counters alongside the timings: they land in
+     --json as obs.* metrics, so a perf regression can be correlated with a
+     behavioural change (more rebuilds, fewer warm solves) from the same
+     artifact. *)
+  Ermes_obs.Obs.set_clock Unix.gettimeofday;
+  Ermes_obs.Obs.enable ();
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (name, f) ->
@@ -882,6 +888,9 @@ let () =
       metric (Printf.sprintf "section.%s.seconds" name) t)
     to_run;
   Format.printf "@.total bench time: %.1f s@." (Unix.gettimeofday () -. t0);
+  List.iter
+    (fun (k, v) -> metric ("obs." ^ k) (float_of_int v))
+    (Ermes_obs.Obs.counters ());
   match json_file with
   | Some file ->
     write_json file;

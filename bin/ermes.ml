@@ -20,8 +20,27 @@ module Differential = Ermes_fault.Differential
 module Fuzz = Ermes_fault.Fuzz
 module Resilience = Ermes_fault.Resilience
 module Parallel = Ermes_parallel.Parallel
+module Incremental = Ermes_core.Incremental
+module Obs = Ermes_obs.Obs
 
 open Cmdliner
+
+(* Exit-code contract, uniform across subcommands so CI can gate on it:
+   0 success, 1 invalid input or usage, 2 deadlock / mismatch / failed
+   verification, 3 watchdog timeout. *)
+let exits =
+  Cmd.Exit.info 1
+       ~doc:
+         "on invalid input: unparseable or ill-formed system descriptions, \
+          unknown channels or processes, structural errors (e.g. no sink to \
+          monitor)."
+  :: Cmd.Exit.info 2
+       ~doc:
+         "on deadlock (statically proven or simulated), an oracle mismatch, or \
+          a failed verification."
+  :: Cmd.Exit.info 3
+       ~doc:"on watchdog timeout: the simulation cycle budget was exhausted."
+  :: Cmd.Exit.defaults
 
 (* Every subcommand accepts -v/-vv to surface the library's log sources. *)
 let verbosity =
@@ -31,6 +50,27 @@ let verbosity =
 let setup_logs level =
   Logs.set_reporter (Logs_fmt.reporter ());
   Logs.set_level level
+
+(* --trace plugs the instrumentation sink in and dumps it on exit — also on
+   the non-zero [exit] paths, which [Fun.protect] would miss ([Stdlib.exit]
+   does not unwind). *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record counters and timing spans and write them to $(docv) as \
+           Chrome trace-event JSON (loadable in chrome://tracing or \
+           ui.perfetto.dev) when the command exits. Instrumentation never \
+           changes any result.")
+
+let setup_trace = function
+  | None -> ()
+  | Some file ->
+    Obs.set_clock Unix.gettimeofday;
+    Obs.enable ();
+    at_exit (fun () -> Obs.write_chrome_trace file)
 
 (* Shared by every multicore-capable subcommand. Results are bit-identical
    for any value — parallelism only changes wall-clock. *)
@@ -66,6 +106,7 @@ let save out sys =
 (* ---- common arguments -------------------------------------------------- *)
 
 let with_logs term = Term.(const (fun () f -> f) $ (const setup_logs $ verbosity) $ term)
+let with_trace term = Term.(const (fun () f -> f) $ (const setup_trace $ trace_arg) $ term)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.soc" ~doc:"System description.")
@@ -105,17 +146,23 @@ let analyze_cmd =
              (if Ratio.equal r a.Perf.cycle_time then "matches the analysis"
               else "DIFFERS from the analysis")
          | Ok Sim.No_period -> Format.printf "simulation: periodicity not reached; raise rounds@."
-         | Ok (Sim.Deadlock d) -> Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d
-         | Ok (Sim.Timeout t) -> Format.printf "simulation: %a@." Sim.pp_timeout t
-         | Error e -> Format.printf "simulation: %s@." e
+         | Ok (Sim.Deadlock d) ->
+           Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d;
+           exit 2
+         | Ok (Sim.Timeout t) ->
+           Format.printf "simulation: %a@." Sim.pp_timeout t;
+           exit 3
+         | Error e ->
+           prerr_endline ("ermes: " ^ e);
+           exit 1
        end
      | Error f ->
        Format.printf "%a@." (Perf.pp_failure sys) f;
        exit 2)
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Cycle time and critical cycle of a system (TMG + Howard).")
-    (with_logs Term.(const run $ file_arg $ simulate $ slack))
+    (Cmd.info "analyze" ~exits ~doc:"Cycle time and critical cycle of a system (TMG + Howard).")
+    (with_logs (with_trace Term.(const run $ file_arg $ simulate $ slack)))
 
 (* ---- order ------------------------------------------------------------- *)
 
@@ -177,8 +224,8 @@ let order_cmd =
     save out sys
   in
   Cmd.v
-    (Cmd.info "order" ~doc:"Reorder the put/get statements (paper §4).")
-    (with_logs Term.(const run $ file_arg $ strategy $ refine $ jobs_arg $ output_arg))
+    (Cmd.info "order" ~exits ~doc:"Reorder the put/get statements (paper §4).")
+    (with_logs (with_trace Term.(const run $ file_arg $ strategy $ refine $ jobs_arg $ output_arg)))
 
 (* ---- simulate ---------------------------------------------------------- *)
 
@@ -209,8 +256,8 @@ let simulate_cmd =
       exit 1
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Cycle-accurate rendezvous simulation.")
-    (with_logs Term.(const run $ file_arg $ rounds $ max_cycles))
+    (Cmd.info "simulate" ~exits ~doc:"Cycle-accurate rendezvous simulation.")
+    (with_logs (with_trace Term.(const run $ file_arg $ rounds $ max_cycles)))
 
 (* ---- dse --------------------------------------------------------------- *)
 
@@ -228,8 +275,8 @@ let dse_cmd =
     save out sys
   in
   Cmd.v
-    (Cmd.info "dse" ~doc:"Design-space exploration: IP selection (ILP) + channel reordering (paper §5).")
-    (with_logs Term.(const run $ file_arg $ tct $ no_reorder $ output_arg))
+    (Cmd.info "dse" ~exits ~doc:"Design-space exploration: IP selection (ILP) + channel reordering (paper §5).")
+    (with_logs (with_trace Term.(const run $ file_arg $ tct $ no_reorder $ output_arg)))
 
 (* ---- generate / mpeg2 -------------------------------------------------- *)
 
@@ -246,7 +293,7 @@ let generate_cmd =
     save out sys
   in
   Cmd.v
-    (Cmd.info "generate" ~doc:"Generate a synthetic SoC benchmark (paper §6 scalability study).")
+    (Cmd.info "generate" ~exits ~doc:"Generate a synthetic SoC benchmark (paper §6 scalability study).")
     (with_logs Term.(const run $ processes $ channels $ seed $ output_arg))
 
 let mpeg2_cmd =
@@ -263,7 +310,7 @@ let mpeg2_cmd =
     save out sys
   in
   Cmd.v
-    (Cmd.info "mpeg2" ~doc:"Emit the MPEG-2 encoder case study (26 processes, 60 channels).")
+    (Cmd.info "mpeg2" ~exits ~doc:"Emit the MPEG-2 encoder case study (26 processes, 60 channels).")
     (with_logs Term.(const run $ selection $ output_arg))
 
 (* ---- fifo -------------------------------------------------------------- *)
@@ -301,12 +348,17 @@ let fifo_cmd =
     in
     List.iter (fun c -> System.set_channel_kind sys c (System.Fifo depth)) targets;
     (match Perf.analyze sys with
-     | Ok a -> Format.eprintf "buffered %d channels; cycle time %a@." (List.length targets) Ratio.pp a.Perf.cycle_time
-     | Error f -> Format.eprintf "buffered %d channels; %a@." (List.length targets) (Perf.pp_failure sys) f);
-    save out sys
+     | Ok a ->
+       Format.eprintf "buffered %d channels; cycle time %a@." (List.length targets) Ratio.pp a.Perf.cycle_time;
+       save out sys
+     | Error f ->
+       Format.eprintf "buffered %d channels; %a@." (List.length targets) (Perf.pp_failure sys) f;
+       Format.eprintf "warning: the buffered system deadlocks; writing it anyway@.";
+       save out sys;
+       exit 2)
   in
   Cmd.v
-    (Cmd.info "fifo" ~doc:"Replace blocking channels with bounded FIFOs (buffer sizing).")
+    (Cmd.info "fifo" ~exits ~doc:"Replace blocking channels with bounded FIFOs (buffer sizing).")
     (with_logs Term.(const run $ file_arg $ depth $ channels $ critical $ output_arg))
 
 (* ---- frontier ----------------------------------------------------------- *)
@@ -323,7 +375,7 @@ let frontier_cmd =
       frontier
   in
   Cmd.v
-    (Cmd.info "frontier" ~doc:"System-level Pareto frontier over the implementation sets.")
+    (Cmd.info "frontier" ~exits ~doc:"System-level Pareto frontier over the implementation sets.")
     (with_logs Term.(const run $ file_arg))
 
 (* ---- oracle -------------------------------------------------------------- *)
@@ -345,7 +397,7 @@ let oracle_cmd =
       exit 1
   in
   Cmd.v
-    (Cmd.info "oracle" ~doc:"Exhaustive statement-order search (small systems only).")
+    (Cmd.info "oracle" ~exits ~doc:"Exhaustive statement-order search (small systems only).")
     (with_logs Term.(const run $ file_arg $ limit $ jobs_arg))
 
 (* ---- report ------------------------------------------------------------- *)
@@ -368,7 +420,7 @@ let report_cmd =
         Printf.printf "wrote %s\n" path)
   in
   Cmd.v
-    (Cmd.info "report" ~doc:"Markdown design report: performance, slack, area, frontier.")
+    (Cmd.info "report" ~exits ~doc:"Markdown design report: performance, slack, area, frontier.")
     (with_logs Term.(const run $ file_arg $ frontier $ output_arg))
 
 (* ---- buffers -------------------------------------------------------------- *)
@@ -395,7 +447,7 @@ let buffers_cmd =
     save out sys
   in
   Cmd.v
-    (Cmd.info "buffers" ~doc:"Automatic FIFO sizing toward a target cycle time.")
+    (Cmd.info "buffers" ~exits ~doc:"Automatic FIFO sizing toward a target cycle time.")
     (with_logs Term.(const run $ file_arg $ tct $ max_slots $ output_arg))
 
 (* ---- rtl --------------------------------------------------------------- *)
@@ -425,7 +477,7 @@ let rtl_cmd =
       Printf.printf "wrote %s\n" path
   in
   Cmd.v
-    (Cmd.info "rtl" ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel handshakes).")
+    (Cmd.info "rtl" ~exits ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel handshakes).")
     (with_logs Term.(const run $ file_arg $ verify $ output_arg))
 
 (* ---- inject ------------------------------------------------------------ *)
@@ -478,7 +530,7 @@ let inject_cmd =
     end
   in
   Cmd.v
-    (Cmd.info "inject" ~doc:"Apply fault models to a system (and optionally cross-check the oracles).")
+    (Cmd.info "inject" ~exits ~doc:"Apply fault models to a system (and optionally cross-check the oracles).")
     (with_logs Term.(const run $ file_arg $ faults_arg $ check $ rounds $ output_arg))
 
 (* ---- fuzz -------------------------------------------------------------- *)
@@ -516,11 +568,11 @@ let fuzz_cmd =
     if s.Fuzz.failures <> [] then exit 2
   in
   Cmd.v
-    (Cmd.info "fuzz"
+    (Cmd.info "fuzz" ~exits
        ~doc:"Differential fuzzing: random systems + fault scenarios, every analysis \
              cross-checked against the simulator; failures are shrunk and written as \
              .soc repros.")
-    (with_logs Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro $ jobs_arg))
+    (with_logs (with_trace Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro $ jobs_arg)))
 
 (* ---- resilience --------------------------------------------------------- *)
 
@@ -549,10 +601,54 @@ let resilience_cmd =
       end
   in
   Cmd.v
-    (Cmd.info "resilience"
+    (Cmd.info "resilience" ~exits
        ~doc:"Latency-slack report: how much each component can degrade before the \
              cycle time moves; fragile vs robust classification.")
     (with_logs Term.(const run $ file_arg $ threshold $ verify))
+
+(* ---- profile ------------------------------------------------------------ *)
+
+let profile_cmd =
+  let rounds =
+    Arg.(value & opt int 64 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Sink iterations driving the utilization simulation.")
+  in
+  let run file rounds =
+    (* --trace may already have installed a sink; otherwise record locally so
+       the summary has something to print. *)
+    Obs.set_clock Unix.gettimeofday;
+    if not (Obs.enabled ()) then Obs.enable ();
+    let sys = or_die (load file) in
+    let session = Incremental.create sys in
+    let code = ref 0 in
+    (match Incremental.analyze session with
+     | Ok a -> Format.printf "analysis: cycle time %a@." Ratio.pp a.Perf.cycle_time
+     | Error f ->
+       Format.printf "analysis: %a@." (Perf.pp_failure sys) f;
+       code := 2);
+    (match Sim.run ~max_iterations:rounds sys with
+     | Ok r ->
+       Format.printf "%a@." (Sim.pp_profile sys) r;
+       (match r.Sim.outcome with
+        | Sim.Completed -> ()
+        | Sim.Deadlocked d ->
+          Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d;
+          if !code = 0 then code := 2
+        | Sim.Timed_out t ->
+          Format.printf "simulation: %a@." Sim.pp_timeout t;
+          if !code = 0 then code := 3)
+     | Error e ->
+       prerr_endline ("ermes: " ^ e);
+       if !code = 0 then code := 1);
+    print_string (Obs.summary ());
+    if !code <> 0 then exit !code
+  in
+  Cmd.v
+    (Cmd.info "profile" ~exits
+       ~doc:"Analyze and simulate a system, printing the simulator's utilization \
+             profile (per-process blocked time, FIFO occupancy) and the \
+             instrumentation summary (solver and session counters, span timings).")
+    (with_logs (with_trace Term.(const run $ file_arg $ rounds)))
 
 (* ---- dot --------------------------------------------------------------- *)
 
@@ -570,7 +666,7 @@ let dot_cmd =
       Printf.printf "wrote %s\n" path
   in
   Cmd.v
-    (Cmd.info "dot" ~doc:"Graphviz export of the system or its TMG.")
+    (Cmd.info "dot" ~exits ~doc:"Graphviz export of the system or its TMG.")
     (with_logs Term.(const run $ file_arg $ tmg $ output_arg))
 
 let () =
@@ -593,5 +689,6 @@ let () =
                       inject_cmd;
                       fuzz_cmd;
                       resilience_cmd;
+                      profile_cmd;
                       dot_cmd;
                     ]))

@@ -1,5 +1,6 @@
 module System = Ermes_slm.System
 module Ratio = Ermes_tmg.Ratio
+module Obs = Ermes_obs.Obs
 
 type step = { channel : System.channel; new_depth : int; cycle_time : Ratio.t }
 
@@ -10,10 +11,12 @@ type result = {
   met : bool;
 }
 
-let analyze_exn sys =
-  match Perf.analyze sys with
+let analyze_exn session =
+  match Incremental.analyze session with
   | Ok a -> a
-  | Error f -> Format.kasprintf failwith "Buffer_opt: %a" (Perf.pp_failure sys) f
+  | Error f ->
+    Format.kasprintf failwith "Buffer_opt: %a"
+      (Perf.pp_failure (Incremental.system session)) f
 
 let depth_of sys c =
   match System.channel_kind sys c with System.Rendezvous -> 0 | System.Fifo d -> d
@@ -21,10 +24,16 @@ let depth_of sys c =
 let set_depth sys c d =
   System.set_channel_kind sys c (if d = 0 then System.Rendezvous else System.Fifo d)
 
+(* One session serves every candidate evaluation: once a channel is a FIFO,
+   probing depth d+1 and restoring d are single token writes on its credit
+   place; only the first 0 → 1 buffering of a channel (Rendezvous → Fifo, a
+   new transition pair) costs a rebuild. *)
 let size ?(max_slots = 64) ~tct sys =
+  Obs.span "buffer_opt.size" @@ fun () ->
+  let session = Incremental.create sys in
   let steps = ref [] in
   let slots = ref 0 in
-  let current = ref (analyze_exn sys) in
+  let current = ref (analyze_exn session) in
   let target = Ratio.of_int tct in
   let continue_ = ref true in
   while
@@ -38,7 +47,7 @@ let size ?(max_slots = 64) ~tct sys =
       (fun c ->
         let d = depth_of sys c in
         set_depth sys c (d + 1);
-        (match Perf.analyze sys with
+        (match Incremental.analyze session with
          | Ok a ->
            if Ratio.(a.Perf.cycle_time < base_ct) then begin
              match !best with
@@ -54,7 +63,7 @@ let size ?(max_slots = 64) ~tct sys =
       set_depth sys c d;
       incr slots;
       steps := { channel = c; new_depth = d; cycle_time = ct } :: !steps;
-      current := analyze_exn sys
+      current := analyze_exn session
   done;
   let final = !current.Perf.cycle_time in
   {

@@ -4,6 +4,7 @@ module Ratio = Ermes_tmg.Ratio
 let log_src = Logs.Src.create "ermes.explore" ~doc:"ERMES design-space exploration"
 
 module Log = (val Logs.src_log log_src)
+module Obs = Ermes_obs.Obs
 
 type action = Initial | Timing_optimization | Area_recovery | Converged
 
@@ -48,6 +49,8 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
      selection changes are delay edits, reorderings are chain rewires, and
      each Howard run warm-starts from the previous policy. *)
   let session = Incremental.create sys in
+  List.iter (Obs.incr ~by:0)
+    [ "explore.moves.area_recovery"; "explore.moves.timing_optimization"; "explore.reorders" ];
   let visited = Hashtbl.create 16 in
   let remember () = Hashtbl.replace visited (Ilp_select.selection_vector sys) () in
   remember ();
@@ -100,6 +103,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
   let finished = ref false in
   let iteration = ref 0 in
   while (not !finished) && !iteration < max_iterations do
+    Obs.span "explore.iteration" @@ fun () ->
     incr iteration;
     let a = !current in
     let ct = a.Perf.cycle_time in
@@ -165,12 +169,17 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
              | Timing_optimization -> "timing-optimization"
              | Initial | Converged -> "?")
             (List.length changes));
+      Obs.incr
+        (match action with
+        | Area_recovery -> "explore.moves.area_recovery"
+        | Timing_optimization | Initial | Converged -> "explore.moves.timing_optimization");
       Ilp_select.apply_changes sys changes;
       remember ();
       let after_changes = session_analyze_exn session in
       let reordered, a' =
         if reorder then reorder_if_better ~session sys else (false, after_changes)
       in
+      if reordered then Obs.incr "explore.reorders";
       current := a';
       note_best a';
       Log.info (fun m ->

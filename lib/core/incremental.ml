@@ -3,11 +3,18 @@ module To_tmg = Ermes_slm.To_tmg
 module Tmg = Ermes_tmg.Tmg
 module Howard = Ermes_tmg.Howard
 module Ratio = Ermes_tmg.Ratio
+module Obs = Ermes_obs.Obs
+
+let log_src = Logs.Src.create "ermes.incremental" ~doc:"incremental analysis sessions"
+
+module Log = (val Logs.src_log log_src)
 
 type stats = {
   mutable analyses : int;
+  mutable probes : int;
   mutable delay_edits : int;
   mutable rethreads : int;
+  mutable marking_edits : int;
   mutable rebuilds : int;
 }
 
@@ -34,6 +41,9 @@ let snapshot sess =
   done
 
 let create sys =
+  List.iter
+    (fun c -> Obs.incr ~by:0 ("incremental." ^ c))
+    [ "analyses"; "probes"; "delay_edits"; "rethreads"; "marking_edits"; "rebuilds" ];
   let np = System.process_count sys and nc = System.channel_count sys in
   let mapping = To_tmg.build sys in
   let sess =
@@ -45,7 +55,15 @@ let create sys =
       gets = Array.make (max np 1) [];
       puts = Array.make (max np 1) [];
       kinds = Array.make (max nc 1) System.Rendezvous;
-      stats = { analyses = 0; delay_edits = 0; rethreads = 0; rebuilds = 0 };
+      stats =
+        {
+          analyses = 0;
+          probes = 0;
+          delay_edits = 0;
+          rethreads = 0;
+          marking_edits = 0;
+          rebuilds = 0;
+        };
     }
   in
   snapshot sess;
@@ -57,37 +75,55 @@ let mapping sess = sess.mapping
 
 (* Diff the cached shadow state against the live system and translate each
    difference into the cheapest TMG edit: a selection change is one delay
-   write, an order change rewires one process chain, a channel-kind change
-   (FIFO-ization or depth change — it alters the transition set) falls back
-   to a full rebuild. Callers mutate the System freely between analyses; no
+   write, an order change rewires one process chain, a [Fifo d → Fifo d']
+   depth change is one token write on the credit place, and only a
+   [Rendezvous ↔ Fifo] change (it alters the transition set) falls back to a
+   full rebuild. Callers mutate the System freely between analyses; no
    notification protocol is needed. *)
 let sync sess =
   let sys = sess.sys in
-  let kind_changed = ref false in
-  for c = 0 to System.channel_count sys - 1 do
-    if System.channel_kind sys c <> sess.kinds.(c) then kind_changed := true
+  let structural = ref false and depth_edits = ref [] in
+  for c = System.channel_count sys - 1 downto 0 do
+    let k = System.channel_kind sys c in
+    if k <> sess.kinds.(c) then
+      match (sess.kinds.(c), k) with
+      | System.Fifo _, System.Fifo d' -> depth_edits := (c, d') :: !depth_edits
+      | _, _ -> structural := true
   done;
-  if !kind_changed then begin
+  if !structural then begin
+    Log.debug (fun m -> m "sync: channel transition set changed, full rebuild");
     sess.mapping <- To_tmg.build sys;
     sess.solver <- Howard.make_solver sess.mapping.To_tmg.tmg;
     sess.stats.rebuilds <- sess.stats.rebuilds + 1;
+    Obs.incr "incremental.rebuilds";
     snapshot sess
   end
   else begin
     let m = sess.mapping in
+    List.iter
+      (fun (c, depth) ->
+        Tmg.set_tokens m.To_tmg.tmg (Option.get m.To_tmg.credit_place.(c)) depth;
+        sess.kinds.(c) <- System.Fifo depth;
+        sess.stats.marking_edits <- sess.stats.marking_edits + 1;
+        Obs.incr "incremental.marking_edits";
+        Log.debug (fun f ->
+            f "sync: depth of %s -> %d (marking edit)" (System.channel_name sys c) depth))
+      !depth_edits;
     for p = 0 to System.process_count sys - 1 do
       let l = System.latency sys p in
       if l <> sess.lat.(p) then begin
         Tmg.set_delay m.To_tmg.tmg m.To_tmg.compute_transition.(p) l;
         sess.lat.(p) <- l;
-        sess.stats.delay_edits <- sess.stats.delay_edits + 1
+        sess.stats.delay_edits <- sess.stats.delay_edits + 1;
+        Obs.incr "incremental.delay_edits"
       end;
       let g = System.get_order sys p and q = System.put_order sys p in
       if g <> sess.gets.(p) || q <> sess.puts.(p) then begin
         To_tmg.rethread m sys p;
         sess.gets.(p) <- g;
         sess.puts.(p) <- q;
-        sess.stats.rethreads <- sess.stats.rethreads + 1
+        sess.stats.rethreads <- sess.stats.rethreads + 1;
+        Obs.incr "incremental.rethreads"
       end
     done
   end
@@ -95,6 +131,7 @@ let sync sess =
 let analyze sess =
   sync sess;
   sess.stats.analyses <- sess.stats.analyses + 1;
+  Obs.incr "incremental.analyses";
   Perf.of_howard sess.mapping (Howard.solve sess.solver)
 
 let analyze_exn sess =
@@ -144,6 +181,9 @@ let probe sess probes =
       deltas []
   in
   sess.stats.analyses <- sess.stats.analyses + 1;
+  sess.stats.probes <- sess.stats.probes + 1;
+  Obs.incr "incremental.analyses";
+  Obs.incr "incremental.probes";
   let outcome = Howard.solve sess.solver in
   List.iter (fun (t, before) -> Tmg.set_delay tmg t before) saved;
   Perf.of_howard m outcome

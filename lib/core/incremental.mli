@@ -10,8 +10,10 @@
       write ({!Ermes_tmg.Tmg.set_delay});
     - a statement {e order} change rewires that process's chain places in
       place ({!Ermes_slm.To_tmg.rethread});
-    - a {e channel-kind} change (FIFO-ization, depth change) alters the
-      transition set and falls back to a full rebuild —
+    - a FIFO {e depth} change ([Fifo d → Fifo d']) becomes one token write on
+      the channel's credit place ({!Ermes_tmg.Tmg.set_tokens});
+    - a [Rendezvous ↔ Fifo] {e kind} change alters the transition set and
+      falls back to a full rebuild —
 
     then re-runs Howard warm-started from the previous converged policy
     ({!Ermes_tmg.Howard.solve}). Results are equivalent to a fresh
@@ -59,9 +61,11 @@ val probe : t -> probe list -> (Perf.analysis, Perf.failure) result
 
 type stats = {
   mutable analyses : int;  (** solver runs (including probes) *)
+  mutable probes : int;  (** transient {!probe} solves *)
   mutable delay_edits : int;  (** selection changes absorbed as delay writes *)
   mutable rethreads : int;  (** order changes absorbed as chain rewires *)
-  mutable rebuilds : int;  (** channel-kind changes: full TMG rebuilds *)
+  mutable marking_edits : int;  (** FIFO depth changes absorbed as token writes *)
+  mutable rebuilds : int;  (** [Rendezvous ↔ Fifo] changes: full TMG rebuilds *)
 }
 
 val stats : t -> stats

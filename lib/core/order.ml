@@ -6,6 +6,7 @@ module Parallel = Ermes_parallel.Parallel
 let log_src = Logs.Src.create "ermes.order" ~doc:"channel ordering"
 
 module Log = (val Logs.src_log log_src)
+module Obs = Ermes_obs.Obs
 
 type labels = {
   head_weight : int array;
@@ -350,9 +351,14 @@ let local_search_batch ~max_evaluations ~jobs sys =
   !evals
 
 let local_search ?(max_evaluations = 10_000) ?jobs sys =
-  match jobs with
-  | None -> local_search_greedy ~max_evaluations sys
-  | Some jobs -> local_search_batch ~max_evaluations ~jobs sys
+  Obs.span "order.local_search" @@ fun () ->
+  let evals =
+    match jobs with
+    | None -> local_search_greedy ~max_evaluations sys
+    | Some jobs -> local_search_batch ~max_evaluations ~jobs sys
+  in
+  Obs.incr ~by:evals "order.local_search.evals";
+  evals
 
 (* splitmix64, kept local so the core library stays free of global random
    state. *)
@@ -410,6 +416,7 @@ let apply_constrained sys =
   lb
 
 let apply_safe ?session sys =
+  Obs.span "order.apply_safe" @@ fun () ->
   let session =
     match session with
     | Some s ->

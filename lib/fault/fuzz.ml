@@ -3,6 +3,7 @@ module Soc_format = Ermes_slm.Soc_format
 module Prng = Ermes_synth.Prng
 module Generate = Ermes_synth.Generate
 module Parallel = Ermes_parallel.Parallel
+module Obs = Ermes_obs.Obs
 
 type config = {
   seed : int;
@@ -104,6 +105,8 @@ let gen_case rng ~max_processes =
   (sys, scenario)
 
 let fails sys rounds scenario =
+  Obs.incr "fuzz.execs";
+  Obs.incr "fuzz.shrink_steps";
   match Differential.run_case ~rounds sys scenario with
   | r -> not (Differential.agreed r)
   | exception _ -> true
@@ -182,6 +185,8 @@ let write_repro dir ~seed ~case sys scenario mismatches =
    3. {e Classify} (sequential, in case order): counters, repro files and log
       lines replay exactly the sequential order. *)
 let run ?(log = fun _ -> ()) ?jobs config =
+  Obs.span "fuzz.run" @@ fun () ->
+  List.iter (Obs.incr ~by:0) [ "fuzz.execs"; "fuzz.shrink_steps" ];
   let rng = Prng.create ~seed:config.seed in
   let faults = ref 0 in
   let cases =
@@ -197,6 +202,7 @@ let run ?(log = fun _ -> ()) ?jobs config =
     Parallel.map ?jobs
       (fun (case, sys, scenario) ->
         let outcome =
+          Obs.incr "fuzz.execs";
           match Differential.run_case ~rounds:config.rounds sys scenario with
           | r -> Ok r
           | exception e ->
@@ -207,6 +213,7 @@ let run ?(log = fun _ -> ()) ?jobs config =
         | _ ->
           let scenario = shrink sys config.rounds scenario in
           let mismatches =
+            Obs.incr "fuzz.execs";
             match Differential.run_case ~rounds:config.rounds sys scenario with
             | r when not (Differential.agreed r) -> r.Differential.mismatches
             | _ -> (

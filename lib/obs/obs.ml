@@ -1,0 +1,192 @@
+(* A single nullable sink, registered globally. Disabled mode pays one ref
+   read and one branch per event; enabled mode serialises every recording
+   under one mutex so worker domains can emit safely. *)
+
+type event = { ev_name : string; tid : int; t0 : float; t1 : float }
+
+type sink = {
+  lock : Mutex.t;
+  counters : (string, int) Hashtbl.t;
+  mutable events : event list; (* newest first *)
+  mutable n_events : int;
+  epoch : float;
+}
+
+(* Keep pathological runs (a fuzzer spinning for hours) from eating the
+   heap: past the cap we keep counting spans in [span_stats] via the
+   aggregate table but stop retaining individual events. *)
+let max_events = 1_000_000
+
+let clock = ref Sys.time
+let set_clock f = clock := f
+
+let sink : sink option ref = ref None
+let enabled () = Option.is_some !sink
+
+let enable () =
+  sink :=
+    Some
+      {
+        lock = Mutex.create ();
+        counters = Hashtbl.create 64;
+        events = [];
+        n_events = 0;
+        epoch = !clock ();
+      }
+
+let disable () = sink := None
+
+let locked s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let incr ?(by = 1) name =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    locked s (fun () ->
+        let v = Option.value ~default:0 (Hashtbl.find_opt s.counters name) in
+        Hashtbl.replace s.counters name (v + by))
+
+let counter name =
+  match !sink with
+  | None -> 0
+  | Some s ->
+    locked s (fun () -> Option.value ~default:0 (Hashtbl.find_opt s.counters name))
+
+let counters () =
+  match !sink with
+  | None -> []
+  | Some s ->
+    locked s (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.counters [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let record s ev =
+  locked s (fun () ->
+      if s.n_events < max_events then begin
+        s.events <- ev :: s.events;
+        s.n_events <- s.n_events + 1
+      end)
+
+let span name f =
+  match !sink with
+  | None -> f ()
+  | Some s ->
+    let t0 = !clock () in
+    Fun.protect
+      ~finally:(fun () ->
+        record s { ev_name = name; tid = (Domain.self () :> int); t0; t1 = !clock () })
+      f
+
+type span_stat = { span_name : string; calls : int; total_s : float; max_s : float }
+
+let span_stats () =
+  match !sink with
+  | None -> []
+  | Some s ->
+    let events = locked s (fun () -> s.events) in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun ev ->
+        let d = ev.t1 -. ev.t0 in
+        match Hashtbl.find_opt tbl ev.ev_name with
+        | None -> Hashtbl.replace tbl ev.ev_name (1, d, d)
+        | Some (calls, total, mx) ->
+          Hashtbl.replace tbl ev.ev_name (calls + 1, total +. d, Float.max mx d))
+      events;
+    Hashtbl.fold
+      (fun span_name (calls, total_s, max_s) acc ->
+        { span_name; calls; total_s; max_s } :: acc)
+      tbl []
+    |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+
+let summary () =
+  let buf = Buffer.create 1024 in
+  let cs = counters () in
+  Buffer.add_string buf "== counters ==\n";
+  if cs = [] then Buffer.add_string buf "(none)\n"
+  else begin
+    let w =
+      List.fold_left (fun acc (k, _) -> Stdlib.max acc (String.length k)) 0 cs
+    in
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %d\n" w k v))
+      cs
+  end;
+  let ss = span_stats () in
+  Buffer.add_string buf "== spans ==\n";
+  if ss = [] then Buffer.add_string buf "(none)\n"
+  else begin
+    let w =
+      List.fold_left (fun acc s -> Stdlib.max acc (String.length s.span_name)) 0 ss
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s %8s %12s %12s\n" w "span" "calls" "total-ms" "max-ms");
+    List.iter
+      (fun s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s %8d %12.3f %12.3f\n" w s.span_name s.calls
+             (1000. *. s.total_s) (1000. *. s.max_s)))
+      ss
+  end;
+  Buffer.contents buf
+
+(* -- Chrome trace-event JSON ---------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_trace () =
+  match !sink with
+  | None -> "{\"traceEvents\":[]}\n"
+  | Some s ->
+    let events, epoch = locked s (fun () -> (s.events, s.epoch)) in
+    let events =
+      List.sort (fun a b -> Float.compare a.t0 b.t0) events
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"traceEvents\":[";
+    let first = ref true in
+    let emit item =
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf "\n";
+      Buffer.add_string buf item
+    in
+    let us t = (t -. epoch) *. 1e6 in
+    List.iter
+      (fun ev ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\"dur\":%.1f}"
+             (json_escape ev.ev_name) ev.tid (us ev.t0)
+             (Float.max 0. (us ev.t1 -. us ev.t0))))
+      events;
+    List.iter
+      (fun (k, v) ->
+        emit
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.1f,\"args\":{\"value\":%d}}"
+             (json_escape k) (us (!clock ())) v))
+      (counters ());
+    Buffer.add_string buf "\n]}\n";
+    Buffer.contents buf
+
+let write_chrome_trace file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ()))

@@ -1,0 +1,77 @@
+(** Lightweight observability: named counters, wall-clock spans, and two
+    exporters — a Chrome trace-event JSON ([chrome://tracing], [about:tracing]
+    or {{:https://ui.perfetto.dev}Perfetto} can load it) and a plain-text
+    summary table.
+
+    The layer is stdlib-only and {e off by default}: a single globally
+    registered nullable sink keeps the disabled-mode cost of every event to
+    one [ref] read and one branch, so instrumentation can stay in the hot
+    modules permanently. Enabling installs a fresh sink; all recording is
+    guarded by one mutex, so counters and spans may be emitted from worker
+    domains (events carry the domain id as the trace [tid]).
+
+    Determinism: instrumentation never feeds back into any analysis — with
+    the sink on or off, every ERMES result is bit-identical. Counter {e
+    values} for the algorithmic layers (Howard, Incremental, Sim) are
+    deterministic for a given input; per-domain counters emitted by
+    {!Ermes_parallel.Parallel} and all span durations depend on scheduling
+    and the host clock. *)
+
+val set_clock : (unit -> float) -> unit
+(** Install the time source (seconds, as a float). The default is
+    [Sys.time] — CPU time, which keeps the library stdlib-only; front-ends
+    that want wall-clock traces install [Unix.gettimeofday]. *)
+
+val enable : unit -> unit
+(** Install a fresh sink (discarding any previously collected data). *)
+
+val disable : unit -> unit
+(** Remove the sink; subsequent events cost one branch and record nothing. *)
+
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> string -> unit
+(** [incr name] adds [by] (default 1) to the named counter, creating it at 0
+    first. [incr ~by:0 name] registers the counter so it appears in exports
+    even if never bumped — instrumented modules use it to declare their
+    counter set up front. No-op when disabled. *)
+
+val counter : string -> int
+(** Current value; 0 when absent or disabled. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and records its wall-clock interval. Nestable;
+    exception-safe (the interval is recorded even if [f] raises). When
+    disabled, [span name f] is [f ()] plus one branch. *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;  (** summed duration, seconds *)
+  max_s : float;  (** longest single call, seconds *)
+}
+
+val span_stats : unit -> span_stat list
+(** Aggregated per-name statistics, sorted by name. *)
+
+(** {1 Exporters} *)
+
+val summary : unit -> string
+(** Plain-text table: counters (sorted by name, exact values) followed by
+    span aggregates (calls, total and max milliseconds). *)
+
+val chrome_trace : unit -> string
+(** The collected data as Chrome trace-event JSON: one ["X"] (complete)
+    event per span occurrence, with microsecond timestamps relative to
+    [enable] time and the recording domain as [tid], plus one ["C"]
+    (counter) event per counter holding its final value. *)
+
+val write_chrome_trace : string -> unit
+(** [write_chrome_trace file] writes {!chrome_trace} to [file]. *)

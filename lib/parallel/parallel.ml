@@ -21,23 +21,41 @@ let run_tasks jobs n task =
   else begin
     let results = Array.make n None in
     let jobs = max 1 (min jobs n) in
-    if jobs = 1 then
+    let obs = Ermes_obs.Obs.enabled () in
+    if obs then begin
+      Ermes_obs.Obs.incr "parallel.batches";
+      Ermes_obs.Obs.incr ~by:n "parallel.tasks"
+    end;
+    if jobs = 1 then begin
       for i = 0 to n - 1 do
         results.(i) <- Some (try Ok (task i) with e -> Error e)
-      done
+      done;
+      if obs then Ermes_obs.Obs.incr ~by:n "parallel.domain0.tasks"
+    end
     else begin
       let next = Atomic.make 0 in
-      let worker () =
+      let tally = Array.make jobs 0 in
+      let worker slot () =
         let continue_ = ref true in
         while !continue_ do
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue_ := false
-          else results.(i) <- Some (try Ok (task i) with e -> Error e)
+          else begin
+            results.(i) <- Some (try Ok (task i) with e -> Error e);
+            tally.(slot) <- tally.(slot) + 1
+          end
         done
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
-      Array.iter Domain.join domains
+      let domains = Array.init (jobs - 1) (fun k -> Domain.spawn (worker (k + 1))) in
+      worker 0 ();
+      Array.iter Domain.join domains;
+      (* Recorded after the join, on the calling domain: the split across
+         slots is scheduling-dependent, only the total is deterministic. *)
+      if obs then
+        Array.iteri
+          (fun slot k ->
+            Ermes_obs.Obs.incr ~by:k (Printf.sprintf "parallel.domain%d.tasks" slot))
+          tally
     end;
     Array.mapi
       (fun i r ->

@@ -1,4 +1,9 @@
 module Ratio = Ermes_tmg.Ratio
+module Obs = Ermes_obs.Obs
+
+let log_src = Logs.Src.create "ermes.sim" ~doc:"discrete-event simulator"
+
+module Log = (val Logs.src_log log_src)
 
 type direction = Waiting_get | Waiting_put
 
@@ -17,11 +22,26 @@ type outcome =
   | Deadlocked of deadlock
   | Timed_out of timeout
 
+(* Utilization profile, collected on every run (the accounting is a handful
+   of integer writes per event — cheap enough to keep unconditionally, and
+   deterministic for a given system). Blocked time is attributed through the
+   channel's unique endpoint: [waiting_get] on c can only be its consumer,
+   [waiting_put] its producer. *)
+type profile = {
+  blocked_on_get : int array;
+      (* per process: cycles spent stalled in a get, summed over channels *)
+  blocked_on_put : int array;  (* per process: cycles stalled in a put *)
+  mean_occupancy : float array;
+      (* per channel: time-average buffered items; 0 for rendezvous *)
+  peak_occupancy : int array;  (* per channel: max buffered items *)
+}
+
 type run = {
   cycles : int;
   iterations : int array;
   completions : int list array;
   outcome : outcome;
+  profile : profile;
 }
 
 type hooks = {
@@ -50,6 +70,12 @@ type event =
   | Dequeue_done of System.channel  (* FIFO: item handed to the consumer *)
 
 let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
+  List.iter
+    (fun c -> Obs.incr ~by:0 ("sim." ^ c))
+    [
+      "runs"; "cycles"; "completions"; "deadlocks"; "timeouts";
+      "blocked_on_get_cycles"; "blocked_on_put_cycles";
+    ];
   let np = System.process_count sys and nc = System.channel_count sys in
   match
     match monitor with
@@ -81,6 +107,16 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
     let waiting_get = Array.make nc false in
     let waiting_put = Array.make nc false in
     let transfer_active = Array.make nc false in
+    (* Wait accounting: when each channel's endpoint declared readiness
+       (-1 = not waiting), and the per-process blocked-cycle totals. *)
+    let get_since = Array.make nc (-1) in
+    let put_since = Array.make nc (-1) in
+    let blocked_on_get = Array.make np 0 in
+    let blocked_on_put = Array.make np 0 in
+    (* Occupancy accounting: time-integral of buffered items per channel. *)
+    let occ_integral = Array.make nc 0 in
+    let occ_since = Array.make nc 0 in
+    let peak_occupancy = Array.make nc 0 in
     (* FIFO channels: free slots, buffered items, and whether the enqueue or
        dequeue port is mid-transfer. Rendezvous channels leave these unused. *)
     let credits = Array.make nc 0 in
@@ -105,6 +141,32 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
       transfers.(c) <- k + 1;
       System.channel_latency sys c + max 0 (hooks.stall c k)
     in
+    let begin_get c =
+      waiting_get.(c) <- true;
+      get_since.(c) <- !now
+    in
+    let end_get c =
+      waiting_get.(c) <- false;
+      let p = System.channel_dst sys c in
+      blocked_on_get.(p) <- blocked_on_get.(p) + (!now - get_since.(c));
+      get_since.(c) <- -1
+    in
+    let begin_put c =
+      waiting_put.(c) <- true;
+      put_since.(c) <- !now
+    in
+    let end_put c =
+      waiting_put.(c) <- false;
+      let p = System.channel_src sys c in
+      blocked_on_put.(p) <- blocked_on_put.(p) + (!now - put_since.(c));
+      put_since.(c) <- -1
+    in
+    let set_items c v =
+      occ_integral.(c) <- occ_integral.(c) + (items.(c) * (!now - occ_since.(c)));
+      occ_since.(c) <- !now;
+      items.(c) <- v;
+      if v > peak_occupancy.(c) then peak_occupancy.(c) <- v
+    in
     (* Entering a statement either arms a timer (compute), or declares
        readiness on a channel and attempts a transfer. Zero-latency
        computations fall through immediately; every process has at least one
@@ -115,17 +177,17 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
         let l = System.latency sys p in
         if l = 0 then advance p else Heap.push events (!now + l) (Compute_done p)
       | Sget c ->
-        waiting_get.(c) <- true;
+        begin_get c;
         try_match c
       | Sput c ->
-        waiting_put.(c) <- true;
+        begin_put c;
         try_match c
     and try_match c =
       match System.channel_kind sys c with
       | System.Rendezvous ->
         if waiting_get.(c) && waiting_put.(c) && not transfer_active.(c) then begin
-          waiting_get.(c) <- false;
-          waiting_put.(c) <- false;
+          end_get c;
+          end_put c;
           transfer_active.(c) <- true;
           Heap.push events (!now + transfer_latency c) (Transfer_done c)
         end
@@ -133,7 +195,7 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
         (* Enqueue: the producer needs a free slot; the transfer into the
            buffer takes the channel latency. *)
         if waiting_put.(c) && credits.(c) > 0 && not enq_busy.(c) then begin
-          waiting_put.(c) <- false;
+          end_put c;
           credits.(c) <- credits.(c) - 1;
           enq_busy.(c) <- true;
           Heap.push events (!now + transfer_latency c) (Enqueue_done c)
@@ -141,8 +203,8 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
         (* Dequeue: the consumer needs a buffered item; the local read takes
            one cycle. *)
         if waiting_get.(c) && items.(c) > 0 && not deq_busy.(c) then begin
-          waiting_get.(c) <- false;
-          items.(c) <- items.(c) - 1;
+          end_get c;
+          set_items c (items.(c) - 1);
           deq_busy.(c) <- true;
           Heap.push events (!now + 1) (Dequeue_done c)
         end
@@ -196,7 +258,7 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
             advance (System.channel_src sys c)
           | Enqueue_done c ->
             enq_busy.(c) <- false;
-            items.(c) <- items.(c) + 1;
+            set_items c (items.(c) + 1);
             advance (System.channel_src sys c);
             try_match c
           | Dequeue_done c ->
@@ -206,13 +268,50 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
             try_match c
         end
     done;
-    Ok
+    (* Close the books at the final clock: processes still waiting (the
+       norm under deadlock) and the occupancy integrals both accrue to
+       [now]. *)
+    for c = 0 to nc - 1 do
+      if get_since.(c) >= 0 then begin
+        let p = System.channel_dst sys c in
+        blocked_on_get.(p) <- blocked_on_get.(p) + (!now - get_since.(c))
+      end;
+      if put_since.(c) >= 0 then begin
+        let p = System.channel_src sys c in
+        blocked_on_put.(p) <- blocked_on_put.(p) + (!now - put_since.(c))
+      end;
+      occ_integral.(c) <- occ_integral.(c) + (items.(c) * (!now - occ_since.(c)))
+    done;
+    let profile =
       {
-        cycles = !now;
-        iterations;
-        completions = Array.map List.rev completions;
-        outcome = (match !outcome with None -> Completed | Some o -> o);
+        blocked_on_get;
+        blocked_on_put;
+        mean_occupancy =
+          Array.map
+            (fun i -> if !now = 0 then 0. else float_of_int i /. float_of_int !now)
+            occ_integral;
+        peak_occupancy;
       }
+    in
+    let outcome = match !outcome with None -> Completed | Some o -> o in
+    Obs.incr "sim.runs";
+    Obs.incr ~by:!now "sim.cycles";
+    Obs.incr
+      (match outcome with
+      | Completed -> "sim.completions"
+      | Deadlocked _ -> "sim.deadlocks"
+      | Timed_out _ -> "sim.timeouts");
+    Obs.incr ~by:(Array.fold_left ( + ) 0 blocked_on_get) "sim.blocked_on_get_cycles";
+    Obs.incr ~by:(Array.fold_left ( + ) 0 blocked_on_put) "sim.blocked_on_put_cycles";
+    Log.debug (fun m ->
+        m "run: %s at cycle %d (%d monitor iterations)"
+          (match outcome with
+          | Completed -> "completed"
+          | Deadlocked _ -> "deadlocked"
+          | Timed_out _ -> "timed out")
+          !now iterations.(monitor));
+    Ok
+      { cycles = !now; iterations; completions = Array.map List.rev completions; outcome; profile }
 
 let detect_period times =
   (* [times] oldest first. Find the smallest period c such that the tail of
@@ -284,3 +383,36 @@ let pp_timeout ppf t =
   Format.fprintf ppf
     "watchdog timeout: cycle budget %d exhausted after %d monitor iterations"
     t.budget t.monitor_iterations
+
+let pp_profile sys ppf r =
+  let cycles = max r.cycles 1 in
+  let pct n = 100. *. float_of_int n /. float_of_int cycles in
+  Format.fprintf ppf "@[<v>utilization over %d cycles:@," r.cycles;
+  Format.fprintf ppf "  %-16s %10s %12s %12s@," "process" "iterations" "get-blocked" "put-blocked";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %-16s %10d %11.1f%% %11.1f%%@,"
+        (System.process_name sys p)
+        r.iterations.(p)
+        (pct r.profile.blocked_on_get.(p))
+        (pct r.profile.blocked_on_put.(p)))
+    (System.processes sys);
+  let fifos =
+    List.filter
+      (fun c -> match System.channel_kind sys c with System.Fifo _ -> true | _ -> false)
+      (System.channels sys)
+  in
+  if fifos <> [] then begin
+    Format.fprintf ppf "  %-16s %10s %12s %12s@," "channel" "depth" "mean-occ" "peak-occ";
+    List.iter
+      (fun c ->
+        let depth =
+          match System.channel_kind sys c with System.Fifo d -> d | _ -> 0
+        in
+        Format.fprintf ppf "  %-16s %10d %12.2f %12d@,"
+          (System.channel_name sys c) depth
+          r.profile.mean_occupancy.(c)
+          r.profile.peak_occupancy.(c))
+      fifos
+  end;
+  Format.fprintf ppf "@]"

@@ -46,12 +46,30 @@ type outcome =
   | Deadlocked of deadlock
   | Timed_out of timeout
 
+type profile = {
+  blocked_on_get : int array;
+      (** per process: cycles spent stalled waiting for data at a [get],
+          summed over that process's input channels *)
+  blocked_on_put : int array;
+      (** per process: cycles stalled waiting at a [put] — back-pressure
+          from the consumer (rendezvous) or a full buffer (FIFO) *)
+  mean_occupancy : float array;
+      (** per channel: time-average number of buffered items; always 0 for
+          rendezvous channels *)
+  peak_occupancy : int array;  (** per channel: maximum buffered items *)
+}
+(** Utilization profile of one run — the paper's motivating measurement that
+    static analysis makes unnecessary for {e throughput}, but which remains
+    the ground truth for where stall time actually accrues. Collected on
+    every run; deterministic for a given system and hooks. *)
+
 type run = {
   cycles : int;  (** simulated time at which the run stopped *)
   iterations : int array;  (** completed loop iterations, per process *)
   completions : int list array;
       (** per process, completion time of each iteration, oldest first *)
   outcome : outcome;
+  profile : profile;
 }
 
 type hooks = {
@@ -110,3 +128,8 @@ val steady_cycle_time :
 
 val pp_deadlock : System.t -> Format.formatter -> deadlock -> unit
 val pp_timeout : Format.formatter -> timeout -> unit
+
+val pp_profile : System.t -> Format.formatter -> run -> unit
+(** Utilization table: per process, iterations completed and the fraction of
+    simulated time blocked on gets and on puts; per FIFO channel, mean and
+    peak buffer occupancy. *)

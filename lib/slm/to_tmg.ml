@@ -11,6 +11,7 @@ type mapping = {
   owner : owner array;
   initial_place : Tmg.place option array;
   chain_places : Tmg.place array array;
+  credit_place : Tmg.place option array;
 }
 
 (* The per-process statement chain, as the places a fresh build would create:
@@ -55,6 +56,7 @@ let build sys =
   let compute_transition = Array.make (max np 1) (-1) in
   let initial_place = Array.make (max np 1) None in
   let chain_places = Array.make (max np 1) [||] in
+  let credit_place = Array.make (max nch 1) None in
   let owners = Vec.create () in
   let add_transition ~name ~delay owner =
     let t = Tmg.add_transition tmg ~name ~delay () in
@@ -75,7 +77,8 @@ let build sys =
         let enq = add_transition ~name:(name ^ "_enq") ~delay:latency (Channel c) in
         let deq = add_transition ~name:(name ^ "_deq") ~delay:1 (Channel c) in
         ignore (Tmg.add_place tmg ~name:(name ^ "_data") ~src:enq ~dst:deq ~tokens:0 ());
-        ignore (Tmg.add_place tmg ~name:(name ^ "_credit") ~src:deq ~dst:enq ~tokens:depth ());
+        credit_place.(c) <-
+          Some (Tmg.add_place tmg ~name:(name ^ "_credit") ~src:deq ~dst:enq ~tokens:depth ());
         channel_entry.(c) <- enq;
         channel_exit.(c) <- deq)
     (System.channels sys);
@@ -112,6 +115,7 @@ let build sys =
     owner = Vec.to_array owners;
     initial_place;
     chain_places;
+    credit_place;
   }
 
 let rethread mapping sys p =

@@ -44,6 +44,12 @@ type mapping = {
       (** per process, its statement-cycle places in creation order: index
           [i] is the place entering statement [i+1] (cyclically). These are
           the places {!rethread} rewires in place after an order change. *)
+  credit_place : Ermes_tmg.Tmg.place option array;
+      (** per channel, the FIFO credit place whose token count is the FIFO
+          depth — [None] for rendezvous channels. A [Fifo d → Fifo d']
+          depth change is absorbed in place with
+          {!Ermes_tmg.Tmg.set_tokens}; only [Rendezvous ↔ Fifo] changes
+          the transition set and requires a fresh {!build}. *)
 }
 
 val build : System.t -> mapping

@@ -347,13 +347,27 @@ type solver = {
   mutable cyclic : int list list;  (* member lists of SCCs that contain a cycle *)
   mutable scc_dirty : bool;
   mutable warm : int array;  (* last converged policy; -1 = none *)
+  mutable warmed : bool;  (* at least one policy run since the last rebuild *)
   mutable potentials : int array;
       (* last certification fixpoint; warm-starts the next one *)
   mutable liveness : Liveness.dead_cycle option option;
       (* None = unknown; Some v = cached Liveness.find_dead_cycle verdict *)
 }
 
+let log_src = Logs.Src.create "ermes.howard" ~doc:"Howard cycle-time solver"
+
+module Log = (val Logs.src_log log_src)
+module Obs = Ermes_obs.Obs
+
 let make_solver tmg =
+  (* Register the solver's counter set so exporters show it even when a
+     counter never fires on the workload at hand. *)
+  List.iter
+    (fun c -> Obs.incr ~by:0 ("howard." ^ c))
+    [
+      "solve.cold"; "solve.warm"; "cache.liveness_hit"; "cache.liveness_invalidated";
+      "cache.scc_hit"; "scc.recomputed"; "iterations.policy"; "iterations.certify";
+    ];
   let view = view_of_tmg tmg in
   {
     stmg = tmg;
@@ -364,6 +378,7 @@ let make_solver tmg =
     cyclic = [];
     scc_dirty = true;
     warm = Array.make view.n (-1);
+    warmed = false;
     potentials = Array.make view.n 0;
     liveness = None;
   }
@@ -396,10 +411,12 @@ let compute_scc_state s =
 let refresh s =
   let n = Tmg.transition_count s.stmg and m = Tmg.place_count s.stmg in
   if n <> s.n || m <> s.m then begin
+    if s.liveness <> None then Obs.incr "howard.cache.liveness_invalidated";
     s.view <- view_of_tmg s.stmg;
     s.n <- n;
     s.m <- m;
     s.warm <- Array.make n (-1);
+    s.warmed <- false;
     s.potentials <- Array.make n 0;
     s.scc_dirty <- true;
     s.liveness <- None
@@ -430,23 +447,37 @@ let refresh s =
       s.view <- { view with out_arcs };
       s.scc_dirty <- true
     end;
-    if !structural || !marking then s.liveness <- None
+    if (!structural || !marking) && s.liveness <> None then begin
+      Obs.incr "howard.cache.liveness_invalidated";
+      s.liveness <- None
+    end
   end
 
 let solve s =
+  Obs.span "howard.solve" @@ fun () ->
   refresh s;
+  Obs.incr (if s.warmed then "howard.solve.warm" else "howard.solve.cold");
   let dead =
     match s.liveness with
-    | Some verdict -> verdict
+    | Some verdict ->
+      Obs.incr "howard.cache.liveness_hit";
+      verdict
     | None ->
       let verdict = Liveness.find_dead_cycle s.stmg in
       s.liveness <- Some verdict;
       verdict
   in
   match dead with
-  | Some dead -> Error (Deadlock dead)
+  | Some dead ->
+    Log.debug (fun m ->
+        m "solve: dead cycle of %d places" (List.length dead.Liveness.dead_places));
+    Error (Deadlock dead)
   | None ->
-    if s.scc_dirty then compute_scc_state s;
+    if s.scc_dirty then begin
+      compute_scc_state s;
+      Obs.incr "howard.scc.recomputed"
+    end
+    else Obs.incr "howard.cache.scc_hit";
     let view = s.view and in_scc = s.in_scc in
     if s.cyclic = [] then Error No_cycle
     else begin
@@ -459,6 +490,7 @@ let solve s =
         | Some (r0, _) -> if Ratio.(r > r0) then best := Some (r, cyc)
       in
       List.iter run s.cyclic;
+      s.warmed <- true;
       match !best with
       | None -> assert false
       | Some (ratio, cycle_vertices) ->
@@ -496,6 +528,11 @@ let solve s =
         let final_ratio, final_arcs, cancels =
           certify view in_scc s.potentials seed_ratio seed_arcs 0
         in
+        Obs.incr ~by:!iters "howard.iterations.policy";
+        Obs.incr ~by:cancels "howard.iterations.certify";
+        Log.debug (fun m ->
+            m "solve: cycle time %a after %d policy + %d certify iterations"
+              Ratio.pp final_ratio !iters cancels);
         Ok
           {
             cycle_time = final_ratio;

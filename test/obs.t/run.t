@@ -1,0 +1,167 @@
+Exit codes and the observability layer (--trace, profile), end to end.
+
+Write the paper's motivating example and its deadlocking variant (P6 gets
+g before d while P2 puts d first — a circular wait):
+
+  $ cat > motivating.soc <<'EOF'
+  > system motivating
+  > process Psrc impl only latency 1 area 0.01
+  > process P2 impl only latency 5 area 0.01
+  > process P3 impl only latency 2 area 0.01
+  > process P4 impl only latency 1 area 0.01
+  > process P5 impl only latency 2 area 0.01
+  > process P6 impl only latency 2 area 0.01
+  > process Psnk impl only latency 1 area 0.01
+  > channel a Psrc P2 latency 2
+  > channel b P2 P3 latency 1
+  > channel c P3 P4 latency 2
+  > channel d P2 P6 latency 3
+  > channel e P4 P6 latency 1
+  > channel f P2 P5 latency 1
+  > channel g P5 P6 latency 2
+  > channel h P6 Psnk latency 1
+  > puts Psrc a
+  > gets P2 a
+  > puts P2 b d f
+  > gets P3 b
+  > puts P3 c
+  > gets P4 c
+  > puts P4 e
+  > gets P5 f
+  > puts P5 g
+  > gets P6 d e g
+  > puts P6 h
+  > gets Psnk h
+  > EOF
+  $ sed 's/^gets P6 d e g$/gets P6 g d e/' motivating.soc > deadlock.soc
+
+A live system analyzes cleanly (exit 0):
+
+  $ ermes analyze motivating.soc
+  cycle time 12 (throughput 1/12)
+  critical processes: P2
+  critical channels: b d f a
+  critical cycle: L_P2 -> b -> d -> f -> a
+
+A statically proven deadlock exits 2, not 0:
+
+  $ ermes analyze deadlock.soc
+  deadlock: token-free cycle [d f L_P5 g]
+  processes: P5
+  channels: d f g
+  [2]
+
+So does a simulated one:
+
+  $ ermes simulate deadlock.soc
+  deadlock at cycle 14:
+    Psrc blocked on put of a
+    P2 blocked on put of d
+    P3 blocked on get of b
+    P4 blocked on put of e
+    P5 blocked on get of f
+    P6 blocked on get of g
+    Psnk blocked on get of h
+  
+  [2]
+
+
+A watchdog timeout is a distinct failure, exit 3:
+
+  $ ermes simulate motivating.soc --max-cycles 5
+  watchdog timeout: cycle budget 5 exhausted after 0 monitor iterations
+  [3]
+
+Invalid input is exit 1:
+
+  $ echo "garbage here" > bad.soc
+  $ ermes analyze bad.soc
+  ermes: bad.soc: line 1, col 1: unknown directive "garbage"
+  [1]
+
+fifo reports a deadlocking buffered system distinctly: it still writes the
+requested file (so the designer can inspect it) but warns and exits 2:
+
+  $ ermes fifo deadlock.soc --depth 1 --channel a -o buffered.soc
+  buffered 1 channels; deadlock: token-free cycle [d f L_P5 g]
+                       processes: P5
+                       channels: d f g
+  warning: the buffered system deadlocks; writing it anyway
+  wrote buffered.soc
+  [2]
+  $ test -s buffered.soc
+
+The exit-code contract is documented in every subcommand's man page:
+
+  $ ermes analyze --help=plain | grep -c "watchdog timeout"
+  1
+  $ ermes simulate --help=plain | grep -c "on deadlock"
+  1
+
+--trace records counters and spans without changing any output:
+
+  $ ermes analyze motivating.soc --trace trace.json > with_trace.txt
+  $ ermes analyze motivating.soc > without_trace.txt
+  $ diff with_trace.txt without_trace.txt
+
+The trace is Chrome trace-event JSON: one complete ("X") event per span,
+one counter ("C") event per registered counter:
+
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -c '"name":"howard.solve","ph":"X"' trace.json
+  1
+  $ grep -c '"ph":"C"' trace.json
+  8
+
+The trace file is written even when the command fails:
+
+  $ ermes analyze deadlock.soc --trace dead.json > /dev/null
+  [2]
+  $ grep -c '"traceEvents"' dead.json
+  1
+
+dse exercises the incremental session and the solver caches; its trace
+carries the warm/cold and rebuild counters:
+
+  $ ermes dse --tct 12 --trace dse.json motivating.soc -o opt.soc
+  target cycle time: 12
+  iter 0: initial             CT=12           area=0.0700 (0 changes)
+  iter 1: converged           CT=12           area=0.0700 (0 changes)
+  target met
+  wrote opt.soc
+  $ grep -c '"name":"howard.solve.cold"' dse.json
+  1
+  $ grep -c '"name":"howard.solve.warm"' dse.json
+  1
+  $ grep -c '"name":"incremental.rebuilds"' dse.json
+  1
+  $ grep -c '"name":"explore.iteration","ph":"X"' dse.json
+  1
+
+profile prints the analysis, the simulator's utilization table, and the
+instrumentation summary:
+
+  $ ermes profile motivating.soc --rounds 8 > profile.txt
+  $ head -1 profile.txt
+  analysis: cycle time 12
+  $ grep -c "utilization over" profile.txt
+  1
+  $ grep -c "== counters ==" profile.txt
+  1
+  $ grep -c "== spans ==" profile.txt
+  1
+  $ grep -c "howard.solve.cold" profile.txt
+  1
+  $ grep -c "sim.cycles" profile.txt
+  1
+
+profile keeps the exit-code contract — a deadlocking system still gets its
+utilization attributed, and the command exits 2:
+
+  $ ermes profile deadlock.soc > profile_dead.txt
+  [2]
+  $ grep -c "deadlock at cycle" profile_dead.txt
+  1
+  $ grep -c "utilization over" profile_dead.txt
+  1

@@ -15,6 +15,7 @@ module Perf = Ermes_core.Perf
 module Incremental = Ermes_core.Incremental
 module Order = Ermes_core.Order
 module Oracle = Ermes_core.Oracle
+module Buffer_opt = Ermes_core.Buffer_opt
 module Fault = Ermes_fault.Fault
 module Fuzz = Ermes_fault.Fuzz
 module Parallel = Ermes_parallel.Parallel
@@ -102,6 +103,163 @@ let test_rebuild_on_kind_change () =
   apply_mutation sys (0, 1, 1);
   Alcotest.(check bool) "agrees after rebuild + mutation" true
     (agrees (Perf.analyze sys) (Incremental.analyze session))
+
+(* A FIFO depth change ([Fifo d → Fifo d']) must be absorbed in place as a
+   token write on the credit place — no rebuild — and still agree with a
+   fresh analysis at every depth. *)
+let test_depth_edit_in_place () =
+  let sys = Motivating.suboptimal () in
+  let session = Incremental.create sys in
+  (match Incremental.analyze session with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "motivating system deadlocked");
+  let c = Option.get (System.find_channel sys "a") in
+  System.set_channel_kind sys c (System.Fifo 1);
+  Alcotest.(check bool) "agrees after FIFO-ization" true
+    (agrees (Perf.analyze sys) (Incremental.analyze session));
+  let rebuilds = (Incremental.stats session).Incremental.rebuilds in
+  List.iter
+    (fun d ->
+      System.set_channel_kind sys c (System.Fifo d);
+      Alcotest.(check bool) (Printf.sprintf "agrees at depth %d" d) true
+        (agrees (Perf.analyze sys) (Incremental.analyze session)))
+    [ 2; 5; 1; 3 ];
+  Alcotest.(check int) "no further rebuilds" rebuilds
+    (Incremental.stats session).Incremental.rebuilds;
+  Alcotest.(check int) "4 marking edits" 4
+    (Incremental.stats session).Incremental.marking_edits
+
+let prop_depth_session_equiv (sys, (which, depths)) =
+  let chans = Array.of_list (System.channels sys) in
+  let c = chans.(which mod Array.length chans) in
+  System.set_channel_kind sys c (System.Fifo 1);
+  let session = Incremental.create sys in
+  ignore (Incremental.analyze session);
+  let ok =
+    List.for_all
+      (fun d ->
+        System.set_channel_kind sys c (System.Fifo (1 + (d mod 8)));
+        agrees (Perf.analyze sys) (Incremental.analyze session))
+      depths
+  in
+  ok && (Incremental.stats session).Incremental.rebuilds = 0
+
+let test_depth_session_equiv =
+  Helpers.qtest ~count:80 "depth edits == fresh (feedback systems)"
+    QCheck2.Gen.(
+      pair Helpers.feedback_system_gen
+        (pair (int_range 0 1_000_000) (list_size (int_range 1 6) (int_range 0 1_000_000))))
+    prop_depth_session_equiv
+
+(* ---- buffer sizing through a session ------------------------------------ *)
+
+(* The reference implementation [Buffer_opt.size] replaced: the same greedy
+   loop, but every evaluation is a fresh [Perf.analyze] from scratch. The
+   session-backed version must be observationally identical. *)
+let reference_buffer_size ?(max_slots = 64) ~tct sys =
+  let analyze_exn () =
+    match Perf.analyze sys with Ok a -> a | Error _ -> failwith "deadlock"
+  in
+  let depth_of c =
+    match System.channel_kind sys c with System.Rendezvous -> 0 | System.Fifo d -> d
+  in
+  let set_depth c d =
+    System.set_channel_kind sys c (if d = 0 then System.Rendezvous else System.Fifo d)
+  in
+  let steps = ref [] in
+  let slots = ref 0 in
+  let current = ref (analyze_exn ()) in
+  let target = Ratio.of_int tct in
+  let continue_ = ref true in
+  while !continue_ && !slots < max_slots && Ratio.(!current.Perf.cycle_time > target) do
+    let base_ct = !current.Perf.cycle_time in
+    let best = ref None in
+    List.iter
+      (fun c ->
+        let d = depth_of c in
+        set_depth c (d + 1);
+        (match Perf.analyze sys with
+         | Ok a ->
+           if Ratio.(a.Perf.cycle_time < base_ct) then begin
+             match !best with
+             | Some (_, _, ct) when Ratio.(ct <= a.Perf.cycle_time) -> ()
+             | _ -> best := Some (c, d + 1, a.Perf.cycle_time)
+           end
+         | Error _ -> ());
+        set_depth c d)
+      !current.Perf.critical_channels;
+    match !best with
+    | None -> continue_ := false
+    | Some (c, d, ct) ->
+      set_depth c d;
+      incr slots;
+      steps := (c, d, ct) :: !steps;
+      current := analyze_exn ()
+  done;
+  (List.rev !steps, !slots, !current.Perf.cycle_time, Ratio.(!current.Perf.cycle_time <= target))
+
+let buffer_result_signature (r : Buffer_opt.result) =
+  ( List.map
+      (fun (s : Buffer_opt.step) -> (s.Buffer_opt.channel, s.Buffer_opt.new_depth, s.Buffer_opt.cycle_time))
+      r.Buffer_opt.steps,
+    r.Buffer_opt.slots_added,
+    r.Buffer_opt.final_cycle_time,
+    r.Buffer_opt.met )
+
+(* On random systems the session-backed sizing may legitimately pick a
+   different channel than the fresh reference when two candidates improve
+   the cycle time equally (the critical-cycle {e representative} may differ
+   between warm and cold solves — see incremental.mli), after which the
+   greedy paths diverge. The invariant that must hold regardless: every
+   recorded cycle time is exact. Replaying the recorded steps on a fresh
+   copy and re-analyzing from scratch at each point must reproduce the
+   session's numbers bit for bit. *)
+let prop_buffer_opt_session sys =
+  match Perf.analyze sys with
+  | Error _ -> true (* sizing is only defined on live systems *)
+  | Ok a ->
+    let ct0 = a.Perf.cycle_time in
+    let tct = max 1 (Ratio.num ct0 * 2 / (Ratio.den ct0 * 3)) in
+    let replay = System.copy sys in
+    let r = Buffer_opt.size ~max_slots:24 ~tct sys in
+    let steps_exact =
+      List.for_all
+        (fun (s : Buffer_opt.step) ->
+          System.set_channel_kind replay s.Buffer_opt.channel
+            (System.Fifo s.Buffer_opt.new_depth);
+          match Perf.analyze replay with
+          | Ok b -> Ratio.equal b.Perf.cycle_time s.Buffer_opt.cycle_time
+          | Error _ -> false)
+        r.Buffer_opt.steps
+    in
+    let rec strictly_improving prev = function
+      | [] -> true
+      | (s : Buffer_opt.step) :: tl ->
+        Ratio.(s.Buffer_opt.cycle_time < prev)
+        && strictly_improving s.Buffer_opt.cycle_time tl
+    in
+    steps_exact
+    && strictly_improving ct0 r.Buffer_opt.steps
+    && r.Buffer_opt.slots_added = List.length r.Buffer_opt.steps
+    && (match List.rev r.Buffer_opt.steps with
+       | last :: _ -> Ratio.equal r.Buffer_opt.final_cycle_time last.Buffer_opt.cycle_time
+       | [] -> Ratio.equal r.Buffer_opt.final_cycle_time ct0)
+    && r.Buffer_opt.met = Ratio.(r.Buffer_opt.final_cycle_time <= Ratio.of_int tct)
+    && List.for_all
+         (fun c -> System.channel_kind sys c = System.channel_kind replay c)
+         (System.channels sys)
+
+let test_buffer_opt_session =
+  Helpers.qtest ~count:60 "Buffer_opt session steps replay exactly"
+    Helpers.feedback_system_gen prop_buffer_opt_session
+
+let test_buffer_opt_motivating () =
+  let sys = Motivating.suboptimal () in
+  let fresh_sys = System.copy sys in
+  let r = Buffer_opt.size ~tct:12 sys in
+  let ref_r = reference_buffer_size ~tct:12 fresh_sys in
+  Alcotest.(check bool) "motivating sizing identical" true
+    (buffer_result_signature r = ref_r)
 
 (* ---- transient probes --------------------------------------------------- *)
 
@@ -258,6 +416,13 @@ let () =
           test_session_equiv_feedback;
           test_session_equiv_dag;
           Alcotest.test_case "kind change rebuilds" `Quick test_rebuild_on_kind_change;
+          Alcotest.test_case "depth edits in place" `Quick test_depth_edit_in_place;
+          test_depth_session_equiv;
+        ] );
+      ( "buffer-opt",
+        [
+          test_buffer_opt_session;
+          Alcotest.test_case "motivating sizing" `Quick test_buffer_opt_motivating;
         ] );
       ("probe", [ test_probe_matches_fault ]);
       ( "oracle",
