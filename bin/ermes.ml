@@ -22,6 +22,9 @@ module Resilience = Ermes_fault.Resilience
 module Parallel = Ermes_parallel.Parallel
 module Incremental = Ermes_core.Incremental
 module Obs = Ermes_obs.Obs
+module Verify = Ermes_verify.Verify
+module Lint = Ermes_verify.Lint
+module Howard = Ermes_tmg.Howard
 
 open Cmdliner
 
@@ -120,6 +123,18 @@ let print_analysis sys a =
   Format.printf "%a@." (Perf.pp_analysis sys) a;
   Format.printf "critical cycle: %s@." (String.concat " -> " a.Perf.critical_cycle)
 
+(* --certify re-derives the verdict with a proof object and runs it through
+   the independent checker; any rejection is an analysis bug and exits 2. *)
+let certify_system sys =
+  let mapping = To_tmg.build sys in
+  let tmg = mapping.To_tmg.tmg in
+  let cert = Verify.of_howard tmg (Howard.cycle_time tmg) in
+  match Verify.check tmg cert with
+  | Ok () -> Format.printf "certificate: %s — checked@." (Verify.describe cert)
+  | Error v ->
+    Format.eprintf "ermes: %a@." Verify.pp_violation v;
+    exit 2
+
 let analyze_cmd =
   let simulate =
     Arg.(value & flag & info [ "simulate" ] ~doc:"Cross-check with the discrete-event simulator.")
@@ -127,11 +142,18 @@ let analyze_cmd =
   let slack =
     Arg.(value & flag & info [ "slack" ] ~doc:"Report per-process latency slack (sensitivity).")
   in
-  let run file simulate slack =
+  let certify =
+    Arg.(value & flag & info [ "certify" ]
+           ~doc:"Emit a machine-checkable certificate for the verdict (critical \
+                 witness cycle + node potentials, or a token-free cycle) and run \
+                 it through the independent checker; exit 2 if it is rejected.")
+  in
+  let run file simulate slack certify =
     let sys = or_die (load file) in
     (match Perf.analyze sys with
      | Ok a ->
        print_analysis sys a;
+       if certify then certify_system sys;
        if slack then begin
          Format.printf "latency slack (extra cycles before the cycle time degrades):@.";
          List.iter
@@ -158,11 +180,12 @@ let analyze_cmd =
        end
      | Error f ->
        Format.printf "%a@." (Perf.pp_failure sys) f;
+       if certify then certify_system sys;
        exit 2)
   in
   Cmd.v
     (Cmd.info "analyze" ~exits ~doc:"Cycle time and critical cycle of a system (TMG + Howard).")
-    (with_logs (with_trace Term.(const run $ file_arg $ simulate $ slack)))
+    (with_logs (with_trace Term.(const run $ file_arg $ simulate $ slack $ certify)))
 
 (* ---- order ------------------------------------------------------------- *)
 
@@ -650,6 +673,44 @@ let profile_cmd =
              instrumentation summary (solver and session counters, span timings).")
     (with_logs (with_trace Term.(const run $ file_arg $ rounds)))
 
+(* ---- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let file =
+    (* A plain string (not Arg.file): an unreadable path must follow the lint
+       exit contract (1 = invalid input), not cmdliner's CLI-error code. *)
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.soc" ~doc:"System description.")
+  in
+  let format =
+    let formats = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+    Arg.(value & opt formats `Text & info [ "format" ] ~docv:"F"
+           ~doc:"Output format: $(b,text) (one line per diagnostic) or $(b,json).")
+  in
+  let warnings_ok =
+    Arg.(value & flag & info [ "warnings-ok" ]
+           ~doc:"Exit 0 when only warnings were found (errors still exit 2).")
+  in
+  let run file format warnings_ok =
+    match Lint.lint_file file with
+    | Error msg ->
+      prerr_endline ("ermes: " ^ msg);
+      exit 1
+    | Ok report ->
+      (match format with
+       | `Text -> Format.printf "%a" Lint.pp_text report
+       | `Json -> print_endline (Lint.to_json report));
+      if Lint.errors report > 0 then exit 2
+      else if Lint.warnings report > 0 && not warnings_ok then exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint" ~exits
+       ~doc:"Static diagnostics for a system description: name and shape errors \
+             (stable codes E101-E107), statically proven deadlock with its witness \
+             cycle, and serialization warnings (W201-W202) for put/get orders that \
+             a single adjacent swap would improve. Exit 0 clean, 1 invalid input, \
+             2 on any error finding (or warnings without $(b,--warnings-ok)).")
+    (with_logs (with_trace Term.(const run $ file $ format $ warnings_ok)))
+
 (* ---- dot --------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -690,5 +751,6 @@ let () =
                       fuzz_cmd;
                       resilience_cmd;
                       profile_cmd;
+                      lint_cmd;
                       dot_cmd;
                     ]))

@@ -134,6 +134,26 @@ let analyze sess =
   Obs.incr "incremental.analyses";
   Perf.of_howard sess.mapping (Howard.solve sess.solver)
 
+type certified = {
+  outcome : (Perf.analysis, Perf.failure) result;
+  certificate : Ermes_verify.Verify.t;
+  checked : (unit, Ermes_verify.Verify.violation) result;
+}
+
+let analyze_certified sess =
+  sync sess;
+  sess.stats.analyses <- sess.stats.analyses + 1;
+  Obs.incr "incremental.analyses";
+  Obs.incr "incremental.certified";
+  let raw = Howard.solve sess.solver in
+  let tmg = sess.mapping.To_tmg.tmg in
+  let certificate = Ermes_verify.Verify.of_howard tmg raw in
+  {
+    outcome = Perf.of_howard sess.mapping raw;
+    certificate;
+    checked = Ermes_verify.Verify.check tmg certificate;
+  }
+
 let analyze_exn sess =
   match analyze sess with
   | Ok a -> a

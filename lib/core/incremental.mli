@@ -40,6 +40,23 @@ val system : t -> System.t
 val analyze : t -> (Perf.analysis, Perf.failure) result
 (** Sync with the system's current state, then solve warm. *)
 
+type certified = {
+  outcome : (Perf.analysis, Perf.failure) result;
+  certificate : Ermes_verify.Verify.t;
+      (** the proof object the warm solve produced, in raw TMG terms *)
+  checked : (unit, Ermes_verify.Verify.violation) result;
+      (** verdict of the independent checker on [certificate] *)
+}
+
+val analyze_certified : t -> certified
+(** Like {!analyze}, but every verdict — live cycle time, deadlock, or
+    acyclic — carries a certificate that has been run through
+    {!Ermes_verify.Verify.check}. Warm starts, cached policies and
+    incremental edits make no difference to the proof obligations: the
+    certificate is checked against the raw current net. Costs one extra
+    O(E) pass over the net per call; the plain {!analyze} stays available
+    for tight probe loops. *)
+
 val analyze_exn : t -> Perf.analysis
 (** @raise Failure on deadlock or an acyclic net. *)
 

@@ -9,6 +9,7 @@ module Karp = Ermes_tmg.Karp
 module Lawler = Ermes_tmg.Lawler
 module Token_game = Ermes_tmg.Token_game
 module Firing = Ermes_tmg.Firing
+module Verify = Ermes_verify.Verify
 
 type verdict = Live of Ratio.t | Dead
 
@@ -28,6 +29,10 @@ let check_karp add tmg =
   let add fmt = Printf.ksprintf add fmt in
   let saved = List.map (fun p -> (p, Tmg.tokens tmg p)) (Tmg.places tmg) in
   List.iter (fun (p, _) -> Tmg.set_tokens tmg p 1) saved;
+  (match Verify.check tmg (Verify.of_karp_unit tmg (Karp.of_unit_tmg_certified tmg)) with
+  | Ok () -> ()
+  | Error v ->
+    add "verify: karp certificate rejected [%s]: %s" v.Verify.obligation v.Verify.detail);
   (match (Howard.cycle_time tmg, Karp.of_unit_tmg tmg) with
   | Ok h, Some k ->
     if not (Ratio.equal h.Howard.cycle_time k) then
@@ -130,14 +135,27 @@ let run_case ?(rounds = 96) sys scenario =
     Fault.remove_tokens m scenario;
     let tmg = m.To_tmg.tmg in
     let dead_per_liveness = Liveness.find_dead_cycle tmg <> None in
+    let howard_raw = Howard.cycle_time tmg in
     let verdict =
-      match Howard.cycle_time tmg with
+      match howard_raw with
       | Ok h -> Some (Live h.Howard.cycle_time)
       | Error (Howard.Deadlock _) -> Some Dead
       | Error Howard.No_cycle ->
         add "howard: no cycle in the TMG of a valid system";
         None
     in
+    (* The certificate checker is its own oracle: every verdict above must
+       come with a proof object the independent O(E) checker accepts. *)
+    let check_certificate name cert =
+      match Verify.check tmg cert with
+      | Ok () -> ()
+      | Error v ->
+        add "verify: %s certificate rejected [%s]: %s" name v.Verify.obligation
+          v.Verify.detail
+    in
+    check_certificate "howard" (Verify.of_howard tmg howard_raw);
+    check_certificate "lawler" (Verify.of_lawler tmg (Lawler.certified tmg));
+    check_certificate "liveness" (Verify.of_liveness tmg);
     (match (verdict, dead_per_liveness) with
     | Some Dead, false -> add "liveness: howard reports deadlock, commoner finds no token-free cycle"
     | Some (Live ct), true ->

@@ -155,7 +155,9 @@ let shrink sys rounds scenario =
 
 let one_line s = String.map (function '\n' -> ' ' | c -> c) s
 
-let write_repro dir ~seed ~case sys scenario mismatches =
+(* The repro is one self-contained .soc file: the shrunk faulted system,
+   headed by the mismatches, the dynamic fault specs and a replay command. *)
+let repro_text ~seed ~case sys scenario mismatches =
   let faulted = Fault.apply sys scenario in
   let dynamic = List.filter (fun f -> not (Fault.is_structural f)) scenario in
   let file = Printf.sprintf "fuzz-seed%d-case%d.soc" seed case in
@@ -169,8 +171,12 @@ let write_repro dir ~seed ~case sys scenario mismatches =
     (String.concat ""
        (List.map (fun f -> Printf.sprintf " --fault %s" (Fault.to_spec faulted f)) dynamic));
   Buffer.add_string b (Soc_format.print faulted);
+  (file, Buffer.contents b)
+
+let write_repro dir ~seed ~case sys scenario mismatches =
+  let file, text = repro_text ~seed ~case sys scenario mismatches in
   let path = Filename.concat dir file in
-  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents b));
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
   path
 
 (* The campaign runs in three phases so it can fan out over domains without
@@ -249,6 +255,12 @@ let run ?(log = fun _ -> ()) ?jobs config =
           (Printf.sprintf "case %d: FAIL — %s%s" case
              (String.concat "; " (List.map one_line mismatches))
              (match repro_file with Some f -> " (repro: " ^ f ^ ")" | None -> ""));
+        (* With no repro file the shrunk counterexample would be lost —
+           print it instead, so a failing CI log is actionable on its own. *)
+        if repro_file = None then begin
+          let _, text = repro_text ~seed:config.seed ~case sys scenario mismatches in
+          log (Printf.sprintf "case %d: shrunk counterexample:\n%s" case text)
+        end;
         failures := { case; scenario; mismatches; system = sys; repro_file } :: !failures);
       if (case + 1) mod 25 = 0 then
         log

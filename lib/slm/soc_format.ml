@@ -22,6 +22,8 @@ let tokens line =
   in
   scan 0 []
 
+let tokenize = tokens
+
 exception Parse_error of int * string  (* column, message *)
 
 let fail col fmt = Printf.ksprintf (fun s -> raise (Parse_error (col, s))) fmt

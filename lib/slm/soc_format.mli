@@ -17,6 +17,13 @@
     before it is referenced (the printer emits processes, then channels, then
     selections and orders, which always satisfies this). *)
 
+val tokenize : string -> (string * int) list
+(** [tokenize line] splits one line into its whitespace-separated tokens,
+    each paired with its 1-based start column; [#] comments are stripped.
+    This is the exact lexer [parse] uses — exposed so the lint pass
+    ([Ermes_verify.Lint]) can diagnose declaration-level mistakes in files
+    the strict parser rejects. *)
+
 val parse : string -> (System.t, string) result
 (** [parse text] builds a system, or returns an error message. Every error
     names the offending line {e and column}; independent errors on different

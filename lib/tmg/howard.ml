@@ -4,6 +4,7 @@ type result = {
   cycle_time : Ratio.t;
   critical_places : Tmg.place list;
   critical_transitions : Tmg.transition list;
+  potentials : int array;
   howard_iterations : int;
   cancel_iterations : int;
 }
@@ -528,6 +529,16 @@ let solve s =
         let final_ratio, final_arcs, cancels =
           certify view in_scc s.potentials seed_ratio seed_arcs 0
         in
+        (* The certification fixpoint covers intra-SCC arcs only. Extend it
+           over every arc (cross-SCC arcs carry no cycle, so the relaxation
+           must reach a fixpoint and can never report a positive cycle): the
+           resulting potentials are a whole-net optimality witness —
+           pot(dst) >= pot(src) + q*w - p*t for every place — that
+           [Verify.check] can validate without any solver code. *)
+        let everywhere = Array.make view.m true in
+        (match find_positive_cycle view everywhere s.potentials final_ratio with
+        | None -> ()
+        | Some _ -> assert false);
         Obs.incr ~by:!iters "howard.iterations.policy";
         Obs.incr ~by:cancels "howard.iterations.certify";
         Log.debug (fun m ->
@@ -538,6 +549,7 @@ let solve s =
             cycle_time = final_ratio;
             critical_places = final_arcs;
             critical_transitions = List.map (fun a -> view.dst.(a)) final_arcs;
+            potentials = Array.copy s.potentials;
             howard_iterations = !iters;
             cancel_iterations = cancels;
           }

@@ -22,6 +22,13 @@ type result = {
       (** one critical cycle, as its places in arc order *)
   critical_transitions : Tmg.transition list;
       (** the same cycle, as the consumer transition of each place *)
+  potentials : int array;
+      (** per-transition optimality witness at [cycle_time] = p/q: for
+          {e every} place from [u] to [v],
+          [potentials.(v) >= potentials.(u) + q*delay(v) - p*tokens], so no
+          directed cycle has ratio above p/q. Together with
+          [critical_places] (which attains p/q exactly) this is a complete,
+          independently checkable certificate — see [Ermes_verify.Verify]. *)
   howard_iterations : int;  (** policy-improvement rounds (all components) *)
   cancel_iterations : int;
       (** exact-verification rounds that improved the candidate (0 when the

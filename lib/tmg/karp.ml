@@ -70,14 +70,9 @@ let max_cycle_mean g =
         | Some b -> Some (Ratio.max r b)))
     None comps
 
-let of_unit_tmg tmg =
-  List.iter
-    (fun p ->
-      if Tmg.tokens tmg p <> 1 then
-        invalid_arg "Karp.of_unit_tmg: every place must hold exactly one token")
-    (Tmg.places tmg);
-  (* Weight each place-arc by the delay of its consumer transition, matching
-     the convention of Howard's view. *)
+(* Weight each place-arc by the delay of its consumer transition, matching
+   the convention of Howard's view. *)
+let of_unit_tmg_uncertified tmg =
   let g = Digraph.create () in
   List.iter (fun _ -> ignore (Digraph.add_vertex g ())) (Tmg.transitions tmg);
   List.iter
@@ -87,3 +82,73 @@ let of_unit_tmg tmg =
            (Tmg.delay tmg (Tmg.place_dst tmg p))))
     (Tmg.places tmg);
   max_cycle_mean g
+
+let of_unit_tmg tmg =
+  List.iter
+    (fun p ->
+      if Tmg.tokens tmg p <> 1 then
+        invalid_arg "Karp.of_unit_tmg: every place must hold exactly one token")
+    (Tmg.places tmg);
+  of_unit_tmg_uncertified tmg
+
+(* Karp itself yields only the value lambda = p/q. The witness cycle and the
+   optimality potentials are recovered exactly: an integer longest-path
+   relaxation at reduced cost q*w - p (unit tokens) reaches a fixpoint (no
+   positive cycle exists at the exact optimum), and every critical cycle
+   consists solely of tight arcs [d(src) + cost = d(dst)] — summing the
+   fixpoint inequality around the cycle forces equality arc by arc.
+   Conversely any cycle of tight arcs sums to reduced cost 0, i.e. attains
+   p/q, so any cycle of the tight subgraph is a valid witness. *)
+let of_unit_tmg_certified tmg =
+  match of_unit_tmg tmg with
+  | None -> None
+  | Some ratio ->
+    let p = Ratio.num ratio and q = Ratio.den ratio in
+    let n = Tmg.transition_count tmg in
+    let places = Tmg.places tmg in
+    let cost pl = (q * Tmg.delay tmg (Tmg.place_dst tmg pl)) - p in
+    let out = Array.make n [] in
+    List.iter (fun pl -> out.(Tmg.place_src tmg pl) <- pl :: out.(Tmg.place_src tmg pl)) places;
+    let d = Array.make n 0 in
+    let in_queue = Array.make n true in
+    let queue = Queue.create () in
+    for u = 0 to n - 1 do
+      Queue.add u queue
+    done;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      in_queue.(u) <- false;
+      List.iter
+        (fun pl ->
+          let v = Tmg.place_dst tmg pl in
+          let nd = d.(u) + cost pl in
+          if nd > d.(v) then begin
+            d.(v) <- nd;
+            if not in_queue.(v) then begin
+              in_queue.(v) <- true;
+              Queue.add v queue
+            end
+          end)
+        out.(u)
+    done;
+    let sub = Digraph.create () in
+    List.iter (fun _ -> ignore (Digraph.add_vertex sub ())) (Tmg.transitions tmg);
+    List.iter
+      (fun pl ->
+        let u = Tmg.place_src tmg pl and v = Tmg.place_dst tmg pl in
+        if d.(u) + cost pl = d.(v) then ignore (Digraph.add_arc sub ~src:u ~dst:v pl))
+      places;
+    (match Ermes_digraph.Traversal.topological_sort sub with
+    | Ok _ ->
+      (* The optimum is attained by some cycle and all its arcs are tight. *)
+      assert false
+    | Error cycle ->
+      let arr = Array.of_list cycle in
+      let k = Array.length arr in
+      let witness =
+        List.init k (fun i ->
+            match Digraph.find_arc sub ~src:arr.(i) ~dst:arr.((i + 1) mod k) with
+            | Some a -> Digraph.arc_label sub a
+            | None -> assert false)
+      in
+      Some (ratio, witness, d))

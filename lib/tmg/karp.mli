@@ -19,3 +19,11 @@ val of_unit_tmg : Tmg.t -> Ratio.t option
 (** [of_unit_tmg tmg] is the cycle time of a TMG in which {e every} place
     holds exactly one token. @raise Invalid_argument if some place does not
     hold exactly one token. *)
+
+val of_unit_tmg_certified : Tmg.t -> (Ratio.t * Tmg.place list * int array) option
+(** [of_unit_tmg_certified tmg] is {!of_unit_tmg} extended with a witness
+    cycle attaining the mean exactly and per-transition optimality
+    potentials ([pot.(dst) >= pot.(src) + q*delay(dst) - p] for every place,
+    where the mean is p/q) — a complete certificate for
+    [Ermes_verify.Verify.check]. @raise Invalid_argument like
+    {!of_unit_tmg}. *)

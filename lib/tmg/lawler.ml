@@ -83,7 +83,38 @@ let exact_ratio view arcs =
   let tsum = List.fold_left (fun acc a -> acc + view.t.(a)) 0 arcs in
   if tsum = 0 then None else Some (Ratio.make wsum tsum)
 
-let cycle_time tmg =
+(* Exact integer longest-path relaxation at the certified optimum p/q: no
+   cycle has positive reduced cost q*w - p*t, so the relaxation reaches a
+   fixpoint; the fixpoint potentials witness the optimality of p/q over the
+   whole net (pot(dst) >= pot(src) + q*w - p*t for every place). *)
+let potentials_at view ratio =
+  let p = Ratio.num ratio and q = Ratio.den ratio in
+  let cost a = (q * view.w.(a)) - (p * view.t.(a)) in
+  let d = Array.make view.n 0 in
+  let in_queue = Array.make view.n true in
+  let queue = Queue.create () in
+  for u = 0 to view.n - 1 do
+    Queue.add u queue
+  done;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    in_queue.(u) <- false;
+    List.iter
+      (fun a ->
+        let v = view.dst.(a) in
+        let nd = d.(u) + cost a in
+        if nd > d.(v) then begin
+          d.(v) <- nd;
+          if not in_queue.(v) then begin
+            in_queue.(v) <- true;
+            Queue.add v queue
+          end
+        end)
+      view.out_arcs.(u)
+  done;
+  d
+
+let solve tmg =
   match Liveness.find_dead_cycle tmg with
   | Some _ -> Error Deadlock
   | None ->
@@ -123,4 +154,14 @@ let cycle_time tmg =
            | Some _ | None -> ())
        in
        certify ();
-       Ok !best)
+       Ok (!best, view))
+
+let cycle_time tmg =
+  match solve tmg with
+  | Ok ((ratio, arcs), _) -> Ok (ratio, arcs)
+  | Error e -> Error e
+
+let certified tmg =
+  match solve tmg with
+  | Ok ((ratio, arcs), view) -> Ok (ratio, arcs, potentials_at view ratio)
+  | Error e -> Error e

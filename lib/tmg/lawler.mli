@@ -19,3 +19,9 @@ val cycle_time : Tmg.t -> (Ratio.t * Tmg.place list, error) result
 (** [cycle_time tmg] is the exact maximum cycle ratio (delay sum over token
     sum) and a witness cycle. Agrees with {!Howard.cycle_time} on every live
     net (property-tested). *)
+
+val certified : Tmg.t -> (Ratio.t * Tmg.place list * int array, error) result
+(** [certified tmg] is {!cycle_time} extended with per-transition optimality
+    potentials: for the returned ratio p/q and every place from [u] to [v],
+    [pot.(v) >= pot.(u) + q*delay(v) - p*tokens]. Witness cycle + potentials
+    form a complete certificate for [Ermes_verify.Verify.check]. *)

@@ -20,10 +20,15 @@ let empty_subgraph tmg =
     (Tmg.places tmg);
   sub
 
-let find_dead_cycle tmg =
+let ranks_of_order tmg order =
+  let ranks = Array.make (Tmg.transition_count tmg) 0 in
+  List.iteri (fun i v -> ranks.(v) <- i) order;
+  ranks
+
+let live_ranks tmg =
   let sub = empty_subgraph tmg in
   match Traversal.topological_sort sub with
-  | Ok _ -> None
+  | Ok order -> Ok (ranks_of_order tmg order)
   | Error cycle ->
     let n = List.length cycle in
     let arr = Array.of_list cycle in
@@ -34,7 +39,10 @@ let find_dead_cycle tmg =
       | None -> assert false
     in
     let dead_places = List.init n place_between in
-    Some { dead_transitions = cycle; dead_places }
+    Error { dead_transitions = cycle; dead_places }
+
+let find_dead_cycle tmg =
+  match live_ranks tmg with Ok _ -> None | Error dead -> Some dead
 
 let is_live tmg = find_dead_cycle tmg = None
 

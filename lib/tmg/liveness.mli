@@ -16,6 +16,13 @@ type dead_cycle = {
 val find_dead_cycle : Tmg.t -> dead_cycle option
 (** [find_dead_cycle tmg] returns a token-free cycle if one exists. *)
 
+val live_ranks : Tmg.t -> (int array, dead_cycle) result
+(** [live_ranks tmg] is the certificate form of the liveness verdict:
+    [Ok ranks] gives one integer per transition with
+    [ranks.(src) < ranks.(dst)] for every token-free place — a topological
+    order of the token-free subgraph, i.e. a machine-checkable proof that no
+    token-free cycle exists; [Error dead] is a token-free witness cycle. *)
+
 val is_live : Tmg.t -> bool
 (** [is_live tmg] iff no token-free cycle exists. *)
 

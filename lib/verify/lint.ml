@@ -1,0 +1,557 @@
+module System = Ermes_slm.System
+module Soc_format = Ermes_slm.Soc_format
+module To_tmg = Ermes_slm.To_tmg
+module Howard = Ermes_tmg.Howard
+module Liveness = Ermes_tmg.Liveness
+module Ratio = Ermes_tmg.Ratio
+
+type severity = Error | Warning
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  line : int;
+  col : int;
+  message : string;
+}
+
+type report = {
+  file : string;
+  diagnostics : diagnostic list;
+  checked_semantics : bool;
+}
+
+let errors r =
+  List.length (List.filter (fun d -> d.severity = Error) r.diagnostics)
+
+let warnings r =
+  List.length (List.filter (fun d -> d.severity = Warning) r.diagnostics)
+
+let compare_diag a b =
+  let c = compare a.line b.line in
+  if c <> 0 then c
+  else
+    let c = compare a.col b.col in
+    if c <> 0 then c
+    else
+      let c = compare a.code b.code in
+      if c <> 0 then c else compare a.message b.message
+
+(* ------------------------------------------------------------------ *)
+(* Declaration pass: three sweeps over the raw token stream, so every
+   name/shape mistake is reported at its exact position even when the strict
+   parser gives up on the file. *)
+(* ------------------------------------------------------------------ *)
+
+type decl_tables = {
+  proc_pos : (string, int * int) Hashtbl.t;  (* name -> decl line, col *)
+  chan_pos : (string, int * int) Hashtbl.t;
+  chan_ends : (string, string * string) Hashtbl.t;  (* name -> src, dst *)
+  ins : (string, string list) Hashtbl.t;  (* process -> input channel names *)
+  outs : (string, string list) Hashtbl.t;  (* process -> output channel names *)
+}
+
+let declaration_pass lines =
+  let diags = ref [] in
+  let emit code severity line col fmt =
+    Printf.ksprintf
+      (fun message -> diags := { code; severity; line; col; message } :: !diags)
+      fmt
+  in
+  let t =
+    {
+      proc_pos = Hashtbl.create 16;
+      chan_pos = Hashtbl.create 16;
+      chan_ends = Hashtbl.create 16;
+      ins = Hashtbl.create 16;
+      outs = Hashtbl.create 16;
+    }
+  in
+  let append tbl key v =
+    Hashtbl.replace tbl key ((try Hashtbl.find tbl key with Not_found -> []) @ [ v ])
+  in
+  (* Sweep 1: process declarations. *)
+  List.iteri
+    (fun i toks ->
+      let line = i + 1 in
+      match toks with
+      | ("process", _) :: (name, ncol) :: _ ->
+        if Hashtbl.mem t.proc_pos name then
+          emit "E102" Error line ncol "duplicate process %S" name
+        else Hashtbl.replace t.proc_pos name (line, ncol)
+      | _ -> ())
+    lines;
+  (* Sweep 2: channel declarations (endpoints may name any process in the
+     file, wherever it is declared). *)
+  List.iteri
+    (fun i toks ->
+      let line = i + 1 in
+      match toks with
+      | ("channel", _) :: (name, ncol) :: (src, scol) :: (dst, dcol) :: rest ->
+        let src_ok = Hashtbl.mem t.proc_pos src in
+        let dst_ok = Hashtbl.mem t.proc_pos dst in
+        if not src_ok then
+          emit "E102" Error line scol "channel %S: undeclared process %S" name src;
+        if not dst_ok then
+          emit "E102" Error line dcol "channel %S: undeclared process %S" name dst;
+        if src_ok && dst_ok && src = dst then
+          emit "E101" Error line ncol
+            "channel %S must connect two distinct processes, both ends are %S" name
+            src;
+        if Hashtbl.mem t.chan_pos name then
+          emit "E102" Error line ncol "duplicate channel %S" name
+        else begin
+          Hashtbl.replace t.chan_pos name (line, ncol);
+          Hashtbl.replace t.chan_ends name (src, dst);
+          if src_ok then append t.outs src name;
+          if dst_ok then append t.ins dst name
+        end;
+        let rec fifo = function
+          | ("fifo", _) :: (k, kcol) :: _ -> (
+            match int_of_string_opt k with
+            | Some v when v < 1 ->
+              emit "E106" Error line kcol "channel %S: FIFO depth must be >= 1, got %d"
+                name v
+            | _ -> ())
+          | _ :: rest -> fifo rest
+          | [] -> ()
+        in
+        fifo rest
+      | _ -> ())
+    lines;
+  (* Sweep 3: references (select / gets / puts). *)
+  let check_order line keyword code_dir ~listed ~expected pname =
+    (* direction: every listed channel must be an [expected] channel of the
+       process; arity: the list must be a permutation of [expected]. *)
+    let all_known = ref true in
+    List.iter
+      (fun (ch, col) ->
+        if not (Hashtbl.mem t.chan_pos ch) then begin
+          all_known := false;
+          emit "E102" Error line col "%s %s: undeclared channel %S" keyword pname ch
+        end
+        else if not (List.mem ch expected) then begin
+          all_known := false;
+          let src, dst = Hashtbl.find t.chan_ends ch in
+          emit code_dir Error line col
+            "%s %s: channel %S does not %s %s (it connects %s -> %s)" keyword pname
+            ch
+            (if keyword = "gets" then "feed" else "leave")
+            pname src dst
+        end)
+      listed;
+    if !all_known then begin
+      let names = List.map fst listed in
+      let missing = List.filter (fun c -> not (List.mem c names)) expected in
+      let repeated =
+        List.sort_uniq compare
+          (List.filter (fun c -> List.length (List.filter (( = ) c) names) > 1) names)
+      in
+      if missing <> [] || repeated <> [] then begin
+        let parts = [] in
+        let parts =
+          if missing = [] then parts
+          else Printf.sprintf "missing %s" (String.concat ", " missing) :: parts
+        in
+        let parts =
+          if repeated = [] then parts
+          else Printf.sprintf "repeated %s" (String.concat ", " repeated) :: parts
+        in
+        let col = match listed with (_, c) :: _ -> c | [] -> 1 in
+        emit "E104" Error line col
+          "%s %s: not a permutation of the process's %s channels (%s)" keyword pname
+          (if keyword = "gets" then "input" else "output")
+          (String.concat "; " (List.rev parts))
+      end
+    end
+  in
+  List.iteri
+    (fun i toks ->
+      let line = i + 1 in
+      match toks with
+      | [ ("select", _); (pname, pcol); _ ] ->
+        if not (Hashtbl.mem t.proc_pos pname) then
+          emit "E102" Error line pcol "select: undeclared process %S" pname
+      | ("gets", _) :: (pname, pcol) :: chs ->
+        if not (Hashtbl.mem t.proc_pos pname) then
+          emit "E102" Error line pcol "gets: undeclared process %S" pname
+        else
+          check_order line "gets" "E103" ~listed:chs
+            ~expected:(try Hashtbl.find t.ins pname with Not_found -> [])
+            pname
+      | ("puts", _) :: (pname, pcol) :: chs ->
+        if not (Hashtbl.mem t.proc_pos pname) then
+          emit "E102" Error line pcol "puts: undeclared process %S" pname
+        else
+          check_order line "puts" "E103" ~listed:chs
+            ~expected:(try Hashtbl.find t.outs pname with Not_found -> [])
+            pname
+      | _ -> ())
+    lines;
+  (* Isolated processes: declared but touched by no channel. *)
+  Hashtbl.iter
+    (fun name (line, col) ->
+      if
+        (not (Hashtbl.mem t.ins name))
+        && not (Hashtbl.mem t.outs name)
+      then
+        emit "E105" Error line col "process %S has no channels (isolated)" name)
+    t.proc_pos;
+  !diags
+
+(* ------------------------------------------------------------------ *)
+(* Semantic pass: deadlock proof + serialization probes on the parsed
+   system. *)
+(* ------------------------------------------------------------------ *)
+
+let semantic_pass sys proc_pos =
+  let diags = ref [] in
+  let emit code severity line col fmt =
+    Printf.ksprintf
+      (fun message -> diags := { code; severity; line; col; message } :: !diags)
+      fmt
+  in
+  match System.validate sys with
+  | Error msg ->
+    emit "E105" Error 0 0 "invalid system structure: %s" msg;
+    !diags
+  | Ok () ->
+    let mapping = To_tmg.build sys in
+    let tmg = mapping.To_tmg.tmg in
+    (match Liveness.find_dead_cycle tmg with
+    | Some dead ->
+      let places =
+        String.concat " "
+          (List.map (Ermes_tmg.Tmg.place_name tmg) dead.Liveness.dead_places)
+      in
+      let procs =
+        To_tmg.processes_on_cycle mapping dead.Liveness.dead_transitions
+        |> List.map (System.process_name sys)
+      in
+      let chans =
+        To_tmg.channels_on_cycle mapping dead.Liveness.dead_transitions
+        |> List.map (System.channel_name sys)
+      in
+      emit "E107" Error 0 0
+        "statically proven deadlock: token-free cycle [%s] (processes: %s; channels: %s)"
+        places
+        (String.concat " " procs)
+        (String.concat " " chans)
+    | None ->
+      (* Live: probe every adjacent statement swap for a strict cycle-time
+         improvement, re-using one warm solver across probes. *)
+      let solver = Howard.make_solver tmg in
+      (match Howard.solve solver with
+      | Error _ -> ()  (* acyclic or (impossible here) deadlocked: no probes *)
+      | Ok base ->
+        let base_ct = base.Howard.cycle_time in
+        let probe p code keyword order set_order =
+          let order = Array.of_list (order sys p) in
+          let n = Array.length order in
+          for i = 0 to n - 2 do
+            let swapped = Array.copy order in
+            let tmp = swapped.(i) in
+            swapped.(i) <- swapped.(i + 1);
+            swapped.(i + 1) <- tmp;
+            set_order sys p (Array.to_list swapped);
+            To_tmg.rethread mapping sys p;
+            (match Howard.solve solver with
+            | Ok r when Ratio.( < ) r.Howard.cycle_time base_ct ->
+              let line, col =
+                try Hashtbl.find proc_pos (System.process_name sys p)
+                with Not_found -> (0, 0)
+              in
+              emit code Warning line col
+                "process %s: swapping adjacent %s of %s and %s improves the cycle time %s -> %s"
+                (System.process_name sys p)
+                keyword
+                (System.channel_name sys order.(i))
+                (System.channel_name sys order.(i + 1))
+                (Ratio.to_string base_ct)
+                (Ratio.to_string r.Howard.cycle_time)
+            | _ -> ());
+            set_order sys p (Array.to_list order);
+            To_tmg.rethread mapping sys p
+          done
+        in
+        List.iter
+          (fun p ->
+            probe p "W201" "gets" System.get_order System.set_get_order;
+            probe p "W202" "puts" System.put_order System.set_put_order)
+          (System.processes sys)));
+    !diags
+
+(* ------------------------------------------------------------------ *)
+
+let lint_string ?(file = "<stdin>") text =
+  let lines =
+    List.map Soc_format.tokenize (String.split_on_char '\n' text)
+  in
+  let decl_diags = declaration_pass lines in
+  let decl_errors = List.exists (fun d -> d.severity = Error) decl_diags in
+  let parsed = Soc_format.parse text in
+  match (parsed, decl_errors) with
+  | Stdlib.Error msg, false ->
+    (* The strict parser rejected the file and no diagnostic explains why:
+       the input is invalid beyond linting. *)
+    Stdlib.Error msg
+  | Stdlib.Error _, true ->
+    Ok
+      {
+        file;
+        diagnostics = List.sort compare_diag decl_diags;
+        checked_semantics = false;
+      }
+  | Stdlib.Ok sys, _ ->
+    if decl_errors then
+      Ok
+        {
+          file;
+          diagnostics = List.sort compare_diag decl_diags;
+          checked_semantics = false;
+        }
+    else begin
+      (* Rebuild the process-position table for warning locations. *)
+      let proc_pos = Hashtbl.create 16 in
+      List.iteri
+        (fun i toks ->
+          match toks with
+          | ("process", _) :: (name, ncol) :: _ ->
+            if not (Hashtbl.mem proc_pos name) then
+              Hashtbl.replace proc_pos name (i + 1, ncol)
+          | _ -> ())
+        lines;
+      let sem_diags = semantic_pass sys proc_pos in
+      Ok
+        {
+          file;
+          diagnostics = List.sort compare_diag (decl_diags @ sem_diags);
+          checked_semantics = true;
+        }
+    end
+
+let lint_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> lint_string ~file:path text
+  | exception Sys_error m -> Stdlib.Error m
+
+(* ------------------------------------------------------------------ *)
+(* Output. *)
+(* ------------------------------------------------------------------ *)
+
+let pp_text ppf r =
+  List.iter
+    (fun d ->
+      let sev = match d.severity with Error -> "error" | Warning -> "warning" in
+      if d.line = 0 then
+        Format.fprintf ppf "%s: %s %s: %s@." r.file d.code sev d.message
+      else
+        Format.fprintf ppf "%s:%d:%d: %s %s: %s@." r.file d.line d.col d.code sev
+          d.message)
+    r.diagnostics;
+  Format.fprintf ppf "%s: %d error(s), %d warning(s)@." r.file (errors r)
+    (warnings r)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "{\"file\":\"%s\",\"checked_semantics\":%b,\"errors\":%d,\"warnings\":%d,\"diagnostics\":["
+    (escape r.file) r.checked_semantics (errors r) (warnings r);
+  List.iteri
+    (fun i d ->
+      if i > 0 then pf ",";
+      pf "{\"code\":\"%s\",\"severity\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+        (escape d.code)
+        (match d.severity with Error -> "error" | Warning -> "warning")
+        d.line d.col (escape d.message))
+    r.diagnostics;
+  pf "]}";
+  Buffer.contents buf
+
+(* A recursive-descent parser for exactly the JSON subset [to_json] emits. *)
+type json =
+  | Jobj of (string * json) list
+  | Jarr of json list
+  | Jstr of string
+  | Jint of int
+  | Jbool of bool
+
+exception Bad_json of string
+
+let parse_json text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> raise (Bad_json (Printf.sprintf "expected %C at %d, got %C" c !pos d))
+    | None -> raise (Bad_json (Printf.sprintf "expected %C at end of input" c))
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then raise (Bad_json "unterminated string");
+      let c = text.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' ->
+        if !pos >= n then raise (Bad_json "unterminated escape");
+        let e = text.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > n then raise (Bad_json "truncated \\u escape");
+          let hex = String.sub text !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code when code < 0x100 -> Buffer.add_char buf (Char.chr code)
+          | Some _ -> raise (Bad_json "non-latin1 \\u escape unsupported")
+          | None -> raise (Bad_json "bad \\u escape"))
+        | c -> raise (Bad_json (Printf.sprintf "bad escape \\%c" c)));
+        go ()
+      | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Jstr (parse_string ())
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin advance (); Jobj [] end
+      else begin
+        let rec members acc =
+          let key = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); skip_ws (); members ((key, v) :: acc)
+          | Some '}' -> advance (); List.rev ((key, v) :: acc)
+          | _ -> raise (Bad_json "expected ',' or '}' in object")
+        in
+        Jobj (members [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin advance (); Jarr [] end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); List.rev (v :: acc)
+          | _ -> raise (Bad_json "expected ',' or ']' in array")
+        in
+        Jarr (elements [])
+      end
+    | Some 't' ->
+      if !pos + 4 <= n && String.sub text !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Jbool true
+      end
+      else raise (Bad_json "bad literal")
+    | Some 'f' ->
+      if !pos + 5 <= n && String.sub text !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Jbool false
+      end
+      else raise (Bad_json "bad literal")
+    | Some ('-' | '0' .. '9') ->
+      let start = !pos in
+      if peek () = Some '-' then advance ();
+      while !pos < n && match text.[!pos] with '0' .. '9' -> true | _ -> false do
+        advance ()
+      done;
+      (match int_of_string_opt (String.sub text start (!pos - start)) with
+      | Some i -> Jint i
+      | None -> raise (Bad_json "bad number"))
+    | Some c -> raise (Bad_json (Printf.sprintf "unexpected %C" c))
+    | None -> raise (Bad_json "unexpected end of input")
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad_json "trailing garbage");
+  v
+
+let of_json text =
+  let field obj key =
+    match List.assoc_opt key obj with
+    | Some v -> v
+    | None -> raise (Bad_json (Printf.sprintf "missing field %S" key))
+  in
+  let str = function Jstr s -> s | _ -> raise (Bad_json "expected string") in
+  let int = function Jint i -> i | _ -> raise (Bad_json "expected integer") in
+  let boolean = function Jbool b -> b | _ -> raise (Bad_json "expected boolean") in
+  match parse_json text with
+  | exception Bad_json m -> Stdlib.Error m
+  | Jobj fields -> (
+    try
+      let diagnostics =
+        match field fields "diagnostics" with
+        | Jarr items ->
+          List.map
+            (function
+              | Jobj d ->
+                {
+                  code = str (field d "code");
+                  severity =
+                    (match str (field d "severity") with
+                    | "error" -> Error
+                    | "warning" -> Warning
+                    | s -> raise (Bad_json (Printf.sprintf "bad severity %S" s)));
+                  line = int (field d "line");
+                  col = int (field d "col");
+                  message = str (field d "message");
+                }
+              | _ -> raise (Bad_json "diagnostic must be an object"))
+            items
+        | _ -> raise (Bad_json "diagnostics must be an array")
+      in
+      Ok
+        {
+          file = str (field fields "file");
+          checked_semantics = boolean (field fields "checked_semantics");
+          diagnostics;
+        }
+    with Bad_json m -> Stdlib.Error m)
+  | _ -> Stdlib.Error "top-level value must be an object"

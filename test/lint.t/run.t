@@ -1,0 +1,173 @@
+Static diagnostics over .soc files: every stable code, both output
+formats, and the exit contract (0 clean / 1 invalid input / 2 findings).
+
+A clean pipeline produces no findings and exits 0:
+
+  $ cat > clean.soc <<'EOF'
+  > system clean
+  > process src impl only latency 1 area 0.5
+  > process snk impl only latency 2 area 0.5
+  > channel a src snk latency 1
+  > puts src a
+  > gets snk a
+  > EOF
+  $ ermes lint clean.soc
+  clean.soc: 0 error(s), 0 warning(s)
+
+Declaration-level errors. One file exercises E101 (self-loop), E102
+(duplicates and undeclared names), E105 (isolated process) and E106
+(non-positive FIFO depth); the semantic pass is skipped because the
+declarations are already broken:
+
+  $ cat > broken.soc <<'EOF'
+  > system broken
+  > process p impl only latency 1 area 0.5
+  > process p impl only latency 1 area 0.5
+  > process lonely impl only latency 1 area 0.5
+  > process q impl only latency 1 area 0.5
+  > channel self p p latency 1
+  > channel a p q latency 1 fifo 0
+  > channel a p q latency 2
+  > channel b p ghost latency 1
+  > puts nobody a
+  > gets q zap
+  > EOF
+  $ ermes lint broken.soc
+  broken.soc:3:9: E102 error: duplicate process "p"
+  broken.soc:4:9: E105 error: process "lonely" has no channels (isolated)
+  broken.soc:6:9: E101 error: channel "self" must connect two distinct processes, both ends are "p"
+  broken.soc:7:30: E106 error: channel "a": FIFO depth must be >= 1, got 0
+  broken.soc:8:9: E102 error: duplicate channel "a"
+  broken.soc:9:13: E102 error: channel "b": undeclared process "ghost"
+  broken.soc:10:6: E102 error: puts: undeclared process "nobody"
+  broken.soc:11:8: E102 error: gets q: undeclared channel "zap"
+  broken.soc: 8 error(s), 0 warning(s)
+  [2]
+
+Direction and permutation errors. E103 flags a channel listed on the
+wrong side; E104 fires when the list is not a permutation of the
+process's channels:
+
+  $ cat > direction.soc <<'EOF'
+  > system direction
+  > process a impl only latency 1 area 0.5
+  > process b impl only latency 1 area 0.5
+  > process c impl only latency 1 area 0.5
+  > channel x a b latency 1
+  > channel y b c latency 1
+  > channel z a c latency 1
+  > puts a x z
+  > gets b z
+  > puts b y
+  > gets c y y
+  > EOF
+  $ ermes lint direction.soc
+  direction.soc:9:8: E103 error: gets b: channel "z" does not feed b (it connects a -> c)
+  direction.soc:11:8: E104 error: gets c: not a permutation of the process's input channels (missing z; repeated y)
+  direction.soc: 2 error(s), 0 warning(s)
+  [2]
+
+E107: a statically proven deadlock, with the token-free witness cycle
+spelled out (this is the paper's motivating example with P6 reading in
+an order that starves the d/f/g feedback):
+
+  $ cat > deadlock.soc <<'EOF'
+  > system motivating
+  > process Psrc impl only latency 1 area 0.01
+  > process P2 impl only latency 5 area 0.01
+  > process P3 impl only latency 2 area 0.01
+  > process P4 impl only latency 1 area 0.01
+  > process P5 impl only latency 2 area 0.01
+  > process P6 impl only latency 2 area 0.01
+  > process Psnk impl only latency 1 area 0.01
+  > channel a Psrc P2 latency 2
+  > channel b P2 P3 latency 1
+  > channel c P3 P4 latency 2
+  > channel d P2 P6 latency 3
+  > channel e P4 P6 latency 1
+  > channel f P2 P5 latency 1
+  > channel g P5 P6 latency 2
+  > channel h P6 Psnk latency 1
+  > puts Psrc a
+  > gets P2 a
+  > puts P2 b d f
+  > gets P3 b
+  > puts P3 c
+  > gets P4 c
+  > puts P4 e
+  > gets P5 f
+  > puts P5 g
+  > gets P6 g d e
+  > puts P6 h
+  > gets Psnk h
+  > EOF
+  $ ermes lint deadlock.soc
+  deadlock.soc: E107 error: statically proven deadlock: token-free cycle [put_P2_f comp_P5 put_P5_g get_P6_d] (processes: P5; channels: d f g)
+  deadlock.soc: 1 error(s), 0 warning(s)
+  [2]
+
+W201/W202: serialization orders that a provably better adjacent swap
+improves. Warnings exit 2 by default and 0 under --warnings-ok:
+
+  $ cat > suboptimal.soc <<'EOF'
+  > system motivating
+  > process Psrc impl only latency 1 area 0.01
+  > process P2 impl only latency 5 area 0.01
+  > process P3 impl only latency 2 area 0.01
+  > process P4 impl only latency 1 area 0.01
+  > process P5 impl only latency 2 area 0.01
+  > process P6 impl only latency 2 area 0.01
+  > process Psnk impl only latency 1 area 0.01
+  > channel a Psrc P2 latency 2
+  > channel b P2 P3 latency 1
+  > channel c P3 P4 latency 2
+  > channel d P2 P6 latency 3
+  > channel e P4 P6 latency 1
+  > channel f P2 P5 latency 1
+  > channel g P5 P6 latency 2
+  > channel h P6 Psnk latency 1
+  > puts Psrc a
+  > gets P2 a
+  > puts P2 f b d
+  > gets P3 b
+  > puts P3 c
+  > gets P4 c
+  > puts P4 e
+  > gets P5 f
+  > puts P5 g
+  > gets P6 e g d
+  > puts P6 h
+  > gets Psnk h
+  > EOF
+  $ ermes lint suboptimal.soc
+  suboptimal.soc:3:9: W202 warning: process P2: swapping adjacent puts of f and b improves the cycle time 20 -> 19
+  suboptimal.soc:7:9: W201 warning: process P6: swapping adjacent gets of e and g improves the cycle time 20 -> 18
+  suboptimal.soc:7:9: W201 warning: process P6: swapping adjacent gets of g and d improves the cycle time 20 -> 18
+  suboptimal.soc: 0 error(s), 3 warning(s)
+  [2]
+  $ ermes lint suboptimal.soc --warnings-ok > /dev/null
+  $ ermes lint broken.soc --warnings-ok > /dev/null
+  [2]
+
+JSON output is a single machine-readable line with a fixed key order;
+python3's parser accepts it:
+
+  $ ermes lint clean.soc --format json
+  {"file":"clean.soc","checked_semantics":true,"errors":0,"warnings":0,"diagnostics":[]}
+  $ ermes lint direction.soc --format json > report.json
+  [2]
+  $ python3 -c 'import json; r = json.load(open("report.json")); print(r["file"], r["errors"], r["warnings"], r["checked_semantics"]); [print(d["code"], d["line"], d["col"], d["severity"]) for d in r["diagnostics"]]'
+  direction.soc 2 0 False
+  E103 9 8 error
+  E104 11 8 error
+
+Invalid input that no diagnostic explains exits 1, as does an
+unreadable file:
+
+  $ (cat clean.soc; echo 'flurb zzz') > garbled.soc
+  $ ermes lint garbled.soc
+  ermes: line 7, col 1: unknown directive "flurb"
+  [1]
+  $ ermes lint missing.soc
+  ermes: missing.soc: No such file or directory
+  [1]
