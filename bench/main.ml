@@ -8,7 +8,8 @@
            dune exec bench/main.exe -- --jobs J      (fan sweeps over J domains)
 
    Sections: table1 fig2 fig3 fig4 m1 fig6-timing fig6-area scalability
-             ablation-mcm ablation-ordering ablation-dse incremental micro   *)
+             ablation-mcm ablation-ordering ablation-dse incremental runtime
+             micro   *)
 
 module System = Ermes_slm.System
 module Motivating = Ermes_slm.Motivating
@@ -872,6 +873,56 @@ let micro () =
         results)
     tests
 
+(* ----------------------------------------------------------------- runtime *)
+
+(* Supervised-runtime costs: what the retrying pool adds over the fail-fast
+   pool on representative work, and what crash-safe journalling costs per
+   checkpointed work unit. *)
+let runtime () =
+  hr "Supervised runtime - pool overhead, journal durability cost";
+  let module Supervise = Ermes_runtime.Supervise in
+  let module Journal = Ermes_runtime.Journal in
+  let n = if quick then 32 else 128 in
+  let base = Lazy.force mpeg2 in
+  let copies = Array.init n (fun _ -> System.copy base) in
+  let work i = (analyze_exn copies.(i)).Perf.cycle_time in
+  let (), t_plain =
+    time (fun () -> ignore (Parallel.map ~jobs work (List.init n Fun.id)))
+  in
+  let (), t_sup =
+    time (fun () ->
+        let outcomes, _ = Supervise.run ~jobs n work in
+        Array.iter
+          (function
+            | Supervise.Done _ -> ()
+            | _ -> failwith "runtime bench: unexpected task failure")
+          outcomes)
+  in
+  repro "%d MPEG-2 analyses over %d domain(s):" n jobs;
+  repro "  fail-fast pool:  %7.2f ms" (1000. *. t_plain);
+  repro "  supervised pool: %7.2f ms (%.2fx)" (1000. *. t_sup) (t_sup /. t_plain);
+  metric "runtime.parallel_s" t_plain;
+  metric "runtime.supervised_s" t_sup;
+  metric "runtime.supervision_overhead" (t_sup /. t_plain);
+  (* Every append renders and atomically replaces the whole journal, so the
+     cost grows with journal length — measure the amortized cost across a
+     campaign-sized record count, which is what a checkpointed run pays. *)
+  let records = if quick then 200 else 500 in
+  let path = Filename.temp_file "ermes_bench" ".journal" in
+  let j = Journal.start ~meta:"bench" ~kind:"bench" path in
+  let payload = String.make 96 'x' in
+  let (), t_j =
+    time (fun () ->
+        for _ = 1 to records do
+          Journal.append j payload
+        done)
+  in
+  Sys.remove path;
+  repro "  journal: %d atomic appends in %7.2f ms (%.3f ms/append amortized)"
+    records (1000. *. t_j)
+    (1000. *. t_j /. float_of_int records);
+  metric "runtime.journal_append_ms" (1000. *. t_j /. float_of_int records)
+
 (* -------------------------------------------------------------------- main *)
 
 let sections =
@@ -890,6 +941,7 @@ let sections =
     ("ablation-memory", ablation_memory);
     ("ermes-frontier", ermes_frontier);
     ("incremental", incremental);
+    ("runtime", runtime);
     ("micro", micro);
   ]
 

@@ -25,6 +25,9 @@ module Obs = Ermes_obs.Obs
 module Verify = Ermes_verify.Verify
 module Lint = Ermes_verify.Lint
 module Howard = Ermes_tmg.Howard
+module Supervise = Ermes_runtime.Supervise
+module Batch = Ermes_runtime.Batch
+module Checkpoint = Ermes_runtime.Checkpoint
 
 open Cmdliner
 
@@ -39,10 +42,12 @@ let exits =
           monitor)."
   :: Cmd.Exit.info 2
        ~doc:
-         "on deadlock (statically proven or simulated), an oracle mismatch, or \
-          a failed verification."
+         "on deadlock (statically proven or simulated), an oracle mismatch, a \
+          failed verification, or batch jobs that failed or were quarantined."
   :: Cmd.Exit.info 3
-       ~doc:"on watchdog timeout: the simulation cycle budget was exhausted."
+       ~doc:
+         "on watchdog timeout: the simulation cycle budget or the batch \
+          $(b,--max-seconds) budget was exhausted."
   :: Cmd.Exit.defaults
 
 (* Every subcommand accepts -v/-vv to surface the library's log sources. *)
@@ -84,6 +89,35 @@ let jobs_arg =
                for every J.")
 
 let resolve_jobs = function Some j -> j | None -> Parallel.default_jobs ()
+
+(* Shared by the checkpointable campaigns (fuzz, dse, oracle). *)
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"FILE"
+        ~doc:
+          "Persist campaign progress into a crash-safe journal at $(docv) \
+           (atomic whole-file replace, per-record CRC). Combine with \
+           $(b,--resume) to continue an interrupted campaign.")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Replay completed work units from the $(b,--checkpoint) journal \
+           before running the rest; the final report is identical to an \
+           uninterrupted run's. A missing journal just starts fresh.")
+
+let require_checkpoint resume = function
+  | Some path -> Some path
+  | None ->
+    if resume then begin
+      prerr_endline "ermes: --resume requires --checkpoint FILE";
+      exit 1
+    end;
+    None
 
 let load path =
   match Soc_format.parse_file path with
@@ -291,15 +325,22 @@ let dse_cmd =
   let no_reorder =
     Arg.(value & flag & info [ "no-reorder" ] ~doc:"Disable the channel-reordering stage (ablation).")
   in
-  let run file tct no_reorder out =
+  let run file tct no_reorder checkpoint resume out =
     let sys = or_die (load file) in
-    let trace = Explore.run ~reorder:(not no_reorder) ~tct sys in
+    let reorder = not no_reorder in
+    let trace =
+      match require_checkpoint resume checkpoint with
+      | None -> Explore.run ~reorder ~tct sys
+      | Some path -> or_die (Checkpoint.dse_run ~reorder ~path ~resume ~tct sys)
+    in
     Format.printf "%a@." Explore.pp_trace trace;
     save out sys
   in
   Cmd.v
     (Cmd.info "dse" ~exits ~doc:"Design-space exploration: IP selection (ILP) + channel reordering (paper §5).")
-    (with_logs (with_trace Term.(const run $ file_arg $ tct $ no_reorder $ output_arg)))
+    (with_logs
+       (with_trace
+          Term.(const run $ file_arg $ tct $ no_reorder $ checkpoint_arg $ resume_arg $ output_arg)))
 
 (* ---- generate / mpeg2 -------------------------------------------------- *)
 
@@ -407,9 +448,15 @@ let oracle_cmd =
   let limit =
     Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc:"Refuse beyond this many order combinations.")
   in
-  let run file limit jobs =
+  let run file limit checkpoint resume jobs =
     let sys = or_die (load file) in
-    match Ermes_core.Oracle.search ~limit ~jobs:(resolve_jobs jobs) sys with
+    let jobs = resolve_jobs jobs in
+    let search () =
+      match require_checkpoint resume checkpoint with
+      | None -> Ermes_core.Oracle.search ~limit ~jobs sys
+      | Some path -> or_die (Checkpoint.oracle_search ~limit ~jobs ~path ~resume sys)
+    in
+    match search () with
     | Some res ->
       Format.printf "best cycle time over %d order combinations: %a (%d deadlock)@."
         res.Ermes_core.Oracle.evaluated Ratio.pp res.Ermes_core.Oracle.best_cycle_time
@@ -421,7 +468,7 @@ let oracle_cmd =
   in
   Cmd.v
     (Cmd.info "oracle" ~exits ~doc:"Exhaustive statement-order search (small systems only).")
-    (with_logs Term.(const run $ file_arg $ limit $ jobs_arg))
+    (with_logs Term.(const run $ file_arg $ limit $ checkpoint_arg $ resume_arg $ jobs_arg))
 
 (* ---- report ------------------------------------------------------------- *)
 
@@ -574,7 +621,7 @@ let fuzz_cmd =
   let no_repro =
     Arg.(value & flag & info [ "no-repro" ] ~doc:"Do not write repro files.")
   in
-  let run seed cases max_processes rounds repro_dir no_repro jobs =
+  let run seed cases max_processes rounds repro_dir no_repro checkpoint resume jobs =
     let config =
       {
         Fuzz.seed;
@@ -584,7 +631,13 @@ let fuzz_cmd =
         repro_dir = (if no_repro then None else repro_dir);
       }
     in
-    let s = Fuzz.run ~log:prerr_endline ~jobs:(resolve_jobs jobs) config in
+    let jobs = resolve_jobs jobs in
+    let s =
+      match require_checkpoint resume checkpoint with
+      | None -> Fuzz.run ~log:prerr_endline ~jobs config
+      | Some path ->
+        or_die (Checkpoint.fuzz_run ~log:prerr_endline ~jobs ~path ~resume config)
+    in
     Printf.printf "fuzz: seed %d, %d cases: %d live, %d dead, %d faults injected, %d failure(s)\n"
       seed s.Fuzz.cases_run s.Fuzz.live s.Fuzz.dead s.Fuzz.faults_injected
       (List.length s.Fuzz.failures);
@@ -595,7 +648,98 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random systems + fault scenarios, every analysis \
              cross-checked against the simulator; failures are shrunk and written as \
              .soc repros.")
-    (with_logs (with_trace Term.(const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro $ jobs_arg)))
+    (with_logs
+       (with_trace
+          Term.(
+            const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro
+            $ checkpoint_arg $ resume_arg $ jobs_arg)))
+
+(* ---- batch -------------------------------------------------------------- *)
+
+let batch_cmd =
+  let files =
+    Arg.(value & pos_all string [] & info [] ~docv:"FILE.soc"
+           ~doc:"Jobs: run the selected --action on each file.")
+  in
+  let manifest =
+    Arg.(value & opt (some string) None
+         & info [ "manifest" ] ~docv:"M"
+             ~doc:"Job manifest: one $(i,FILE [analyze|lint|simulate] [crash|flaky:N]) \
+                   per line, $(b,#) comments. $(b,crash)/$(b,flaky:N) are documented \
+                   fault-injection hooks: they make attempts of that job raise, \
+                   exercising the retry and quarantine machinery.")
+  in
+  let action =
+    let actions =
+      Arg.enum [ ("analyze", Batch.Analyze); ("lint", Batch.Lint); ("simulate", Batch.Simulate) ]
+    in
+    Arg.(value & opt actions Batch.Analyze
+         & info [ "action" ] ~docv:"A" ~doc:"Action for positional FILE jobs (manifest entries carry their own).")
+  in
+  let max_attempts =
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N"
+           ~doc:"Attempts per job before it is quarantined (>= 1); retries back off \
+                 exponentially with a deterministic jitter.")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+           ~doc:"Per-job wall budget: a job whose attempt overruns it is classified \
+                 timed-out (and not retried).")
+  in
+  let max_seconds =
+    Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"SEC"
+           ~doc:"Batch watchdog: no new wave of jobs starts after this budget; \
+                 remaining jobs are reported skipped and the exit code is 3.")
+  in
+  let rounds =
+    Arg.(value & opt int 64 & info [ "rounds" ] ~docv:"N" ~doc:"Simulation horizon for simulate jobs.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Print the machine-readable JSON report instead of text.")
+  in
+  let run files manifest action max_attempts timeout max_seconds rounds json jobs =
+    if max_attempts < 1 then begin
+      prerr_endline "ermes: --max-attempts must be >= 1";
+      exit 1
+    end;
+    let manifest_jobs =
+      match manifest with
+      | None -> []
+      | Some m -> or_die (Batch.parse_manifest_file m)
+    in
+    let entries = manifest_jobs @ List.map (Batch.job_of_file ~action) files in
+    if entries = [] then begin
+      prerr_endline "ermes: no jobs (give FILE.soc arguments or --manifest M)";
+      exit 1
+    end;
+    let policy =
+      {
+        Supervise.default_policy with
+        Supervise.max_attempts;
+        timeout_s = timeout;
+        clock = Unix.gettimeofday;
+      }
+    in
+    let report =
+      Batch.run ~jobs:(resolve_jobs jobs) ~policy ?max_seconds ~rounds entries
+    in
+    if json then print_endline (Batch.to_json report)
+    else Format.printf "%a@." Batch.pp_text report;
+    let code = Batch.exit_code report in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "batch" ~exits
+       ~doc:"Process a batch of .soc jobs (analyze/lint/simulate) under a supervised \
+             runtime: parse errors, deadlocks and lint findings are isolated per job; \
+             crashing jobs are retried with backoff and quarantined; a JSON or text \
+             summary reports every job. Exit 0 when all jobs are ok, 2 when some \
+             failed, 3 when the $(b,--max-seconds) watchdog expired.")
+    (with_logs
+       (with_trace
+          Term.(
+            const run $ files $ manifest $ action $ max_attempts $ timeout $ max_seconds
+            $ rounds $ json $ jobs_arg)))
 
 (* ---- resilience --------------------------------------------------------- *)
 
@@ -705,10 +849,11 @@ let lint_cmd =
   Cmd.v
     (Cmd.info "lint" ~exits
        ~doc:"Static diagnostics for a system description: name and shape errors \
-             (stable codes E101-E107), statically proven deadlock with its witness \
-             cycle, and serialization warnings (W201-W202) for put/get orders that \
-             a single adjacent swap would improve. Exit 0 clean, 1 invalid input, \
-             2 on any error finding (or warnings without $(b,--warnings-ok)).")
+             (stable codes E101-E107), hostile input sizes (E108), statically \
+             proven deadlock with its witness cycle, and serialization warnings \
+             (W201-W202) for put/get orders that a single adjacent swap would \
+             improve. Exit 0 clean, 1 invalid input, 2 on any error finding (or \
+             warnings without $(b,--warnings-ok)).")
     (with_logs (with_trace Term.(const run $ file $ format $ warnings_ok)))
 
 (* ---- dot --------------------------------------------------------------- *)
@@ -749,6 +894,7 @@ let () =
                       rtl_cmd;
                       inject_cmd;
                       fuzz_cmd;
+                      batch_cmd;
                       resilience_cmd;
                       profile_cmd;
                       lint_cmd;

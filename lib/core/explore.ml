@@ -19,6 +19,12 @@ type step = {
 
 type trace = { tct : int; steps : step list; met : bool }
 
+type snapshot = {
+  snap_step : step;
+  selection : int array;
+  orders : (int list * int list) list;
+}
+
 let session_analyze_exn session =
   match Incremental.analyze session with
   | Ok a -> a
@@ -44,7 +50,8 @@ let reorder_if_better ~session sys =
   | Order.Applied _ -> (orders_signature sys <> saved, session_analyze_exn session)
   | Order.Kept_incumbent _ -> (false, session_analyze_exn session)
 
-let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
+let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ?checkpoint ?(resume = [])
+    ~tct sys =
   (* One incremental session carries every analysis of the exploration loop:
      selection changes are delay edits, reorderings are chain rewires, and
      each Howard run warm-starts from the previous policy. *)
@@ -59,9 +66,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
      caller passes the analysis it already holds — re-analyzing here would
      repeat the work it just did. *)
   let best = ref None in
-  let note_best (a : Perf.analysis) =
-    let ct = a.Perf.cycle_time in
-    let area = System.total_area sys in
+  let note_best ~ct ~area =
     let snapshot () =
       (Ilp_select.selection_vector sys, orders_signature sys, ct, area)
     in
@@ -84,11 +89,29 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
       List.iteri (fun p i -> System.select sys p i) (Array.to_list selection);
       restore_orders sys orders
   in
-  let a0 = session_analyze_exn session in
-  note_best a0;
-  let steps =
-    ref
-      [
+  let steps = ref [] in
+  (* Every pushed step goes through the checkpoint hook with the full
+     post-step state, so a journal can reconstitute the exploration. *)
+  let push step =
+    steps := step :: !steps;
+    match checkpoint with
+    | None -> ()
+    | Some f ->
+      f
+        {
+          snap_step = step;
+          selection = Ilp_select.selection_vector sys;
+          orders = orders_signature sys;
+        }
+  in
+  let finished = ref false in
+  let iteration = ref 0 in
+  let current =
+    match resume with
+    | [] ->
+      let a0 = session_analyze_exn session in
+      note_best ~ct:a0.Perf.cycle_time ~area:(System.total_area sys);
+      push
         {
           iteration = 0;
           action = Initial;
@@ -97,11 +120,28 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
           cycle_time = a0.Perf.cycle_time;
           area = System.total_area sys;
         };
-      ]
+      ref a0
+    | snaps ->
+      (* Replay: apply each snapshot's post-step state, then re-walk the
+         bookkeeping (visited set, best tracking, step list, checkpoint) in
+         the order the original run performed it. One warm analysis at the
+         end re-derives the state the loop (or the [met] verdict) needs —
+         the analysis is a deterministic function of the system, so the
+         continuation is identical to the uninterrupted run's. *)
+      List.iter
+        (fun s ->
+          Array.iteri (fun p i -> System.select sys p i) s.selection;
+          restore_orders sys s.orders;
+          remember ();
+          (match s.snap_step.action with
+          | Converged -> finished := true
+          | Initial | Timing_optimization | Area_recovery ->
+            note_best ~ct:s.snap_step.cycle_time ~area:s.snap_step.area;
+            iteration := s.snap_step.iteration);
+          push s.snap_step)
+        snaps;
+      ref (session_analyze_exn session)
   in
-  let current = ref a0 in
-  let finished = ref false in
-  let iteration = ref 0 in
   while (not !finished) && !iteration < max_iterations do
     Obs.span "explore.iteration" @@ fun () ->
     incr iteration;
@@ -149,7 +189,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
       restore_best ();
       let a' = session_analyze_exn session in
       current := a';
-      steps :=
+      push
         {
           iteration = !iteration;
           action = Converged;
@@ -158,7 +198,6 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
           cycle_time = a'.Perf.cycle_time;
           area = System.total_area sys;
         }
-        :: !steps
     end
     else begin
       Log.debug (fun m ->
@@ -181,13 +220,13 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
       in
       if reordered then Obs.incr "explore.reorders";
       current := a';
-      note_best a';
+      note_best ~ct:a'.Perf.cycle_time ~area:(System.total_area sys);
       Log.info (fun m ->
           m "iter %d: CT=%s area=%.4f%s" !iteration
             (Ratio.to_string a'.Perf.cycle_time)
             (System.total_area sys)
             (if reordered then " (reordered)" else ""));
-      steps :=
+      push
         {
           iteration = !iteration;
           action;
@@ -196,7 +235,6 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
           cycle_time = a'.Perf.cycle_time;
           area = System.total_area sys;
         }
-        :: !steps
     end
   done;
   if not !finished then begin
@@ -205,7 +243,7 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
     restore_best ();
     let a' = session_analyze_exn session in
     current := a';
-    steps :=
+    push
       {
         iteration = !iteration + 1;
         action = Converged;
@@ -214,7 +252,6 @@ let run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~tct sys =
         cycle_time = a'.Perf.cycle_time;
         area = System.total_area sys;
       }
-      :: !steps
   end;
   let final_ct = !current.Perf.cycle_time in
   { tct; steps = List.rev !steps; met = Ratio.(final_ct <= Ratio.of_int tct) }

@@ -43,8 +43,25 @@ type trace = {
   met : bool;  (** final cycle time ≤ target *)
 }
 
+type snapshot = {
+  snap_step : step;
+  selection : int array;
+      (** per-process implementation choice {e after} the step *)
+  orders : (int list * int list) list;
+      (** per-process (get order, put order) after the step *)
+}
+(** One completed exploration step plus the full post-step system state —
+    everything a checkpoint journal needs to reconstitute the run. *)
+
 val run :
-  ?max_iterations:int -> ?reorder:bool -> ?area_budget:float -> tct:int -> System.t -> trace
+  ?max_iterations:int ->
+  ?reorder:bool ->
+  ?area_budget:float ->
+  ?checkpoint:(snapshot -> unit) ->
+  ?resume:snapshot list ->
+  tct:int ->
+  System.t ->
+  trace
 (** [run ~tct sys] mutates [sys] (selections and statement orders) and
     returns the exploration trace. [reorder] (default true) controls the
     channel-reordering stage — disabling it isolates the ILP contribution
@@ -52,6 +69,17 @@ val run :
     timing-optimization steps may not push the total area of the critical
     processes beyond the budget minus the area of the others (i.e. the whole
     system stays within budget). [max_iterations] defaults to 16.
+
+    [checkpoint] is called once per completed step — [Initial], each
+    optimization move, and the closing [Converged] — with the post-step
+    snapshot. [resume] replays snapshots from an earlier (interrupted) run
+    of the {e same} system and parameters: each one's state is applied and
+    its bookkeeping re-walked without re-running ILP or reordering, then the
+    loop continues (or, after a replayed [Converged], returns) — producing a
+    trace identical to the uninterrupted run's. [checkpoint] also fires for
+    replayed steps, so a resumed journal ends up identical too. Callers are
+    responsible for only resuming snapshots that match the system and
+    parameters (see [Ermes_runtime.Checkpoint]).
     @raise Failure if an analysis reports deadlock (cannot happen when the
     input orders are deadlock-free: implementation selection never changes
     the marking structure). *)

@@ -17,7 +17,18 @@ let rec permutations = function
         List.map (fun p -> x :: p) (permutations rest))
       xs
 
-let search ?(limit = 100_000) ?(jobs = 1) sys =
+type slice_outcome = {
+  slice_best : (Ratio.t * (int list * int list) list) option;
+  slice_evaluated : int;
+  slice_deadlocked : int;
+}
+
+let orders_signature sys =
+  List.map
+    (fun p -> (System.get_order sys p, System.put_order sys p))
+    (System.processes sys)
+
+let search ?(limit = 100_000) ?(jobs = 1) ?checkpoint ?resume sys =
   let combos = System.order_combinations sys in
   if combos > float_of_int limit then
     invalid_arg
@@ -39,7 +50,15 @@ let search ?(limit = 100_000) ?(jobs = 1) sys =
      slice order with strict improvement, which reproduces the sequential
      first-found-minimum exactly — the outcome is bit-identical for every
      [jobs] value (only wall-clock differs). *)
-  let threshold = if jobs <= 1 then 1 else jobs * 8 in
+  (* Checkpointing gives every slice an identity (its index), so the slicing
+     must then be a function of the system alone — a fixed threshold keeps
+     journals interchangeable across [jobs] values. Without checkpointing the
+     threshold scales with [jobs] as before (and collapses to one slice
+     sequentially, where splitting buys nothing). *)
+  let checkpointed = checkpoint <> None || resume <> None in
+  let threshold =
+    if checkpointed then 64 else if jobs <= 1 then 1 else jobs * 8
+  in
   let rec slice prefixes rest =
     match rest with
     | (p, opts) :: tail when List.length prefixes < threshold ->
@@ -53,7 +72,7 @@ let search ?(limit = 100_000) ?(jobs = 1) sys =
   in
   let prefixes, rest = slice [ [] ] choices in
   (* Copies are made sequentially, before any domain spawns. *)
-  let tasks = List.map (fun pre -> (pre, System.copy work)) prefixes in
+  let tasks = Array.of_list (List.map (fun pre -> (pre, System.copy work)) prefixes) in
   let run (pre, w) =
     List.iter
       (fun (p, (g, o)) ->
@@ -72,7 +91,7 @@ let search ?(limit = 100_000) ?(jobs = 1) sys =
           | None -> true
           | Some (ct, _) -> Ratio.(a.Perf.cycle_time < ct)
         in
-        if better then best := Some (a.Perf.cycle_time, System.copy w)
+        if better then best := Some (a.Perf.cycle_time, orders_signature w)
       | Error (Perf.Deadlock _) -> incr deadlocked
       | Error Perf.No_cycle -> ()
     in
@@ -87,25 +106,76 @@ let search ?(limit = 100_000) ?(jobs = 1) sys =
           opts
     in
     enumerate rest;
-    (!best, !evaluated, !deadlocked)
+    { slice_best = !best; slice_evaluated = !evaluated; slice_deadlocked = !deadlocked }
   in
-  let results = Ermes_parallel.Parallel.map ~jobs run tasks in
+  let n = Array.length tasks in
+  let outcomes = Array.make n None in
+  (match resume with
+  | None -> ()
+  | Some lookup ->
+    for i = 0 to n - 1 do
+      outcomes.(i) <- lookup ~slice:i
+    done);
+  (* The checkpoint hook fires in strict slice order as the completed prefix
+     advances — including for resumed slices, so a resumed journal ends up
+     identical to an uninterrupted one. *)
+  let flushed = ref 0 in
+  let flush () =
+    match checkpoint with
+    | None -> ()
+    | Some f ->
+      let continue_ = ref true in
+      while !continue_ && !flushed < n do
+        match outcomes.(!flushed) with
+        | Some o ->
+          f ~slice:!flushed o;
+          incr flushed
+        | None -> continue_ := false
+      done
+  in
+  flush ();
+  (* Pending slices run in waves so progress persists as the campaign goes
+     (one journal write per wave, not one at the very end). *)
+  let pending = List.filter (fun i -> outcomes.(i) = None) (List.init n Fun.id) in
+  let wave = max 1 (jobs * 4) in
+  let rec waves = function
+    | [] -> ()
+    | is ->
+      let batch = List.filteri (fun k _ -> k < wave) is in
+      let later = List.filteri (fun k _ -> k >= wave) is in
+      let results = Ermes_parallel.Parallel.map ~jobs (fun i -> run tasks.(i)) batch in
+      List.iter2 (fun i o -> outcomes.(i) <- Some o) batch results;
+      flush ();
+      waves later
+  in
+  waves pending;
   let best = ref None in
   let evaluated = ref 0 and deadlocked = ref 0 in
-  List.iter
-    (fun (b, e, d) ->
-      evaluated := !evaluated + e;
-      deadlocked := !deadlocked + d;
-      match b with
-      | None -> ()
-      | Some (ct, s) -> (
-        match !best with
-        | None -> best := Some (ct, s)
-        | Some (ct0, _) -> if Ratio.(ct < ct0) then best := Some (ct, s)))
-    results;
+  Array.iter
+    (function
+      | None -> assert false
+      | Some o -> (
+        evaluated := !evaluated + o.slice_evaluated;
+        deadlocked := !deadlocked + o.slice_deadlocked;
+        match o.slice_best with
+        | None -> ()
+        | Some (ct, sg) -> (
+          match !best with
+          | None -> best := Some (ct, sg)
+          | Some (ct0, _) -> if Ratio.(ct < ct0) then best := Some (ct, sg))))
+    outcomes;
   match !best with
   | None -> None
-  | Some (ct, s) ->
+  | Some (ct, signature) ->
+    (* Reconstitute the winning system from its orders signature: orders are
+       the only thing the enumeration mutates, so this is exactly the copy
+       the winning slice evaluated. *)
+    let s = System.copy work in
+    List.iteri
+      (fun p (g, o) ->
+        System.set_get_order s p g;
+        System.set_put_order s p o)
+      signature;
     Some
       {
         best_cycle_time = ct;

@@ -20,7 +20,24 @@ type result = {
 val permutations : 'a list -> 'a list list
 (** All permutations, in lexicographic position order. *)
 
-val search : ?limit:int -> ?jobs:int -> System.t -> result option
+type slice_outcome = {
+  slice_best : (Ratio.t * (int list * int list) list) option;
+      (** best cycle time in the slice and the winning per-process
+          (get order, put order) signature; [None] if everything in the
+          slice deadlocked *)
+  slice_evaluated : int;
+  slice_deadlocked : int;
+}
+(** The result of one lexicographic slice of the enumeration — everything a
+    checkpoint journal needs to skip the slice on resume. *)
+
+val search :
+  ?limit:int ->
+  ?jobs:int ->
+  ?checkpoint:(slice:int -> slice_outcome -> unit) ->
+  ?resume:(slice:int -> slice_outcome option) ->
+  System.t ->
+  result option
 (** [search sys] tries every order combination (the input system is not
     modified). [None] if every combination deadlocks. Each combination is
     probed through an incremental analysis session rather than a fresh TMG
@@ -31,4 +48,12 @@ val search : ?limit:int -> ?jobs:int -> System.t -> result option
     The result — optimum, winning orders, evaluation and deadlock counts —
     is bit-identical for every [jobs] value: the enumeration is split into
     lexicographic slices whose results merge in slice order with strict
-    improvement, reproducing the sequential first-found minimum. *)
+    improvement, reproducing the sequential first-found minimum.
+
+    With [checkpoint] or [resume] set, the slicing becomes a fixed function
+    of the system alone (independent of [jobs]), each slice gets a stable
+    index, and pending slices run in waves so progress persists as the
+    campaign goes. [checkpoint] fires once per slice in strict slice order —
+    including for slices [resume] answered, so a resumed journal ends up
+    identical to an uninterrupted one. [resume] is called sequentially,
+    before any domain spawns. *)

@@ -32,6 +32,10 @@ type summary = {
   failures : failure list;
 }
 
+type case_outcome =
+  | Case_agreed of Differential.verdict option
+  | Case_failed of { scenario : Fault.scenario; mismatches : string list }
+
 let gen_fault rng sys =
   let channels = System.channels sys in
   let processes = System.processes sys in
@@ -189,8 +193,18 @@ let write_repro dir ~seed ~case sys scenario mismatches =
       generated system), fanned over [jobs] domains with index-ordered
       results.
    3. {e Classify} (sequential, in case order): counters, repro files and log
-      lines replay exactly the sequential order. *)
-let run ?(log = fun _ -> ()) ?jobs config =
+      lines replay exactly the sequential order.
+
+   Phases 2 and 3 interleave in fixed-size waves of cases so checkpoints
+   persist as the campaign progresses; waves preserve case order, so every
+   output is still bit-identical to the sequential run.
+
+   [resume] short-circuits phase 2 for cases whose outcome a checkpoint
+   journal already holds (generation still runs — it is what makes the
+   outcome meaningful); [checkpoint] is called from phase 3, in case order,
+   with the final (shrunk) scenario — so a resumed-and-continued campaign
+   journals exactly what an uninterrupted one would. *)
+let run ?(log = fun _ -> ()) ?checkpoint ?resume ?jobs config =
   Obs.span "fuzz.run" @@ fun () ->
   List.iter (Obs.incr ~by:0) [ "fuzz.execs"; "fuzz.shrink_steps" ];
   let rng = Prng.create ~seed:config.seed in
@@ -204,44 +218,57 @@ let run ?(log = fun _ -> ()) ?jobs config =
     done;
     List.rev !acc
   in
-  let executed =
-    Parallel.map ?jobs
-      (fun (case, sys, scenario) ->
-        let outcome =
-          Obs.incr "fuzz.execs";
-          match Differential.run_case ~rounds:config.rounds sys scenario with
-          | r -> Ok r
-          | exception e ->
-            Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
-        in
-        match outcome with
-        | Ok r when Differential.agreed r -> (case, sys, scenario, `Agreed r)
-        | _ ->
-          let scenario = shrink sys config.rounds scenario in
-          let mismatches =
+  let execute_case =
+    (fun (case, sys, scenario) ->
+        let execute () =
+          let outcome =
             Obs.incr "fuzz.execs";
             match Differential.run_case ~rounds:config.rounds sys scenario with
-            | r when not (Differential.agreed r) -> r.Differential.mismatches
-            | _ -> (
-              (* The shrunk scenario no longer fails deterministically (should
-                 not happen); report whatever the original run said. *)
-              match outcome with Ok r -> r.Differential.mismatches | Error e -> [ e ])
+            | r -> Ok r
             | exception e ->
-              [ Printf.sprintf "uncaught exception: %s" (Printexc.to_string e) ]
+              Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
           in
-          (case, sys, scenario, `Failed mismatches))
-      cases
+          match outcome with
+          | Ok r when Differential.agreed r ->
+            (case, sys, scenario, `Agreed r.Differential.verdict)
+          | _ ->
+            let scenario = shrink sys config.rounds scenario in
+            let mismatches =
+              Obs.incr "fuzz.execs";
+              match Differential.run_case ~rounds:config.rounds sys scenario with
+              | r when not (Differential.agreed r) -> r.Differential.mismatches
+              | _ -> (
+                (* The shrunk scenario no longer fails deterministically (should
+                   not happen); report whatever the original run said. *)
+                match outcome with Ok r -> r.Differential.mismatches | Error e -> [ e ])
+              | exception e ->
+                [ Printf.sprintf "uncaught exception: %s" (Printexc.to_string e) ]
+            in
+            (case, sys, scenario, `Failed mismatches)
+        in
+        match resume with
+        | None -> execute ()
+        | Some lookup -> (
+          match lookup ~case sys with
+          | Some (Case_agreed v) -> (case, sys, scenario, `Agreed v)
+          | Some (Case_failed { scenario = shrunk; mismatches }) ->
+            (case, sys, shrunk, `Failed mismatches)
+          | None -> execute ()))
   in
   let live = ref 0 and dead = ref 0 in
   let failures = ref [] in
-  List.iter
+  let record case sys outcome =
+    match checkpoint with None -> () | Some f -> f ~case sys outcome
+  in
+  let classify =
     (fun (case, sys, scenario, verdict) ->
       (match verdict with
-      | `Agreed r -> (
-        match r.Differential.verdict with
+      | `Agreed v ->
+        (match v with
         | Some (Differential.Live _) -> incr live
         | Some Differential.Dead -> incr dead
-        | None -> ())
+        | None -> ());
+        record case sys (Case_agreed v)
       | `Failed mismatches ->
         let repro_file =
           match config.repro_dir with
@@ -261,12 +288,33 @@ let run ?(log = fun _ -> ()) ?jobs config =
           let _, text = repro_text ~seed:config.seed ~case sys scenario mismatches in
           log (Printf.sprintf "case %d: shrunk counterexample:\n%s" case text)
         end;
+        record case sys (Case_failed { scenario; mismatches });
         failures := { case; scenario; mismatches; system = sys; repro_file } :: !failures);
       if (case + 1) mod 25 = 0 then
         log
           (Printf.sprintf "%d/%d cases, %d failures" (case + 1) config.cases
              (List.length !failures)))
-    executed;
+  in
+  (* Cases run in fixed-size waves, classifying (and therefore
+     checkpointing) after each, so a kill mid-campaign loses at most one
+     wave of completed work — not the whole execution phase. The wave size
+     is independent of [jobs], and waves preserve case order, so neither
+     the summary nor a checkpoint journal depends on it. *)
+  let rec take n = function
+    | l when n = 0 -> ([], l)
+    | [] -> ([], [])
+    | x :: tl ->
+      let a, b = take (n - 1) tl in
+      (x :: a, b)
+  in
+  let rec waves = function
+    | [] -> ()
+    | remaining ->
+      let batch, rest = take 32 remaining in
+      List.iter classify (Parallel.map ?jobs execute_case batch);
+      waves rest
+  in
+  waves cases;
   {
     cases_run = config.cases;
     live = !live;

@@ -47,11 +47,37 @@ type summary = {
   failures : failure list;
 }
 
-val run : ?log:(string -> unit) -> ?jobs:int -> config -> summary
+type case_outcome =
+  | Case_agreed of Differential.verdict option
+      (** the oracles agreed; [None] when neither produced a verdict *)
+  | Case_failed of { scenario : Fault.scenario; mismatches : string list }
+      (** the {e shrunk} scenario and what the oracles disagreed on *)
+
+val run :
+  ?log:(string -> unit) ->
+  ?checkpoint:(case:int -> System.t -> case_outcome -> unit) ->
+  ?resume:(case:int -> System.t -> case_outcome option) ->
+  ?jobs:int ->
+  config ->
+  summary
 (** [run config] executes the campaign. [log] receives one progress line per
     failure and per 25 cases. [jobs] fans the per-case differential runs
     over domains (default: [ERMES_JOBS], else sequential) — the outcome is
-    bit-identical for any value. *)
+    bit-identical for any value.
+
+    [checkpoint] is invoked once per case, in case order, from the
+    sequential classify phase — safe to write a journal from. Cases execute
+    in fixed-size waves with classification after each wave, so checkpoints
+    persist incrementally: a campaign killed mid-flight has journalled all
+    but at most one wave of its completed work. [resume] is
+    consulted {e in the worker domains} before a case is executed: returning
+    [Some outcome] (e.g. decoded from a journal) skips the expensive
+    differential run and shrink for that case while the summary, repro files
+    and log lines stay byte-identical to an uninterrupted run. It must
+    therefore be safe to call concurrently from multiple domains (a
+    read-only lookup table is). Generation always runs — it is what makes
+    resumed outcomes meaningful — so [faults_injected] is exact either
+    way. *)
 
 val gen_case : Ermes_synth.Prng.t -> max_processes:int -> System.t * Fault.scenario
 (** One random case: the generated (possibly order-permuted, FIFO-ized)

@@ -14,8 +14,10 @@ exception Worker_failure of int * exn
 (* Deterministic fan-out: tasks are claimed from a shared atomic counter and
    every result lands at its input index, so the output order (and any
    exception surfaced — lowest index wins) is independent of worker count and
-   scheduling. Exceptions are caught per task; after all domains join, the
-   first failing index re-raises. *)
+   scheduling. Exceptions are caught per task together with the raw backtrace
+   of their raise point (captured inside the worker domain, where it is still
+   accurate); after all domains join, the first failing index re-raises with
+   that backtrace re-attached. *)
 let run_tasks jobs n task =
   if n = 0 then [||]
   else begin
@@ -26,9 +28,12 @@ let run_tasks jobs n task =
       Ermes_obs.Obs.incr "parallel.batches";
       Ermes_obs.Obs.incr ~by:n "parallel.tasks"
     end;
+    let attempt i =
+      try Ok (task i) with e -> Error (e, Printexc.get_raw_backtrace ())
+    in
     if jobs = 1 then begin
       for i = 0 to n - 1 do
-        results.(i) <- Some (try Ok (task i) with e -> Error e)
+        results.(i) <- Some (attempt i)
       done;
       if obs then Ermes_obs.Obs.incr ~by:n "parallel.domain0.tasks"
     end
@@ -41,7 +46,7 @@ let run_tasks jobs n task =
           let i = Atomic.fetch_and_add next 1 in
           if i >= n then continue_ := false
           else begin
-            results.(i) <- Some (try Ok (task i) with e -> Error e);
+            results.(i) <- Some (attempt i);
             tally.(slot) <- tally.(slot) + 1
           end
         done
@@ -61,7 +66,8 @@ let run_tasks jobs n task =
       (fun i r ->
         match r with
         | Some (Ok v) -> v
-        | Some (Error e) -> raise (Worker_failure (i, e))
+        | Some (Error (e, bt)) ->
+          Printexc.raise_with_backtrace (Worker_failure (i, e)) bt
         | None -> assert false)
       results
   end

@@ -24,7 +24,11 @@ val default_jobs : unit -> int
 
 exception Worker_failure of int * exn
 (** A task raised: carries the lowest failing input index and its exception.
-    Raised from the calling domain after all workers joined. *)
+    Raised from the calling domain after all workers joined, {e with the
+    worker's own raw backtrace re-attached}
+    ([Printexc.raise_with_backtrace]): when backtrace recording is on,
+    [Printexc.get_raw_backtrace] in the handler shows the frames of the
+    original raise inside the task, not just the re-raise site. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed on up to [jobs] domains

@@ -1,0 +1,93 @@
+(** Journal-backed checkpointing for the three long campaigns.
+
+    This module owns the record codecs and wires a {!Journal} into the
+    engines' plain [?checkpoint]/[?resume] callbacks — the engines
+    themselves ({!Ermes_fault.Fuzz}, {!Ermes_core.Explore},
+    {!Ermes_core.Oracle}) know nothing about files.
+
+    Every wrapper follows the same shape: with [resume = true] and an
+    existing journal at [path], the journal is loaded and validated (kind
+    and a campaign-configuration [meta] fingerprint must match — resuming a
+    fuzz journal into a DSE run, or into a fuzz run with a different seed,
+    is an error, not silent garbage); then a {e fresh} journal is started at
+    [path] and the campaign runs with both hooks installed. Completed work
+    units replay from the loaded records (skipping the expensive part) and
+    every unit — replayed or fresh — is re-appended in deterministic order,
+    so after a resumed run the journal, like the report, is byte-identical
+    to an uninterrupted run's.
+
+    Undecodable records degrade safely: the unit is recomputed (the
+    campaigns are deterministic, so the outcome is the same). For the
+    sequential DSE history only the longest decodable prefix is replayed. *)
+
+module System = Ermes_slm.System
+module Explore = Ermes_core.Explore
+module Oracle = Ermes_core.Oracle
+module Fuzz = Ermes_fault.Fuzz
+
+val system_fingerprint : System.t -> string
+(** CRC-32 (as 8 hex digits) of the system's canonical [.soc] print — the
+    identity under which DSE and oracle journals are validated. *)
+
+(** {1 Fuzz campaigns} *)
+
+val fuzz_meta : Fuzz.config -> string
+(** The fingerprint stored in (and checked against) a fuzz journal header:
+    seed, case count, process bound and rounds. [repro_dir] is excluded —
+    it does not affect outcomes. *)
+
+val encode_fuzz_case : case:int -> System.t -> Fuzz.case_outcome -> string
+val decode_fuzz_case : System.t -> string -> (int * Fuzz.case_outcome) option
+(** Exposed for the test suite. Fault specs resolve names against the
+    case's own (regenerated) system. *)
+
+val fuzz_run :
+  ?log:(string -> unit) ->
+  ?jobs:int ->
+  path:string ->
+  resume:bool ->
+  Fuzz.config ->
+  (Fuzz.summary, string) result
+(** {!Fuzz.run} with a checkpoint journal at [path]. [Error] only on a
+    journal that exists but cannot be resumed (wrong kind, wrong
+    configuration, damaged header); a missing journal with [resume = true]
+    just starts fresh, so crash-recovery loops can pass [--resume]
+    unconditionally. *)
+
+(** {1 Design-space exploration} *)
+
+val encode_dse_snapshot : Explore.snapshot -> string
+val decode_dse_snapshot : string -> Explore.snapshot option
+(** Exposed for the test suite. *)
+
+val dse_run :
+  ?max_iterations:int ->
+  ?reorder:bool ->
+  ?area_budget:float ->
+  path:string ->
+  resume:bool ->
+  tct:int ->
+  System.t ->
+  (Explore.trace, string) result
+(** {!Explore.run} with a checkpoint journal at [path]. The meta fingerprint
+    covers the initial system ({!system_fingerprint}) and every parameter
+    that shapes the trace. *)
+
+(** {1 Oracle search} *)
+
+val encode_oracle_slice : slice:int -> Oracle.slice_outcome -> string
+val decode_oracle_slice : string -> (int * Oracle.slice_outcome) option
+(** Exposed for the test suite. *)
+
+val oracle_search :
+  ?limit:int ->
+  ?jobs:int ->
+  path:string ->
+  resume:bool ->
+  System.t ->
+  (Oracle.result option, string) result
+(** {!Oracle.search} with a checkpoint journal at [path]. Checkpointing
+    fixes the enumeration slicing independently of [jobs], so a journal
+    written under one job count resumes under any other.
+    @raise Invalid_argument as {!Oracle.search} does when the combination
+    count exceeds [limit]. *)

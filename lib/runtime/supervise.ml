@@ -1,0 +1,193 @@
+module Parallel = Ermes_parallel.Parallel
+module Obs = Ermes_obs.Obs
+
+type failure = { exn : string; backtrace : string; attempts : int }
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of failure
+  | Timed_out of { attempts : int; elapsed_s : float }
+  | Quarantined of failure
+
+type policy = {
+  max_attempts : int;
+  base_backoff_s : float;
+  max_backoff_s : float;
+  backoff_seed : int;
+  timeout_s : float option;
+  quarantine : bool;
+  sleep : float -> unit;
+  clock : unit -> float;
+}
+
+let default_policy =
+  {
+    max_attempts = 3;
+    base_backoff_s = 0.05;
+    max_backoff_s = 5.0;
+    backoff_seed = 0;
+    timeout_s = None;
+    quarantine = true;
+    sleep = ignore;
+    clock = Sys.time;
+  }
+
+(* splitmix64 finalizer — the same mixer {!Ermes_synth.Prng} builds on, inlined
+   so the supervision layer stays free of the synthesis stack. *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let backoff_delay policy ~task ~attempt =
+  let raw = policy.base_backoff_s *. (2. ** float_of_int (attempt - 1)) in
+  let capped = Float.min policy.max_backoff_s raw in
+  (* ±25% jitter from a hash of (seed, task, attempt): identical across runs
+     and job counts, decorrelated across tasks so a retry storm does not
+     re-synchronize. *)
+  let h =
+    mix64
+      (Int64.add
+         (Int64.mul (Int64.of_int policy.backoff_seed) 0x9e3779b97f4a7c15L)
+         (Int64.add (Int64.mul (Int64.of_int task) 0x1000003L) (Int64.of_int attempt)))
+  in
+  let unit_ = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992. in
+  Float.min policy.max_backoff_s (capped *. (0.75 +. (0.5 *. unit_)))
+
+type stats = {
+  tasks : int;
+  completed : int;
+  retries : int;
+  quarantined : int;
+  timed_out : int;
+  failed : int;
+  domains_used : int;
+  degraded : int;
+}
+
+(* One task under the policy: attempt / classify / retry to a terminal
+   outcome. Never lets an exception escape (the pool's workers rely on it). *)
+let supervised policy retries task i =
+  let rec go attempt =
+    let t0 = policy.clock () in
+    match task i with
+    | v -> (
+      let elapsed = policy.clock () -. t0 in
+      match policy.timeout_s with
+      | Some budget when elapsed > budget ->
+        (* Post-hoc classification: the attempt did complete, but charging
+           its result would hide that the job blew its budget. Deterministic
+           reruns would blow it again, so timeouts are not retried. *)
+        Timed_out { attempts = attempt; elapsed_s = elapsed }
+      | _ -> Done v)
+    | exception e ->
+      let backtrace =
+        if Printexc.backtrace_status () then
+          Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+        else ""
+      in
+      let f = { exn = Printexc.to_string e; backtrace; attempts = attempt } in
+      if attempt < policy.max_attempts then begin
+        Atomic.incr retries;
+        policy.sleep (backoff_delay policy ~task:i ~attempt);
+        go (attempt + 1)
+      end
+      else if policy.quarantine then Quarantined f
+      else Failed f
+  in
+  go 1
+
+let run ?jobs ?(policy = default_policy) n task =
+  if policy.max_attempts < 1 then invalid_arg "Supervise.run: max_attempts < 1";
+  Obs.span "runtime.supervise" @@ fun () ->
+  List.iter (Obs.incr ~by:0)
+    [
+      "runtime.tasks"; "runtime.retries"; "runtime.quarantines";
+      "runtime.timeouts"; "runtime.task_failures"; "runtime.degraded";
+    ];
+  let results = Array.make (max n 0) None in
+  let retries = Atomic.make 0 in
+  let degraded = ref 0 in
+  let domains_used = ref 1 in
+  if n > 0 then begin
+    let exec i = results.(i) <- Some (supervised policy retries task i) in
+    let jobs =
+      max 1 (min (match jobs with Some j -> j | None -> Parallel.default_jobs ()) n)
+    in
+    if jobs = 1 then
+      for i = 0 to n - 1 do
+        exec i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let continue_ = ref true in
+        while !continue_ do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue_ := false else exec i
+        done
+      in
+      (* Degradation ladder, rung 1: a refused spawn just means fewer
+         workers. [exec] cannot raise, but a worker may still die on
+         infrastructure failures (Out_of_memory in the scheduler, a hostile
+         [clock]) — rung 2 catches the join. *)
+      let domains =
+        List.filter_map
+          (fun _ ->
+            match Domain.spawn worker with
+            | d -> Some d
+            | exception _ ->
+              incr degraded;
+              None)
+          (List.init (jobs - 1) Fun.id)
+      in
+      domains_used := 1 + List.length domains;
+      worker ();
+      List.iter
+        (fun d -> try Domain.join d with _ -> incr degraded)
+        domains;
+      (* Rung 3, ultimately sequential: any slot a dead worker claimed but
+         never filled (or that was never claimed) runs on this domain. *)
+      for i = 0 to n - 1 do
+        match results.(i) with None -> exec i | Some _ -> ()
+      done
+    end
+  end;
+  let outcomes =
+    Array.map (function Some o -> o | None -> assert false) results
+  in
+  let completed = ref 0 and quarantined = ref 0 in
+  let timed_out = ref 0 and failed = ref 0 in
+  Array.iter
+    (function
+      | Done _ -> incr completed
+      | Failed _ -> incr failed
+      | Timed_out _ -> incr timed_out
+      | Quarantined _ -> incr quarantined)
+    outcomes;
+  let stats =
+    {
+      tasks = n;
+      completed = !completed;
+      retries = Atomic.get retries;
+      quarantined = !quarantined;
+      timed_out = !timed_out;
+      failed = !failed;
+      domains_used = !domains_used;
+      degraded = !degraded;
+    }
+  in
+  (* Counters recorded once, on the calling domain: values stay deterministic
+     for deterministic tasks, whatever the scheduling was. *)
+  Obs.incr ~by:stats.tasks "runtime.tasks";
+  Obs.incr ~by:stats.retries "runtime.retries";
+  Obs.incr ~by:stats.quarantined "runtime.quarantines";
+  Obs.incr ~by:stats.timed_out "runtime.timeouts";
+  Obs.incr ~by:stats.failed "runtime.task_failures";
+  Obs.incr ~by:stats.degraded "runtime.degraded";
+  (outcomes, stats)
+
+let map ?jobs ?policy f xs =
+  let arr = Array.of_list xs in
+  let outcomes, stats = run ?jobs ?policy (Array.length arr) (fun i -> f arr.(i)) in
+  (Array.to_list outcomes, stats)

@@ -1,3 +1,21 @@
+type limits = { max_bytes : int; max_token : int }
+
+(* Hard ceilings against hostile inputs. Overridable per call and through the
+   environment, so operators can raise them without a rebuild; a non-positive
+   or unparseable override falls back to the default. *)
+let builtin_limits = { max_bytes = 8_000_000; max_token = 4_096 }
+
+let env_limit name fallback =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> fallback
+
+let default_limits () =
+  {
+    max_bytes = env_limit "ERMES_MAX_SOC_BYTES" builtin_limits.max_bytes;
+    max_token = env_limit "ERMES_MAX_SOC_TOKEN" builtin_limits.max_token;
+  }
+
 let strip_comment line =
   match String.index_opt line '#' with
   | Some i -> String.sub line 0 i
@@ -61,7 +79,32 @@ let find_channel sys col name =
   | Some c -> c
   | None -> fail col "unknown channel %S" name
 
-let parse text =
+let check_size limits text =
+  if String.length text > limits.max_bytes then
+    Error
+      (Printf.sprintf
+         "input is %d bytes, over the %d-byte limit (raise ERMES_MAX_SOC_BYTES \
+          to accept larger descriptions)"
+         (String.length text) limits.max_bytes)
+  else Ok ()
+
+(* Reject pathological tokens before any directive logic sees them: a single
+   multi-megabyte "name" would otherwise be copied into tables, error
+   messages and the canonical printer unbounded. *)
+let check_tokens limits toks =
+  List.iter
+    (fun (tok, col) ->
+      if String.length tok > limits.max_token then
+        fail col "token is %d bytes, over the %d-byte limit (ERMES_MAX_SOC_TOKEN)"
+          (String.length tok) limits.max_token)
+    toks;
+  toks
+
+let parse ?limits text =
+  let limits = match limits with Some l -> l | None -> default_limits () in
+  match check_size limits text with
+  | Error e -> Error e
+  | Ok () ->
   let lines = String.split_on_char '\n' text in
   let sys = ref None in
   (* Whether a real [system] directive was seen ([sys] may hold a placeholder
@@ -135,7 +178,7 @@ let parse text =
   let errors = ref [] in
   List.iteri
     (fun i line ->
-      match handle (tokens line) with
+      match handle (check_tokens limits (tokens line)) with
       | () -> ()
       | exception Parse_error (col, msg) ->
         errors := Printf.sprintf "line %d, col %d: %s" (i + 1) col msg :: !errors;
@@ -148,10 +191,22 @@ let parse text =
   | [], _ -> Error "empty description: missing 'system NAME'"
   | errs, _ -> Error (String.concat "\n" errs)
 
-let parse_file path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse text
+let parse_file ?limits path =
+  let limits = match limits with Some l -> l | None -> default_limits () in
+  (* Stat before reading: an over-limit file is rejected without ever
+     allocating its contents. *)
+  match In_channel.with_open_bin path In_channel.length with
   | exception Sys_error m -> Error m
+  | len when len > Int64.of_int limits.max_bytes ->
+    Error
+      (Printf.sprintf
+         "file is %Ld bytes, over the %d-byte limit (raise ERMES_MAX_SOC_BYTES \
+          to accept larger descriptions)"
+         len limits.max_bytes)
+  | _ -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | text -> parse ~limits text
+    | exception Sys_error m -> Error m)
 
 let print sys =
   let buf = Buffer.create 1024 in

@@ -17,6 +17,19 @@
     before it is referenced (the printer emits processes, then channels, then
     selections and orders, which always satisfies this). *)
 
+type limits = {
+  max_bytes : int;  (** whole-description byte ceiling *)
+  max_token : int;  (** single-token byte ceiling *)
+}
+(** Resource limits guarding the parser against hostile input sizes: an
+    over-limit description or token is rejected with a proper error instead
+    of being allocated, tabulated and echoed back unbounded. *)
+
+val default_limits : unit -> limits
+(** 8 MB / 4096 bytes, overridable through the [ERMES_MAX_SOC_BYTES] and
+    [ERMES_MAX_SOC_TOKEN] environment variables (non-positive or unparseable
+    overrides are ignored). Re-read on every call. *)
+
 val tokenize : string -> (string * int) list
 (** [tokenize line] splits one line into its whitespace-separated tokens,
     each paired with its 1-based start column; [#] comments are stripped.
@@ -24,13 +37,18 @@ val tokenize : string -> (string * int) list
     ([Ermes_verify.Lint]) can diagnose declaration-level mistakes in files
     the strict parser rejects. *)
 
-val parse : string -> (System.t, string) result
+val parse : ?limits:limits -> string -> (System.t, string) result
 (** [parse text] builds a system, or returns an error message. Every error
     names the offending line {e and column}; independent errors on different
     lines are all collected in one pass and joined with newlines, so a
-    malformed file reports everything wrong with it at once. *)
+    malformed file reports everything wrong with it at once. Inputs over
+    [limits] (default {!default_limits}) are rejected up front: the whole
+    text by total size, and every token by length (at its line and
+    column). *)
 
-val parse_file : string -> (System.t, string) result
+val parse_file : ?limits:limits -> string -> (System.t, string) result
+(** Like {!parse}; an over-limit file is rejected from its on-disk size,
+    before its contents are read into memory. *)
 
 val print : System.t -> string
 (** Canonical rendering; [parse (print sys)] reconstructs an identical

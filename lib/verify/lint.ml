@@ -284,10 +284,57 @@ let semantic_pass sys proc_pos =
 (* ------------------------------------------------------------------ *)
 
 let lint_string ?(file = "<stdin>") text =
+  let limits = Soc_format.default_limits () in
+  if String.length text > limits.Soc_format.max_bytes then
+    (* Over the byte ceiling: diagnose and stop — tokenizing would build the
+       very allocations the limit exists to prevent. *)
+    Ok
+      {
+        file;
+        diagnostics =
+          [
+            {
+              code = "E108";
+              severity = Error;
+              line = 0;
+              col = 0;
+              message =
+                Printf.sprintf
+                  "input is %d bytes, over the %d-byte limit (raise \
+                   ERMES_MAX_SOC_BYTES to lint larger descriptions)"
+                  (String.length text) limits.Soc_format.max_bytes;
+            };
+          ];
+        checked_semantics = false;
+      }
+  else
   let lines =
     List.map Soc_format.tokenize (String.split_on_char '\n' text)
   in
-  let decl_diags = declaration_pass lines in
+  let limit_diags =
+    List.concat
+      (List.mapi
+         (fun i toks ->
+           List.filter_map
+             (fun (tok, col) ->
+               if String.length tok > limits.Soc_format.max_token then
+                 Some
+                   {
+                     code = "E108";
+                     severity = Error;
+                     line = i + 1;
+                     col;
+                     message =
+                       Printf.sprintf
+                         "token is %d bytes, over the %d-byte limit \
+                          (ERMES_MAX_SOC_TOKEN)"
+                         (String.length tok) limits.Soc_format.max_token;
+                   }
+               else None)
+             toks)
+         lines)
+  in
+  let decl_diags = limit_diags @ declaration_pass lines in
   let decl_errors = List.exists (fun d -> d.severity = Error) decl_diags in
   let parsed = Soc_format.parse text in
   match (parsed, decl_errors) with

@@ -25,6 +25,9 @@
     E106  non-positive FIFO depth
     E107  statically proven deadlock: a token-free cycle exists (the
           witness channels and processes are printed)
+    E108  resource limit: the input (or a single token) exceeds the
+          configured byte ceiling ({!Ermes_slm.Soc_format.default_limits};
+          ERMES_MAX_SOC_BYTES / ERMES_MAX_SOC_TOKEN)
     W201  serialization warning: swapping two adjacent gets strictly
           improves the cycle time
     W202  serialization warning: swapping two adjacent puts strictly

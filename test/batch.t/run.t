@@ -1,0 +1,83 @@
+The supervised batch runner and crash-safe checkpoints, end to end.
+
+Make a small healthy system and a file that does not parse:
+
+  $ ermes generate --processes 5 --channels 8 --seed 1 -o good.soc
+  wrote good.soc
+  $ echo "this is not a soc file" > broken.soc
+
+A manifest mixing a healthy job, a parse error, an always-crashing job and a
+flaky one (crash/flaky:N are the documented fault-injection hooks):
+
+  $ cat > jobs.txt <<'EOF'
+  > # batch smoke manifest
+  > good.soc
+  > broken.soc
+  > good.soc simulate crash
+  > good.soc lint flaky:1
+  > EOF
+
+The bad jobs are isolated — the batch completes, quarantines exactly the
+crashing job, and exits 2:
+
+  $ ermes batch --manifest jobs.txt --max-attempts 2
+  ok          analyze  good.soc — cycle time 7033
+  failed      analyze  broken.soc — line 1, col 1: unknown directive "this"
+  quarantined simulate good.soc — Failure("good.soc: injected crash") (after 2 attempt(s))
+  ok          lint     good.soc — clean, 0 warning(s)
+  batch: 4 job(s): 2 ok, 1 failed, 1 quarantined, 0 timed out, 0 skipped (2 retries)
+  [2]
+
+The JSON report carries the same verdicts machine-readably:
+
+  $ ermes batch --manifest jobs.txt --max-attempts 2 --json
+  {
+    "jobs": [
+      {"file": "good.soc", "action": "analyze", "status": "ok", "detail": "cycle time 7033", "attempts": 1},
+      {"file": "broken.soc", "action": "analyze", "status": "failed", "category": "parse-error", "detail": "line 1, col 1: unknown directive \"this\"", "attempts": 1},
+      {"file": "good.soc", "action": "simulate", "status": "quarantined", "detail": "Failure(\"good.soc: injected crash\") (after 2 attempt(s))", "attempts": 2},
+      {"file": "good.soc", "action": "lint", "status": "ok", "detail": "clean, 0 warning(s)", "attempts": 2}
+    ],
+    "total": 4,
+    "ok": 2,
+    "failed": 1,
+    "quarantined": 1,
+    "timed_out": 0,
+    "skipped": 0,
+    "retries": 2,
+    "watchdog": false,
+    "exit_code": 2
+  }
+  [2]
+
+Positional jobs work without a manifest, and an all-ok batch exits 0:
+
+  $ ermes batch good.soc good.soc
+  ok          analyze  good.soc — cycle time 7033
+  ok          analyze  good.soc — cycle time 7033
+  batch: 2 job(s): 2 ok, 0 failed, 0 quarantined, 0 timed out, 0 skipped (0 retries)
+
+Checkpointed fuzzing: run a campaign to completion, then simulate a crash by
+truncating the journal to its first record, resume, and require the resumed
+report (and the journal itself) to be byte-identical to the uninterrupted run:
+
+  $ ermes fuzz --cases 4 --seed 7 --max-processes 6 --rounds 32 --no-repro --checkpoint fuzz.journal > full.report 2> full.log
+  $ cp fuzz.journal full.journal
+  $ wc -l < fuzz.journal
+  5
+  $ head -2 full.journal > fuzz.journal
+  $ ermes fuzz --cases 4 --seed 7 --max-processes 6 --rounds 32 --no-repro --checkpoint fuzz.journal --resume > resumed.report 2> resumed.log
+  $ cmp full.report resumed.report && echo reports identical
+  reports identical
+  $ cmp full.journal fuzz.journal && echo journals identical
+  journals identical
+
+--resume without --checkpoint is a usage error, and a journal from a different
+campaign configuration is refused rather than silently mixed in:
+
+  $ ermes fuzz --cases 4 --resume
+  ermes: --resume requires --checkpoint FILE
+  [1]
+  $ ermes fuzz --cases 4 --seed 8 --max-processes 6 --rounds 32 --no-repro --checkpoint fuzz.journal --resume
+  ermes: fuzz.journal: journal was written by a different campaign configuration (seed=7 cases=4 max_processes=6 rounds=32; this run is seed=8 cases=4 max_processes=6 rounds=32)
+  [1]
