@@ -28,6 +28,8 @@ module Howard = Ermes_tmg.Howard
 module Supervise = Ermes_runtime.Supervise
 module Batch = Ermes_runtime.Batch
 module Checkpoint = Ermes_runtime.Checkpoint
+module Sproto = Ermes_serve.Proto
+module Server = Ermes_serve.Server
 
 open Cmdliner
 
@@ -856,6 +858,284 @@ let lint_cmd =
              warnings without $(b,--warnings-ok)).")
     (with_logs (with_trace Term.(const run $ file $ format $ warnings_ok)))
 
+(* ---- serve / call ------------------------------------------------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket to listen on (created; unlinked on shutdown).")
+  in
+  let tcp_port =
+    Arg.(value & opt (some int) None & info [ "tcp-port" ] ~docv:"PORT"
+           ~doc:"Also listen on 127.0.0.1:$(docv).")
+  in
+  let queue =
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Admission queue bound: requests beyond $(docv) queued get an \
+                 $(b,overloaded) reply with a retry-after hint instead of \
+                 waiting without bound.")
+  in
+  let workers =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing requests.")
+  in
+  let client_cap =
+    Arg.(value & opt int 8 & info [ "client-cap" ] ~docv:"N"
+           ~doc:"Maximum in-flight requests per connection.")
+  in
+  let idle_timeout =
+    Arg.(value & opt float 300. & info [ "idle-timeout-s" ] ~docv:"S"
+           ~doc:"Reap connections idle for $(docv) seconds.")
+  in
+  let session_ttl =
+    Arg.(value & opt float 900. & info [ "session-ttl-s" ] ~docv:"S"
+           ~doc:"Reap incremental sessions idle for $(docv) seconds.")
+  in
+  let cache =
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N"
+           ~doc:"Warm-cache capacity (certified verdicts keyed by design hash).")
+  in
+  let max_attempts =
+    Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N"
+           ~doc:"Supervised attempts per request before it is answered \
+                 $(b,crash).")
+  in
+  let deadline_ms =
+    Arg.(value & opt int 30_000 & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-request deadline when the request names none.")
+  in
+  let max_deadline_ms =
+    Arg.(value & opt int 120_000 & info [ "max-deadline-ms" ] ~docv:"MS"
+           ~doc:"Ceiling on client-requested deadlines.")
+  in
+  let crash_budget =
+    Arg.(value & opt int 1000 & info [ "crash-budget" ] ~docv:"N"
+           ~doc:"Cumulative crashed requests before the daemon circuit-breaks \
+                 to metrics-only service.")
+  in
+  let rounds =
+    Arg.(value & opt int 10_000 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Simulation horizon for batch $(b,simulate) jobs.")
+  in
+  let run socket tcp_port queue workers client_cap idle_timeout session_ttl
+      cache max_attempts deadline_ms max_deadline_ms crash_budget rounds =
+    let cfg =
+      {
+        (Server.default_config ~socket) with
+        Server.tcp_port;
+        queue_capacity = queue;
+        workers;
+        client_cap;
+        idle_timeout_s = idle_timeout;
+        session_ttl_s = session_ttl;
+        cache_capacity = cache;
+        max_attempts;
+        default_deadline_ms = deadline_ms;
+        max_deadline_ms;
+        crash_budget;
+        rounds;
+      }
+    in
+    match Server.run cfg with
+    | Ok () -> ()
+    | Error msg ->
+      prerr_endline ("ermes: " ^ msg);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:"Run the analysis daemon: concurrent $(b,analyze)/$(b,lint)/\
+             $(b,dse)/$(b,batch)/$(b,metrics) requests over a unix socket \
+             with a length-prefixed JSON protocol. Robustness contract: \
+             bounded admission with $(b,overloaded) backpressure replies, \
+             per-request deadlines classified as $(b,timeout), crash \
+             isolation per request (a dying worker domain costs one reply, \
+             never the daemon), graceful degradation to metrics-only, a warm \
+             cache of certified verdicts, and per-client incremental \
+             sessions. SIGTERM/SIGINT shut down cleanly (exit 0), so \
+             $(b,--trace) dumps are written. See DESIGN.md \xC2\xA712.")
+    (with_logs
+       (with_trace
+          Term.(
+            const run $ socket $ tcp_port $ queue $ workers $ client_cap
+            $ idle_timeout $ session_ttl $ cache $ max_attempts $ deadline_ms
+            $ max_deadline_ms $ crash_budget $ rounds)))
+
+let call_cmd =
+  let socket =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket of a running $(b,ermes serve).")
+  in
+  let verb =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
+           ~doc:"Request verb: ping, analyze, lint, dse, batch, metrics, \
+                 session-open, session-close.")
+  in
+  let design =
+    Arg.(value & opt (some string) None & info [ "design" ] ~docv:"FILE.soc"
+           ~doc:"System description to embed in the request.")
+  in
+  let session =
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"NAME"
+           ~doc:"Incremental session name (analyze/session-open/session-close).")
+  in
+  let tct =
+    Arg.(value & opt (some int) None & info [ "tct" ] ~docv:"T"
+           ~doc:"Target cycle time for $(b,dse).")
+  in
+  let deadline_ms =
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Per-request deadline (server clamps to its maximum).")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC"
+           ~doc:"Fault injection: $(b,crash), $(b,flaky:N), $(b,sleep:MS), \
+                 $(b,kill-worker).")
+  in
+  let client =
+    Arg.(value & opt string "cli" & info [ "client" ] ~docv:"NAME"
+           ~doc:"Client name sent in the hello (sessions are keyed by it, so \
+                 a stable name makes them survive reconnects).")
+  in
+  let warnings_ok =
+    Arg.(value & flag & info [ "warnings-ok" ]
+           ~doc:"For $(b,lint): status ok when only warnings were found.")
+  in
+  let format =
+    Arg.(value & opt (some string) None & info [ "format" ] ~docv:"F"
+           ~doc:"For $(b,metrics): $(b,json) (default) or $(b,text).")
+  in
+  let jobs_file =
+    Arg.(value & opt (some string) None & info [ "jobs-file" ] ~docv:"FILE"
+           ~doc:"For $(b,batch): a JSON array of job objects to embed.")
+  in
+  let repeat =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Pipeline the same request $(docv) times on one connection; \
+                 the exit code is the worst reply's code.")
+  in
+  let timeout_s =
+    Arg.(value & opt float 60. & info [ "timeout-s" ] ~docv:"S"
+           ~doc:"Give up waiting for a reply after $(docv) seconds (exit 3).")
+  in
+  let run socket verb design session tct deadline_ms inject client warnings_ok
+      format jobs_file repeat timeout_s =
+    let die code msg =
+      prerr_endline ("ermes: " ^ msg);
+      exit code
+    in
+    let read_file path =
+      try In_channel.with_open_bin path In_channel.input_all
+      with Sys_error e -> die 1 e
+    in
+    let body_fields =
+      List.concat
+        [
+          [ ("verb", Sproto.Str verb) ];
+          (match design with
+          | None -> []
+          | Some f -> [ ("design", Sproto.Str (read_file f)) ]);
+          (match session with None -> [] | Some s -> [ ("session", Sproto.Str s) ]);
+          (match tct with None -> [] | Some t -> [ ("tct", Sproto.Int t) ]);
+          (match deadline_ms with
+          | None -> []
+          | Some d -> [ ("deadline_ms", Sproto.Int d) ]);
+          (match inject with None -> [] | Some i -> [ ("inject", Sproto.Str i) ]);
+          (if warnings_ok then [ ("warnings_ok", Sproto.Bool true) ] else []);
+          (match format with None -> [] | Some f -> [ ("format", Sproto.Str f) ]);
+          (match jobs_file with
+          | None -> []
+          | Some f -> (
+            match Sproto.of_string (read_file f) with
+            | Ok (Sproto.Arr _ as jobs) -> [ ("jobs", jobs) ]
+            | Ok _ -> die 1 (f ^ ": expected a JSON array of jobs")
+            | Error e -> die 1 (f ^ ": " ^ e)));
+        ]
+    in
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+      die 3 (Printf.sprintf "%s: %s (is the daemon running?)" socket
+               (Unix.error_message e)));
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+    let dec = Sproto.decoder () in
+    let buf = Bytes.create 65536 in
+    let send_payload payload =
+      let s = Sproto.frame payload in
+      let rec w off =
+        if off < String.length s then
+          w (off + Unix.write_substring fd s off (String.length s - off))
+      in
+      try w 0
+      with Unix.Unix_error (e, _, _) -> die 3 ("send: " ^ Unix.error_message e)
+    in
+    let read_reply () =
+      let rec go () =
+        match Sproto.next dec with
+        | Ok (Some payload) -> payload
+        | Error e -> die 1 ("bad frame from server: " ^ e)
+        | Ok None -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> die 3 "connection closed by server"
+          | n ->
+            Sproto.feed dec buf n;
+            go ()
+          | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+            die 3 (Printf.sprintf "timed out after %.1f s waiting for a reply"
+                     timeout_s)
+          | exception Unix.Unix_error (e, _, _) ->
+            die 3 ("recv: " ^ Unix.error_message e))
+      in
+      go ()
+    in
+    let code_of payload =
+      match Sproto.of_string payload with
+      | Ok j -> Option.value ~default:1 (Sproto.int_member "code" j)
+      | Error _ -> 1
+    in
+    send_payload (Sproto.to_string (Sproto.hello_request ~client));
+    let hello = read_reply () in
+    if code_of hello <> 0 then begin
+      print_endline hello;
+      exit (code_of hello)
+    end;
+    (* Pipelined: all requests go out before the first reply is read, which
+       is what makes queue-overload tests deterministic. *)
+    for id = 1 to repeat do
+      send_payload
+        (Sproto.to_string (Sproto.Obj (("id", Sproto.Int id) :: body_fields)))
+    done;
+    let worst = ref 0 in
+    for _ = 1 to repeat do
+      let payload = read_reply () in
+      (* A reply carrying a pre-rendered text block (metrics --format text)
+         is printed as that text; everything else as the raw JSON line. *)
+      (match
+         if format = Some "text" then
+           Option.bind (Result.to_option (Sproto.of_string payload))
+             (Sproto.str_member "text")
+         else None
+       with
+      | Some text -> print_string text
+      | None -> print_endline payload);
+      worst := max !worst (code_of payload)
+    done;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    exit !worst
+  in
+  Cmd.v
+    (Cmd.info "call" ~exits
+       ~doc:"Send one request (or $(b,--repeat) pipelined copies) to a \
+             running $(b,ermes serve), print each JSON reply on its own \
+             line, and exit with the reply's $(b,code) — the same 0/1/2/3 \
+             contract as the offline subcommands.")
+    (with_logs
+       Term.(
+         const run $ socket $ verb $ design $ session $ tct $ deadline_ms
+         $ inject $ client $ warnings_ok $ format $ jobs_file $ repeat
+         $ timeout_s))
+
 (* ---- dot --------------------------------------------------------------- *)
 
 let dot_cmd =
@@ -898,5 +1178,7 @@ let () =
                       resilience_cmd;
                       profile_cmd;
                       lint_cmd;
+                      serve_cmd;
+                      call_cmd;
                       dot_cmd;
                     ]))

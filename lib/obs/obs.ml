@@ -1,6 +1,8 @@
-(* A single nullable sink, registered globally. Disabled mode pays one ref
-   read and one branch per event; enabled mode serialises every recording
-   under one mutex so worker domains can emit safely. *)
+(* A single nullable sink, registered globally. Disabled mode pays one
+   atomic read and one branch per event; enabled mode serialises every
+   recording under one mutex so worker domains can emit safely, and readers
+   (a live metrics endpoint polling mid-campaign) take the same mutex, so a
+   snapshot is internally consistent even while writers keep counting. *)
 
 type event = { ev_name : string; tid : int; t0 : float; t1 : float }
 
@@ -20,28 +22,33 @@ let max_events = 1_000_000
 let clock = ref Sys.time
 let set_clock f = clock := f
 
-let sink : sink option ref = ref None
-let enabled () = Option.is_some !sink
+(* The publication point is an [Atomic]: domains other than the installer
+   must observe a fully initialised sink (a plain [ref] would be a data race
+   under the OCaml 5 memory model, with no ordering guarantee on the record
+   fields behind it). *)
+let sink : sink option Atomic.t = Atomic.make None
+
+let enabled () = Option.is_some (Atomic.get sink)
 
 let enable () =
-  sink :=
-    Some
-      {
-        lock = Mutex.create ();
-        counters = Hashtbl.create 64;
-        events = [];
-        n_events = 0;
-        epoch = !clock ();
-      }
+  Atomic.set sink
+    (Some
+       {
+         lock = Mutex.create ();
+         counters = Hashtbl.create 64;
+         events = [];
+         n_events = 0;
+         epoch = !clock ();
+       })
 
-let disable () = sink := None
+let disable () = Atomic.set sink None
 
 let locked s f =
   Mutex.lock s.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
 
 let incr ?(by = 1) name =
-  match !sink with
+  match Atomic.get sink with
   | None -> ()
   | Some s ->
     locked s (fun () ->
@@ -49,13 +56,13 @@ let incr ?(by = 1) name =
         Hashtbl.replace s.counters name (v + by))
 
 let counter name =
-  match !sink with
+  match Atomic.get sink with
   | None -> 0
   | Some s ->
     locked s (fun () -> Option.value ~default:0 (Hashtbl.find_opt s.counters name))
 
 let counters () =
-  match !sink with
+  match Atomic.get sink with
   | None -> []
   | Some s ->
     locked s (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.counters [])
@@ -69,7 +76,7 @@ let record s ev =
       end)
 
 let span name f =
-  match !sink with
+  match Atomic.get sink with
   | None -> f ()
   | Some s ->
     let t0 = !clock () in
@@ -80,29 +87,47 @@ let span name f =
 
 type span_stat = { span_name : string; calls : int; total_s : float; max_s : float }
 
-let span_stats () =
-  match !sink with
-  | None -> []
+type snapshot = { snap_counters : (string * int) list; snap_spans : span_stat list }
+
+let aggregate_events events =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      let d = ev.t1 -. ev.t0 in
+      match Hashtbl.find_opt tbl ev.ev_name with
+      | None -> Hashtbl.replace tbl ev.ev_name (1, d, d)
+      | Some (calls, total, mx) ->
+        Hashtbl.replace tbl ev.ev_name (calls + 1, total +. d, Float.max mx d))
+    events;
+  Hashtbl.fold
+    (fun span_name (calls, total_s, max_s) acc ->
+      { span_name; calls; total_s; max_s } :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+
+(* Counters and events are captured under one lock acquisition, so the two
+   halves agree with each other even while worker domains keep recording:
+   every event present is counted, none is half-applied. Aggregation happens
+   after the lock is released (the events list is immutable). *)
+let snapshot () =
+  match Atomic.get sink with
+  | None -> { snap_counters = []; snap_spans = [] }
   | Some s ->
-    let events = locked s (fun () -> s.events) in
-    let tbl = Hashtbl.create 16 in
-    List.iter
-      (fun ev ->
-        let d = ev.t1 -. ev.t0 in
-        match Hashtbl.find_opt tbl ev.ev_name with
-        | None -> Hashtbl.replace tbl ev.ev_name (1, d, d)
-        | Some (calls, total, mx) ->
-          Hashtbl.replace tbl ev.ev_name (calls + 1, total +. d, Float.max mx d))
-      events;
-    Hashtbl.fold
-      (fun span_name (calls, total_s, max_s) acc ->
-        { span_name; calls; total_s; max_s } :: acc)
-      tbl []
-    |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+    let cs, events =
+      locked s (fun () ->
+          (Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.counters [], s.events))
+    in
+    {
+      snap_counters = List.sort (fun (a, _) (b, _) -> String.compare a b) cs;
+      snap_spans = aggregate_events events;
+    }
+
+let span_stats () = (snapshot ()).snap_spans
 
 let summary () =
   let buf = Buffer.create 1024 in
-  let cs = counters () in
+  let snap = snapshot () in
+  let cs = snap.snap_counters in
   Buffer.add_string buf "== counters ==\n";
   if cs = [] then Buffer.add_string buf "(none)\n"
   else begin
@@ -113,7 +138,7 @@ let summary () =
       (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%-*s %d\n" w k v))
       cs
   end;
-  let ss = span_stats () in
+  let ss = snap.snap_spans in
   Buffer.add_string buf "== spans ==\n";
   if ss = [] then Buffer.add_string buf "(none)\n"
   else begin
@@ -150,10 +175,18 @@ let json_escape s =
   Buffer.contents buf
 
 let chrome_trace () =
-  match !sink with
+  match Atomic.get sink with
   | None -> "{\"traceEvents\":[]}\n"
   | Some s ->
-    let events, epoch = locked s (fun () -> (s.events, s.epoch)) in
+    (* One lock acquisition for events, counters and the epoch together:
+       the exported trace is a consistent cut even mid-campaign. *)
+    let events, cs, epoch =
+      locked s (fun () ->
+          ( s.events,
+            Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.counters []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b),
+            s.epoch ))
+    in
     let events =
       List.sort (fun a b -> Float.compare a.t0 b.t0) events
     in
@@ -181,7 +214,7 @@ let chrome_trace () =
           (Printf.sprintf
              "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":%.1f,\"args\":{\"value\":%d}}"
              (json_escape k) (us (!clock ())) v))
-      (counters ());
+      cs;
     Buffer.add_string buf "\n]}\n";
     Buffer.contents buf
 

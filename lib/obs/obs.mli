@@ -5,10 +5,12 @@
 
     The layer is stdlib-only and {e off by default}: a single globally
     registered nullable sink keeps the disabled-mode cost of every event to
-    one [ref] read and one branch, so instrumentation can stay in the hot
-    modules permanently. Enabling installs a fresh sink; all recording is
-    guarded by one mutex, so counters and spans may be emitted from worker
-    domains (events carry the domain id as the trace [tid]).
+    one atomic read and one branch, so instrumentation can stay in the hot
+    modules permanently. Enabling installs a fresh sink (published through
+    an [Atomic], so other domains observe it fully initialised); all
+    recording is guarded by one mutex, so counters and spans may be emitted
+    from worker domains (events carry the domain id as the trace [tid]) and
+    read concurrently with writers via {!snapshot}.
 
     Determinism: instrumentation never feeds back into any analysis — with
     the sink on or off, every ERMES result is bit-identical. Counter {e
@@ -60,6 +62,25 @@ type span_stat = {
 
 val span_stats : unit -> span_stat list
 (** Aggregated per-name statistics, sorted by name. *)
+
+(** {1 Snapshots}
+
+    Readers that poll a {e live} sink — a metrics endpoint answering while
+    worker domains keep counting — need the counter table and the span
+    aggregates to agree with each other. {!snapshot} captures both under a
+    single lock acquisition; {!summary} and {!chrome_trace} are built on the
+    same consistent cut. *)
+
+type snapshot = {
+  snap_counters : (string * int) list;  (** sorted by name *)
+  snap_spans : span_stat list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** A consistent view of all counters and span aggregates: both halves are
+    read under one lock acquisition, so concurrent writers can never be
+    half-reflected. Empty when disabled. Safe to call from any domain at any
+    rate; cost is O(events) for the span aggregation. *)
 
 (** {1 Exporters} *)
 

@@ -3,6 +3,47 @@ module Obs = Ermes_obs.Obs
 
 type failure = { exn : string; backtrace : string; attempts : int }
 
+exception Cancelled of string
+
+module Cancel = struct
+  (* A token is one atomic cell: [None] = live, [Some reason] = cancelled.
+     The deadline is immutable, so [check] is one atomic read plus (when a
+     deadline is set) one clock read — cheap enough for inner loops. *)
+  type t = {
+    reason : string option Atomic.t;
+    deadline : float option;  (** absolute, in [clock]'s timebase *)
+    cl : unit -> float;
+  }
+
+  let make ?deadline_s ?(clock = Sys.time) () =
+    {
+      reason = Atomic.make None;
+      deadline = Option.map (fun d -> clock () +. d) deadline_s;
+      cl = clock;
+    }
+
+  let cancel ?(reason = "cancelled") t =
+    (* First cancellation wins; later ones keep the original reason. *)
+    ignore (Atomic.compare_and_set t.reason None (Some reason))
+
+  let status t =
+    match Atomic.get t.reason with
+    | Some _ as s -> s
+    | None -> (
+      match t.deadline with
+      | Some d when t.cl () > d ->
+        (* Latch the expiry so [status]/[check] stay consistent even if the
+           clock were to step backwards afterwards. *)
+        cancel ~reason:"deadline exceeded" t;
+        Atomic.get t.reason
+      | _ -> None)
+
+  let cancelled t = status t <> None
+
+  let check t =
+    match status t with None -> () | Some reason -> raise (Cancelled reason)
+end
+
 type 'a outcome =
   | Done of 'a
   | Failed of failure
@@ -80,6 +121,12 @@ let supervised policy retries task i =
            reruns would blow it again, so timeouts are not retried. *)
         Timed_out { attempts = attempt; elapsed_s = elapsed }
       | _ -> Done v)
+    | exception Cancelled _ ->
+      (* Cooperative deadline/cancellation: the task noticed its budget was
+         gone ({!Cancel.check}) and stopped consuming the domain. Same
+         classification as the post-hoc budget overrun, and like it the
+         attempt is not retried — a rerun would expire the same way. *)
+      Timed_out { attempts = attempt; elapsed_s = policy.clock () -. t0 }
     | exception e ->
       let backtrace =
         if Printexc.backtrace_status () then
@@ -186,6 +233,14 @@ let run ?jobs ?(policy = default_policy) n task =
   Obs.incr ~by:stats.failed "runtime.task_failures";
   Obs.incr ~by:stats.degraded "runtime.degraded";
   (outcomes, stats)
+
+(* One task, this domain, full retry/backoff/timeout/cancellation
+   classification — the per-request path of a serving front-end, where the
+   pool already exists and spawning domains per call would defeat it. *)
+let attempt ?(policy = default_policy) f =
+  if policy.max_attempts < 1 then invalid_arg "Supervise.attempt: max_attempts < 1";
+  let retries = Atomic.make 0 in
+  supervised policy retries (fun _ -> f ()) 0
 
 let map ?jobs ?policy f xs =
   let arr = Array.of_list xs in

@@ -39,6 +39,49 @@ type failure = {
   attempts : int;  (** how many attempts were made *)
 }
 
+exception Cancelled of string
+(** Raised by {!Cancel.check} when the token was cancelled or its deadline
+    expired. A supervised task that lets it escape is classified
+    [Timed_out] — never retried, never quarantined. *)
+
+(** Cooperative cancellation and deadlines.
+
+    The post-hoc [timeout_s] classification bounds {e blame}, not execution:
+    a task that overruns still holds its domain until it finishes. For a
+    serving layer that is not enough — an expired request must {e stop
+    consuming the domain} so the next request can run. Tokens close the gap
+    cooperatively: long-running task bodies call {!check} at loop or stage
+    boundaries (per exploration iteration, between parse / build / solve
+    phases), and the supervisor converts the resulting {!Cancelled} into the
+    same [Timed_out] outcome the post-hoc path produces.
+
+    Tokens are domain-safe: any domain may {!cancel} a token while the
+    worker owning the task polls {!check}. *)
+module Cancel : sig
+  type t
+
+  val make : ?deadline_s:float -> ?clock:(unit -> float) -> unit -> t
+  (** A live token. [deadline_s] is a budget from now: the token expires
+      once [clock () > clock-at-make + deadline_s] (default [clock] is
+      [Sys.time]; services install [Unix.gettimeofday]). Without
+      [deadline_s] the token only fires via {!cancel}. *)
+
+  val cancel : ?reason:string -> t -> unit
+  (** Cancel explicitly (client hung up, server shutting down). The first
+      cancellation's reason sticks; later calls are no-ops. *)
+
+  val cancelled : t -> bool
+
+  val status : t -> string option
+  (** [None] while live; [Some reason] once cancelled or past the
+      deadline. Expiry latches: once observed, it never un-cancels. *)
+
+  val check : t -> unit
+  (** @raise Cancelled once the token is cancelled or expired. One atomic
+      read (plus one clock read when a deadline is set) — cheap enough for
+      inner loops. *)
+end
+
 type 'a outcome =
   | Done of 'a
   | Failed of failure
@@ -94,3 +137,10 @@ val run : ?jobs:int -> ?policy:policy -> int -> (int -> 'a) -> 'a outcome array 
 
 val map : ?jobs:int -> ?policy:policy -> ('a -> 'b) -> 'a list -> 'b outcome list * stats
 (** [map f xs] is {!run} over the elements of [xs]. *)
+
+val attempt : ?policy:policy -> (unit -> 'a) -> 'a outcome
+(** [attempt f] supervises one task on the calling domain: retries with the
+    policy's backoff, post-hoc [timeout_s] classification, {!Cancelled}
+    converted to [Timed_out]. The per-request path of a serving front-end,
+    where a pool of worker domains already exists and each worker supervises
+    the single request it holds. Never raises on task failure. *)

@@ -1,0 +1,71 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  items : 'a Queue.t;
+  cap : int;
+  mutable closed : bool;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Admission.create: negative capacity";
+  {
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    items = Queue.create ();
+    cap = capacity;
+    closed = false;
+  }
+
+let capacity t = t.cap
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let retry_after_ms ~capacity ~depth =
+  ignore capacity;
+  min 5000 (25 * (depth + 1))
+
+type admit =
+  | Admitted of int
+  | Rejected of { depth : int; retry_after_ms : int }
+  | Closed
+
+let try_enqueue t x =
+  locked t (fun () ->
+      if t.closed then Closed
+      else begin
+        let depth = Queue.length t.items in
+        if depth >= t.cap then
+          Rejected { depth; retry_after_ms = retry_after_ms ~capacity:t.cap ~depth }
+        else begin
+          Queue.add x t.items;
+          Condition.signal t.nonempty;
+          Admitted (depth + 1)
+        end
+      end)
+
+let dequeue t =
+  locked t (fun () ->
+      let rec wait () =
+        if not (Queue.is_empty t.items) then Some (Queue.pop t.items)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let depth t = locked t (fun () -> Queue.length t.items)
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let drain t =
+  locked t (fun () ->
+      let out = List.of_seq (Queue.to_seq t.items) in
+      Queue.clear t.items;
+      out)

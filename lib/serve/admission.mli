@@ -1,0 +1,46 @@
+(** Bounded admission queue with explicit backpressure.
+
+    The daemon's robustness hinges on this stage: work the pool cannot keep
+    up with is {e rejected at the door} with a structured [overloaded] reply
+    and a retry-after hint, instead of queueing without bound until memory
+    or latency collapse. The queue is a plain FIFO guarded by one mutex;
+    producers never block (admission is [try_enqueue], a constant-time
+    decision), consumers block on a condition variable.
+
+    Fairness/determinism: FIFO order; the retry-after hint is a pure
+    function of the queue's occupancy, so tests can assert it exactly. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] ≥ 0: the maximum number of {e queued} (admitted, not yet
+    dequeued) items. @raise Invalid_argument when negative. *)
+
+val capacity : 'a t -> int
+
+type admit =
+  | Admitted of int  (** queue depth after the enqueue *)
+  | Rejected of { depth : int; retry_after_ms : int }
+      (** the queue is full; hint = {!retry_after_ms} at that depth *)
+  | Closed  (** the daemon is shutting down *)
+
+val try_enqueue : 'a t -> 'a -> admit
+
+val dequeue : 'a t -> 'a option
+(** Blocks until an item is available; [None] once the queue is closed and
+    drained — the consumer's signal to exit. *)
+
+val depth : 'a t -> int
+
+val retry_after_ms : capacity:int -> depth:int -> int
+(** The deterministic backoff hint sent with a rejection: [25 ms ·
+    (depth + 1)], capped at 5 s — proportional to the backlog the client
+    would be waiting behind. *)
+
+val close : 'a t -> unit
+(** Reject all future enqueues and wake blocked consumers; already-queued
+    items can still be dequeued (or collected with {!drain}). *)
+
+val drain : 'a t -> 'a list
+(** Remove and return everything queued, oldest first — shutdown uses it to
+    answer queued requests with [shutting-down] instead of dropping them. *)

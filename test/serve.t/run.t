@@ -1,0 +1,161 @@
+The analysis daemon end to end: handshake, warm cache, sessions, the
+backpressure/deadline/crash taxonomy, degradation, and clean shutdown.
+
+Timing fields vary run to run; scrub them (and the design hash, which is an
+implementation detail of the generator output):
+
+  $ scrub() { sed -e 's/"elapsed_ms":[0-9.e+-]*/"elapsed_ms":_/g' \
+  >             -e 's/"ran_ms":[0-9.e+-]*/"ran_ms":_/g' \
+  >             -e 's/"queued_ms":[0-9.e+-]*/"queued_ms":_/g' \
+  >             -e 's/"design_hash":"[0-9a-f]*"/"design_hash":"_"/g'; }
+
+The unix socket lives in /tmp: sandbox paths can exceed the sun_path limit.
+
+  $ S=/tmp/ermes-serve-$$.sock
+  $ ermes generate --processes 6 --channels 12 --seed 1 -o small.soc
+  wrote small.soc
+
+A deliberately tiny daemon — one worker, a one-deep queue — so overload is
+deterministic:
+
+  $ ermes serve --socket $S --workers 1 --queue 1 --client-cap 16 2> serve.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do ermes call ping --socket $S >/dev/null 2>&1 && break; sleep 0.1; done
+
+A ping round-trips with the exit-contract code in the reply:
+
+  $ ermes call ping --socket $S | scrub
+  {"id":1,"verb":"ping","status":"ok","code":0,"elapsed_ms":_}
+
+Cold analyze computes and caches the certified verdict; the identical design
+is then served from the warm cache:
+
+  $ ermes call analyze --socket $S --design small.soc > cold.json; echo rc=$?
+  rc=0
+  $ scrub < cold.json
+  {"id":1,"verb":"analyze","status":"ok","code":0,"cycle_time":"5559","cycle_time_float":5559.0,"critical_cycle":["c00010","c00011","c00013","L_p0004","c00005"],"critical_delay":5559,"critical_tokens":1,"certificate":"bounded: max cycle ratio 5559, witness of 5 places, potentials over 23 transitions","certificate_checked":true,"design_hash":"_","cached":false,"elapsed_ms":_}
+  $ ermes call analyze --socket $S --design small.soc | scrub
+  {"id":1,"verb":"analyze","status":"ok","code":0,"cycle_time":"5559","cycle_time_float":5559.0,"critical_cycle":["c00010","c00011","c00013","L_p0004","c00005"],"critical_delay":5559,"critical_tokens":1,"certificate":"bounded: max cycle ratio 5559, witness of 5 places, potentials over 23 transitions","certificate_checked":true,"design_hash":"_","cached":true,"elapsed_ms":_}
+
+The hit is visible in the metrics:
+
+  $ ermes call metrics --socket $S | grep -o '"serve.cache_hits":[0-9]*'
+  "serve.cache_hits":1
+
+An incremental session: open is the cold certified solve, re-analysis of the
+same structure takes the warm path, and the session survives reconnects
+because it is keyed by the client name, not the connection:
+
+  $ ermes call session-open --socket $S --design small.soc --session edit | scrub
+  {"id":1,"verb":"session-open","status":"ok","code":0,"cycle_time":"5559","cycle_time_float":5559.0,"critical_cycle":["c00010","c00011","c00013","L_p0004","c00005"],"certificate":"bounded: max cycle ratio 5559, witness of 5 places, potentials over 23 transitions","certificate_checked":true,"session":"edit","path":"fresh","edits":{"delay_edits":0,"rethreads":0,"marking_edits":0,"rebuilds":0},"elapsed_ms":_}
+  $ ermes call analyze --socket $S --design small.soc --session edit | scrub | grep -o '"path":"[a-z]*"'
+  "path":"warm"
+  $ ermes call session-close --socket $S --session edit | scrub
+  {"id":1,"verb":"session-close","status":"ok","code":0,"existed":true,"elapsed_ms":_}
+  $ ermes call session-close --socket $S --session edit | scrub
+  {"id":1,"verb":"session-close","status":"ok","code":0,"existed":false,"elapsed_ms":_}
+
+Lint and dse speak the same taxonomy:
+
+  $ ermes call lint --socket $S --design small.soc | scrub | grep -o '"status":"[a-z]*","code":[0-9]*'
+  "status":"ok","code":0
+  $ ermes call dse --socket $S --design small.soc --tct 20000 > dse.json; echo rc=$?
+  rc=0
+  $ grep -o '"met":true' dse.json
+  "met":true
+
+Invalid input is a structured reply (and exit 1), not a dropped connection:
+
+  $ echo "process only p latency 3" > broken.soc
+  $ ermes call analyze --socket $S --design broken.soc > invalid.json 2>&1; echo rc=$?
+  rc=1
+  $ scrub < invalid.json | grep -o '"status":"invalid","code":1'
+  "status":"invalid","code":1
+  $ ermes call frobnicate --socket $S | scrub
+  {"id":1,"verb":"frobnicate","status":"bad-request","code":1,"error":"unknown verb \"frobnicate\"","elapsed_ms":_}
+
+Backpressure: occupy the only worker, then pipeline three requests on one
+connection. The first fills the one-deep queue; the other two are rejected
+at the door with the deterministic retry hint — the daemon never hangs or
+buffers without bound. Replies arrive rejection-first because admission is
+decided inline:
+
+  $ ermes call ping --socket $S --inject sleep:1500 > occupier.json 2>&1 &
+  $ OCC_PID=$!
+  $ sleep 0.5
+  $ ermes call ping --socket $S --repeat 3 > burst.json 2>&1; echo rc=$?
+  rc=3
+  $ scrub < burst.json
+  {"id":2,"verb":"ping","status":"overloaded","code":3,"error":"admission queue full (1 queued)","retry_after_ms":50,"queue_depth":1}
+  {"id":3,"verb":"ping","status":"overloaded","code":3,"error":"admission queue full (1 queued)","retry_after_ms":50,"queue_depth":1}
+  {"id":1,"verb":"ping","status":"ok","code":0,"elapsed_ms":_}
+  $ wait $OCC_PID
+  $ grep -c '"status":"ok"' occupier.json
+  1
+
+Deadlines: a request that overruns its budget is classified timeout (code
+3), released cooperatively after one attempt — never retried, never a hang:
+
+  $ ermes call ping --socket $S --inject sleep:2000 --deadline-ms 150 > late.json 2>&1; echo rc=$?
+  rc=3
+  $ scrub < late.json
+  {"id":1,"verb":"ping","status":"timeout","code":3,"error":"deadline exceeded","attempts":1,"ran_ms":_,"elapsed_ms":_}
+
+Crash isolation: an injected crash is retried, then answered as a crash
+reply (code 2) — and the daemon keeps serving. A flaky request that
+recovers within the retry budget is simply ok:
+
+  $ ermes call ping --socket $S --inject crash > crash.json 2>&1; echo rc=$?
+  rc=2
+  $ scrub < crash.json
+  {"id":1,"verb":"ping","status":"crash","code":2,"error":"Failure(\"injected crash\")","attempts":3,"elapsed_ms":_}
+  $ ermes call ping --socket $S --inject flaky:2 | scrub
+  {"id":1,"verb":"ping","status":"ok","code":0,"elapsed_ms":_}
+
+Degradation ladder: killing the only worker domain costs exactly that one
+request. The daemon survives at the metrics-only rung — still observable,
+refusing analysis work with a structured reply instead of dying:
+
+  $ ermes call ping --socket $S --inject kill-worker > killed.json 2>&1; echo rc=$?
+  rc=2
+  $ scrub < killed.json
+  {"id":1,"verb":"ping","status":"crash","code":2,"error":"injected worker death (worker domain lost; pool degraded)"}
+  $ ermes call metrics --socket $S | grep -o '"mode":"metrics-only"'
+  "mode":"metrics-only"
+  $ ermes call ping --socket $S > degraded.json 2>&1; echo rc=$?
+  rc=3
+  $ scrub < degraded.json | grep -o '"status":"degraded","code":3'
+  "status":"degraded","code":3
+  $ ermes call metrics --socket $S --format text | grep '^mode'
+  mode         metrics-only
+
+SIGTERM is a clean shutdown: exit 0, socket unlinked:
+
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ test -e $S; echo "socket gone rc=$?"
+  socket gone rc=1
+  $ grep -c 'listening on' serve.log
+  1
+
+A SIGKILLed daemon leaves a stale socket file behind; a restart detects it
+(connect refused), reclaims the path, and serves — with fresh counters:
+
+  $ ermes serve --socket $S --workers 2 --queue 8 2> serve2.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do ermes call ping --socket $S >/dev/null 2>&1 && break; sleep 0.1; done
+  $ kill -KILL $SERVE_PID
+  $ wait $SERVE_PID
+  [137]
+  $ test -e $S; echo "stale socket left rc=$?"
+  stale socket left rc=0
+  $ ermes serve --socket $S --workers 2 --queue 8 2> serve3.log &
+  $ SERVE_PID=$!
+  $ for i in $(seq 1 100); do ermes call ping --socket $S >/dev/null 2>&1 && break; sleep 0.1; done
+  $ ermes call analyze --socket $S --design small.soc | grep -o '"cached":[a-z]*'
+  "cached":false
+  $ ermes call metrics --socket $S | grep -o '"serve.cache_misses":1'
+  "serve.cache_misses":1
+  $ kill -TERM $SERVE_PID
+  $ wait $SERVE_PID
+  $ rm -f $S

@@ -168,6 +168,83 @@ let test_supervise_rejects_bad_policy () =
            ~policy:{ Supervise.default_policy with Supervise.max_attempts = 0 }
            1 Fun.id))
 
+(* ---- cooperative cancellation --------------------------------------------- *)
+
+let test_cancel_token_basics () =
+  let t = Supervise.Cancel.make () in
+  Alcotest.(check bool) "live at birth" false (Supervise.Cancel.cancelled t);
+  Supervise.Cancel.check t;
+  Supervise.Cancel.cancel ~reason:"first" t;
+  Supervise.Cancel.cancel ~reason:"second" t;
+  Alcotest.(check (option string)) "first reason sticks" (Some "first")
+    (Supervise.Cancel.status t);
+  Alcotest.check_raises "check raises with the reason"
+    (Supervise.Cancelled "first") (fun () -> Supervise.Cancel.check t)
+
+let test_cancel_deadline_latches () =
+  let now = ref 0. in
+  let t = Supervise.Cancel.make ~deadline_s:10. ~clock:(fun () -> !now) () in
+  Supervise.Cancel.check t;
+  now := 11.;
+  Alcotest.(check bool) "expired" true (Supervise.Cancel.cancelled t);
+  (* Latching: expiry survives the clock moving back. *)
+  now := 0.;
+  Alcotest.(check bool) "stays expired" true (Supervise.Cancel.cancelled t);
+  Alcotest.(check bool) "has a reason" true
+    (Supervise.Cancel.status t <> None)
+
+(* A cancelled task is Timed_out: not retried, not quarantined, and the
+   rest of the run is untouched — the serving layer's deadline taxonomy. *)
+let test_cancel_classified_timed_out_in_pool () =
+  let token = Supervise.Cancel.make () in
+  Supervise.Cancel.cancel ~reason:"deadline" token;
+  let calls = Array.make 4 0 in
+  let outcomes, stats =
+    Supervise.run ~jobs:2 4 (fun i ->
+        calls.(i) <- calls.(i) + 1;
+        if i = 2 then Supervise.Cancel.check token;
+        i)
+  in
+  (match outcomes.(2) with
+  | Supervise.Timed_out { attempts; _ } -> Alcotest.(check int) "one attempt" 1 attempts
+  | o -> Alcotest.failf "expected Timed_out, got %s" (outcome_tag o));
+  Alcotest.(check int) "cancelled task not retried" 1 calls.(2);
+  Array.iteri
+    (fun i o ->
+      if i <> 2 then
+        match o with
+        | Supervise.Done v -> Alcotest.(check int) "neighbour done" i v
+        | o -> Alcotest.failf "neighbour %d: %s" i (outcome_tag o))
+    outcomes;
+  Alcotest.(check int) "timed_out stat" 1 stats.Supervise.timed_out;
+  Alcotest.(check int) "no quarantine" 0 stats.Supervise.quarantined
+
+let test_attempt_done_and_retry () =
+  let calls = ref 0 in
+  match
+    Supervise.attempt (fun () ->
+        incr calls;
+        if !calls < 3 then failwith "flaky";
+        "ok")
+  with
+  | Supervise.Done v ->
+    Alcotest.(check string) "value" "ok" v;
+    Alcotest.(check int) "retried to success" 3 !calls
+  | o -> Alcotest.failf "expected Done, got %s" (outcome_tag o)
+
+let test_attempt_quarantines_after_retries () =
+  let calls = ref 0 in
+  match
+    Supervise.attempt (fun () ->
+        incr calls;
+        failwith "always")
+  with
+  | Supervise.Quarantined f ->
+    Alcotest.(check int) "attempts recorded" 3 f.Supervise.attempts;
+    Alcotest.(check int) "three calls" 3 !calls;
+    Alcotest.(check bool) "keeps the exception" true (contains f.Supervise.exn "always")
+  | o -> Alcotest.failf "expected Quarantined, got %s" (outcome_tag o)
+
 let supervise_outcomes_prop =
   Helpers.qtest ~count:40 "supervise: outcomes jobs-invariant and slot-exact"
     QCheck2.Gen.(
@@ -730,6 +807,17 @@ let () =
           Alcotest.test_case "timeout not retried" `Quick test_supervise_timeout_not_retried;
           Alcotest.test_case "rejects bad policy" `Quick test_supervise_rejects_bad_policy;
           supervise_outcomes_prop;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "token basics" `Quick test_cancel_token_basics;
+          Alcotest.test_case "deadline latches" `Quick test_cancel_deadline_latches;
+          Alcotest.test_case "classified Timed_out in the pool" `Quick
+            test_cancel_classified_timed_out_in_pool;
+          Alcotest.test_case "attempt retries to Done" `Quick
+            test_attempt_done_and_retry;
+          Alcotest.test_case "attempt quarantines after retries" `Quick
+            test_attempt_quarantines_after_retries;
         ] );
       ( "journal",
         [

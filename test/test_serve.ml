@@ -1,0 +1,532 @@
+(* The serving layer, minus the sockets: wire codec, admission queue, warm
+   cache, and incremental sessions.
+
+   Anchor properties: the codec's canonical rendering is a fixpoint of
+   parse∘print; the admission queue admits exactly [capacity] items beyond
+   the consumers and computes its retry hints deterministically; a session
+   re-analysis agrees with a fresh analysis of the same design on every
+   path (warm, rebuilt, fresh). The daemon end-to-end (real sockets, real
+   worker domains) is exercised by test/serve.t and the CI serve-smoke
+   job. *)
+
+module System = Ermes_slm.System
+module Soc_format = Ermes_slm.Soc_format
+module Perf = Ermes_core.Perf
+module Ratio = Ermes_tmg.Ratio
+module Incremental = Ermes_core.Incremental
+module Supervise = Ermes_runtime.Supervise
+module Cancel = Supervise.Cancel
+module Proto = Ermes_serve.Proto
+module Admission = Ermes_serve.Admission
+module Cache = Ermes_serve.Cache
+module Session = Ermes_serve.Session
+
+let contains = Astring_contains.contains
+
+(* ---- JSON codec ----------------------------------------------------------- *)
+
+(* A bounded random JSON document. Strings draw from printables plus the
+   characters the escaper must handle; floats stay finite. *)
+let json_gen =
+  QCheck2.Gen.(
+    let str_g =
+      map
+        (fun cs -> String.concat "" cs)
+        (list_size (int_range 0 12)
+           (oneofl [ "a"; "\""; "\\"; "\n"; "\t"; "/"; "é"; " "; "{"; "0" ]))
+    in
+    let scalar =
+      oneof
+        [
+          return Proto.Null;
+          map (fun b -> Proto.Bool b) bool;
+          map (fun i -> Proto.Int i) (int_range (-1_000_000) 1_000_000);
+          map (fun f -> Proto.Float f) (float_range (-1e9) 1e9);
+          map (fun s -> Proto.Str s) str_g;
+        ]
+    in
+    let rec doc depth =
+      if depth = 0 then scalar
+      else
+        oneof
+          [
+            scalar;
+            map (fun xs -> Proto.Arr xs) (list_size (int_range 0 4) (doc (depth - 1)));
+            map
+              (fun kvs -> Proto.Obj kvs)
+              (list_size (int_range 0 4) (pair str_g (doc (depth - 1))));
+          ]
+    in
+    doc 3)
+
+(* Canonical rendering is a fixpoint: parse it back, print again, get the
+   same bytes. (Structural equality would be too strong for floats — the
+   fixpoint is the actual contract the cache and the tests rely on.) *)
+let prop_codec_fixpoint j =
+  let s = Proto.to_string j in
+  match Proto.of_string s with
+  | Error e -> QCheck2.Test.fail_reportf "reparse failed on %s: %s" s e
+  | Ok j' -> String.equal s (Proto.to_string j')
+
+let test_codec_fixpoint =
+  Helpers.qtest ~count:500 "to_string is a parse fixpoint" json_gen
+    prop_codec_fixpoint
+
+(* Non-float documents round-trip structurally, not just textually. *)
+let rec no_floats = function
+  | Proto.Float _ -> false
+  | Proto.Arr xs -> List.for_all no_floats xs
+  | Proto.Obj kvs -> List.for_all (fun (_, v) -> no_floats v) kvs
+  | _ -> true
+
+let prop_codec_structural j =
+  QCheck2.assume (no_floats j);
+  match Proto.of_string (Proto.to_string j) with
+  | Ok j' -> j = j'
+  | Error e -> QCheck2.Test.fail_reportf "reparse failed: %s" e
+
+let test_codec_structural =
+  Helpers.qtest ~count:500 "non-float documents round-trip structurally"
+    json_gen prop_codec_structural
+
+let test_codec_rejects_nonfinite () =
+  List.iter
+    (fun f ->
+      match Proto.to_string (Proto.Float f) with
+      | exception Invalid_argument _ -> ()
+      | s -> Alcotest.failf "rendered non-finite float as %s" s)
+    [ Float.nan; Float.infinity; Float.neg_infinity ]
+
+let test_codec_parse_errors () =
+  List.iter
+    (fun s ->
+      match Proto.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ ""; "{"; "[1,"; "{\"a\":}"; "tru"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+(* Frames fed to the decoder in arbitrary chunk sizes come back whole and
+   in order. *)
+let prop_decoder_chunking (payloads, cuts) =
+  let payloads = List.map Proto.to_string payloads in
+  let stream = String.concat "" (List.map Proto.frame payloads) in
+  let dec = Proto.decoder () in
+  let out = ref [] in
+  let drain () =
+    let rec go () =
+      match Proto.next dec with
+      | Ok (Some p) ->
+        out := p :: !out;
+        go ()
+      | Ok None -> ()
+      | Error e -> QCheck2.Test.fail_reportf "decoder error: %s" e
+    in
+    go ()
+  in
+  let n = String.length stream in
+  let pos = ref 0 in
+  List.iter
+    (fun cut ->
+      if !pos < n then begin
+        let len = 1 + (cut mod max 1 (n - !pos)) in
+        let len = min len (n - !pos) in
+        Proto.feed dec (Bytes.of_string (String.sub stream !pos len)) len;
+        pos := !pos + len;
+        drain ()
+      end)
+    cuts;
+  if !pos < n then begin
+    Proto.feed dec (Bytes.of_string (String.sub stream !pos (n - !pos))) (n - !pos);
+    drain ()
+  end;
+  List.rev !out = payloads && Proto.buffered dec = 0
+
+let test_decoder_chunking =
+  Helpers.qtest ~count:300 "decoder reassembles frames across any chunking"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 5) json_gen)
+        (list_size (int_range 1 40) (int_range 1 64)))
+    prop_decoder_chunking
+
+let test_decoder_poisons_on_bad_prefix () =
+  let dec = Proto.decoder () in
+  let junk = "not-a-length\n{}" in
+  Proto.feed dec (Bytes.of_string junk) (String.length junk);
+  (match Proto.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a junk length prefix");
+  (* Poisoned: even valid bytes afterwards never produce a frame. *)
+  let good = Proto.frame "{}" in
+  Proto.feed dec (Bytes.of_string good) (String.length good);
+  match Proto.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "decoder recovered after poisoning"
+
+let test_decoder_rejects_oversized () =
+  let dec = Proto.decoder () in
+  let huge = Printf.sprintf "%d\n" (Proto.max_frame_bytes () + 1) in
+  Proto.feed dec (Bytes.of_string huge) (String.length huge);
+  match Proto.next dec with
+  | Error e ->
+    Alcotest.(check bool) "mentions the limit" true (contains e "frame")
+  | Ok _ -> Alcotest.fail "accepted an oversized frame length"
+
+let test_parse_request () =
+  (match Proto.parse_request {|{"id":7,"verb":"analyze","design":"x"}|} with
+  | Ok r ->
+    Alcotest.(check int) "id" 7 r.Proto.id;
+    Alcotest.(check string) "verb" "analyze" r.Proto.verb
+  | Error e -> Alcotest.failf "rejected a valid request: %s" e);
+  List.iter
+    (fun s ->
+      match Proto.parse_request s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" s)
+    [ {|{"verb":"analyze"}|}; {|{"id":1}|}; {|[1,2]|}; {|{"id":"x","verb":"v"}|} ]
+
+let test_status_codes () =
+  List.iter
+    (fun (status, code) ->
+      Alcotest.(check int) status code (Proto.code_of_status status))
+    [
+      ("ok", 0);
+      ("bad-request", 1);
+      ("invalid", 1);
+      ("findings", 2);
+      ("deadlock", 2);
+      ("crash", 2);
+      ("timeout", 3);
+      ("overloaded", 3);
+      ("client-cap", 3);
+      ("degraded", 3);
+      ("shutting-down", 3);
+      ("never-heard-of-it", 1);
+    ]
+
+(* ---- admission queue ------------------------------------------------------ *)
+
+(* With no consumer, exactly [capacity] items are admitted; every rejection
+   carries the deterministic hint for the depth it observed. *)
+let prop_admission_bounds (capacity, pushes) =
+  let q = Admission.create ~capacity in
+  let ok = ref true in
+  List.iteri
+    (fun i x ->
+      match Admission.try_enqueue q x with
+      | Admission.Admitted depth ->
+        if i >= capacity || depth <> i + 1 then ok := false
+      | Admission.Rejected { depth; retry_after_ms } ->
+        if i < capacity then ok := false;
+        if depth <> capacity then ok := false;
+        if retry_after_ms <> Admission.retry_after_ms ~capacity ~depth then
+          ok := false
+      | Admission.Closed -> ok := false)
+    pushes;
+  (* FIFO: what was admitted comes out in push order. *)
+  let admitted = ref [] in
+  Admission.close q;
+  let rec drain () =
+    match Admission.dequeue q with
+    | Some x ->
+      admitted := x :: !admitted;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  !ok
+  && List.rev !admitted
+     = List.filteri (fun i _ -> i < capacity) pushes
+
+let test_admission_bounds =
+  Helpers.qtest ~count:300 "admission bound + deterministic retry hints"
+    QCheck2.Gen.(
+      pair (int_range 0 8) (list_size (int_range 0 24) (int_range 0 1000)))
+    prop_admission_bounds
+
+let test_retry_hint_formula () =
+  Alcotest.(check int) "depth 0" 25 (Admission.retry_after_ms ~capacity:4 ~depth:0);
+  Alcotest.(check int) "depth 3" 100 (Admission.retry_after_ms ~capacity:4 ~depth:3);
+  Alcotest.(check int) "capped" 5000
+    (Admission.retry_after_ms ~capacity:1000 ~depth:999)
+
+let test_admission_close () =
+  let q = Admission.create ~capacity:4 in
+  (match Admission.try_enqueue q 1 with
+  | Admission.Admitted _ -> ()
+  | _ -> Alcotest.fail "first enqueue refused");
+  Admission.close q;
+  (match Admission.try_enqueue q 2 with
+  | Admission.Closed -> ()
+  | _ -> Alcotest.fail "enqueue after close not Closed");
+  Alcotest.(check (list int)) "drain returns the backlog" [ 1 ] (Admission.drain q);
+  Alcotest.(check bool) "dequeue after close+drain" true
+    (Admission.dequeue q = None)
+
+(* A blocked consumer wakes on close, and every item is consumed exactly
+   once across two consumer domains. *)
+let test_admission_concurrent () =
+  let q = Admission.create ~capacity:64 in
+  let seen = Atomic.make 0 in
+  let consumer () =
+    let rec go acc =
+      match Admission.dequeue q with
+      | Some x -> go (acc + x)
+      | None ->
+        ignore (Atomic.fetch_and_add seen acc);
+        ()
+    in
+    go 0
+  in
+  let d1 = Domain.spawn consumer and d2 = Domain.spawn consumer in
+  let total = ref 0 in
+  for i = 1 to 50 do
+    match Admission.try_enqueue q i with
+    | Admission.Admitted _ -> total := !total + i
+    | Admission.Rejected _ | Admission.Closed -> ()
+  done;
+  Admission.close q;
+  Domain.join d1;
+  Domain.join d2;
+  Alcotest.(check int) "every admitted item consumed once" !total
+    (Atomic.get seen)
+
+(* ---- warm cache ----------------------------------------------------------- *)
+
+let test_cache_bounds_and_stats () =
+  let c = Cache.create ~capacity:4 in
+  for i = 0 to 9 do
+    Cache.add c (string_of_int i) i
+  done;
+  let s = Cache.stats c in
+  Alcotest.(check int) "size bounded" 4 s.Cache.size;
+  Alcotest.(check int) "evictions" 6 s.Cache.evictions;
+  Alcotest.(check bool) "newest present" true (Cache.find c "9" = Some 9);
+  Alcotest.(check bool) "oldest evicted" true (Cache.find c "0" = None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses
+
+let test_cache_lru_recency () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  ignore (Cache.find c "a");
+  Cache.add c "c" 3;
+  (* "b" was the least recently used, so it is the victim. *)
+  Alcotest.(check bool) "a survives" true (Cache.find c "a" = Some 1);
+  Alcotest.(check bool) "b evicted" true (Cache.find c "b" = None);
+  Alcotest.(check bool) "c present" true (Cache.find c "c" = Some 3)
+
+let test_cache_key_is_content_hash () =
+  let k1 = Cache.key_of_canonical "system a\n"
+  and k2 = Cache.key_of_canonical "system a\n"
+  and k3 = Cache.key_of_canonical "system b\n" in
+  Alcotest.(check string) "same text, same key" k1 k2;
+  Alcotest.(check bool) "different text, different key" true (k1 <> k3)
+
+(* ---- sessions ------------------------------------------------------------- *)
+
+(* Deep copy through the canonical text — exactly what the daemon does when
+   a client resubmits a design. *)
+let copy_sys sys =
+  match Soc_format.parse (Soc_format.print sys) with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "canonical text did not reparse: %s" e
+
+let session_agrees (o : Session.outcome) sys =
+  let fresh = Perf.analyze sys in
+  match (o.Session.certified.Incremental.outcome, fresh) with
+  | Ok a, Ok b -> Ratio.equal a.Perf.cycle_time b.Perf.cycle_time
+  | Error _, Error _ -> true
+  | _ -> false
+
+let apply_mutation sys (which, kind, detail) =
+  let procs = Array.of_list (System.processes sys) in
+  let p = procs.(which mod Array.length procs) in
+  match kind mod 3 with
+  | 0 ->
+    let n = Array.length (System.impls sys p) in
+    System.select sys p (detail mod n)
+  | 1 -> (
+    match System.get_order sys p with
+    | a :: b :: rest when detail mod 2 = 0 -> System.set_get_order sys p (b :: a :: rest)
+    | _ -> ())
+  | _ -> (
+    match System.put_order sys p with
+    | a :: b :: rest when detail mod 2 = 0 -> System.set_put_order sys p (b :: a :: rest)
+    | _ -> ())
+
+let clock = Unix.gettimeofday
+
+let prop_session_equiv (sys, script) =
+  let table = Session.create_table ~clock () in
+  match Session.open_ table ~client:"t" ~name:"s" (copy_sys sys) with
+  | Error e -> QCheck2.Test.fail_reportf "open failed: %s" e
+  | Ok first ->
+    first.Session.path = Session.Fresh
+    && session_agrees first sys
+    && List.for_all
+         (fun mutation ->
+           apply_mutation sys mutation;
+           match Session.reanalyze table ~client:"t" ~name:"s" (copy_sys sys) with
+           | Error e -> QCheck2.Test.fail_reportf "reanalyze failed: %s" e
+           | Ok o ->
+             (* Selection and order edits keep the held structure: the warm
+                path must serve them, and agree with a fresh analysis. *)
+             o.Session.path = Session.Warm && session_agrees o sys)
+         script
+
+let mutations_gen =
+  QCheck2.Gen.(
+    list_size (int_range 1 8)
+      (triple (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range 0 1_000_000)))
+
+let test_session_equiv =
+  Helpers.qtest ~count:60 "session re-analysis == fresh analysis (warm path)"
+    QCheck2.Gen.(pair Helpers.feedback_system_gen mutations_gen)
+    prop_session_equiv
+
+(* A different structure must take the rebuild path — and still agree. *)
+let prop_session_rebuild (sys_a, sys_b) =
+  QCheck2.assume
+    (Soc_format.print sys_a <> Soc_format.print sys_b);
+  let table = Session.create_table ~clock () in
+  match Session.open_ table ~client:"t" ~name:"s" (copy_sys sys_a) with
+  | Error e -> QCheck2.Test.fail_reportf "open failed: %s" e
+  | Ok _ -> (
+    match Session.reanalyze table ~client:"t" ~name:"s" (copy_sys sys_b) with
+    | Error e -> QCheck2.Test.fail_reportf "reanalyze failed: %s" e
+    | Ok o ->
+      (* Same shape (a pure selection/order diff) warms; anything else must
+         rebuild. Either way the verdict matches a fresh analysis. *)
+      session_agrees o sys_b)
+
+let test_session_rebuild =
+  Helpers.qtest ~count:40 "session re-analysis == fresh analysis (any path)"
+    QCheck2.Gen.(pair Helpers.feedback_system_gen Helpers.dag_system_gen)
+    prop_session_rebuild
+
+let test_session_cap_and_close () =
+  let table = Session.create_table ~max_per_client:2 ~clock () in
+  let sys () = copy_sys (Ermes_slm.Motivating.system ()) in
+  (match Session.open_ table ~client:"c" ~name:"a" (sys ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "open a: %s" e);
+  (match Session.open_ table ~client:"c" ~name:"b" (sys ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "open b: %s" e);
+  (match Session.open_ table ~client:"c" ~name:"c" (sys ()) with
+  | Error e -> Alcotest.(check bool) "cap message" true (contains e "cap")
+  | Ok _ -> Alcotest.fail "third session admitted past the cap");
+  (* Re-opening an existing name replaces, never counts against the cap. *)
+  (match Session.open_ table ~client:"c" ~name:"a" (sys ()) with
+  | Ok o -> Alcotest.(check bool) "replacement is fresh" true (o.Session.path = Session.Fresh)
+  | Error e -> Alcotest.failf "reopen a: %s" e);
+  (* Another client has its own budget. *)
+  (match Session.open_ table ~client:"d" ~name:"a" (sys ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "other client: %s" e);
+  Alcotest.(check bool) "close existing" true (Session.close table ~client:"c" ~name:"a");
+  Alcotest.(check bool) "close missing" false (Session.close table ~client:"c" ~name:"a");
+  Alcotest.(check int) "close_client drops the rest" 1
+    (Session.close_client table ~client:"c");
+  Alcotest.(check int) "one session left" 1 (Session.count table)
+
+let test_session_reap_idle () =
+  let now = ref 0. in
+  let table = Session.create_table ~ttl_s:10. ~clock:(fun () -> !now) () in
+  let sys () = copy_sys (Ermes_slm.Motivating.system ()) in
+  ignore (Session.open_ table ~client:"c" ~name:"old" (sys ()));
+  now := 100.;
+  ignore (Session.open_ table ~client:"c" ~name:"new" (sys ()));
+  Alcotest.(check int) "reaps only the stale one" 1
+    (Session.reap_idle table ~now:!now);
+  Alcotest.(check int) "survivor" 1 (Session.count table);
+  (match Session.reanalyze table ~client:"c" ~name:"new" (sys ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "survivor unusable: %s" e);
+  match Session.reanalyze table ~client:"c" ~name:"old" (sys ()) with
+  | Error e -> Alcotest.(check bool) "names the session" true (contains e "old")
+  | Ok _ -> Alcotest.fail "reaped session still served"
+
+(* ---- deadline classification ---------------------------------------------- *)
+
+(* An expired token surfaces as Timed_out from Supervise.attempt — the
+   taxonomy the daemon's replies are built on — and is never retried. *)
+let test_deadline_classified_timed_out () =
+  let now = ref 0. in
+  let token = Cancel.make ~deadline_s:5. ~clock:(fun () -> !now) () in
+  let attempts = ref 0 in
+  let outcome =
+    Supervise.attempt
+      ~policy:{ Supervise.default_policy with Supervise.clock = (fun () -> !now) }
+      (fun () ->
+        incr attempts;
+        now := 10.;
+        Cancel.check token;
+        "unreachable")
+  in
+  (match outcome with
+  | Supervise.Timed_out { attempts = a; _ } -> Alcotest.(check int) "attempts" 1 a
+  | _ -> Alcotest.fail "expired deadline not classified Timed_out");
+  Alcotest.(check int) "no retry" 1 !attempts
+
+let test_explicit_cancel_classified_timed_out () =
+  let token = Cancel.make () in
+  Cancel.cancel ~reason:"client disconnected" token;
+  match Supervise.attempt (fun () -> Cancel.check token) with
+  | Supervise.Timed_out _ -> ()
+  | _ -> Alcotest.fail "explicit cancel not classified Timed_out"
+
+(* ---- registration ---------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "proto",
+        [
+          test_codec_fixpoint;
+          test_codec_structural;
+          Alcotest.test_case "rejects non-finite floats" `Quick
+            test_codec_rejects_nonfinite;
+          Alcotest.test_case "parse errors" `Quick test_codec_parse_errors;
+          test_decoder_chunking;
+          Alcotest.test_case "poisons on bad prefix" `Quick
+            test_decoder_poisons_on_bad_prefix;
+          Alcotest.test_case "rejects oversized frames" `Quick
+            test_decoder_rejects_oversized;
+          Alcotest.test_case "parse_request" `Quick test_parse_request;
+          Alcotest.test_case "status → exit-code map" `Quick test_status_codes;
+        ] );
+      ( "admission",
+        [
+          test_admission_bounds;
+          Alcotest.test_case "retry hint formula" `Quick test_retry_hint_formula;
+          Alcotest.test_case "close semantics" `Quick test_admission_close;
+          Alcotest.test_case "concurrent consumers" `Quick
+            test_admission_concurrent;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "bounds and stats" `Quick test_cache_bounds_and_stats;
+          Alcotest.test_case "LRU respects recency" `Quick test_cache_lru_recency;
+          Alcotest.test_case "content-hash keys" `Quick
+            test_cache_key_is_content_hash;
+        ] );
+      ( "session",
+        [
+          test_session_equiv;
+          test_session_rebuild;
+          Alcotest.test_case "per-client cap, close, replace" `Quick
+            test_session_cap_and_close;
+          Alcotest.test_case "idle reap" `Quick test_session_reap_idle;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "expiry classified Timed_out, no retry" `Quick
+            test_deadline_classified_timed_out;
+          Alcotest.test_case "explicit cancel classified Timed_out" `Quick
+            test_explicit_cancel_classified_timed_out;
+        ] );
+    ]
