@@ -923,6 +923,141 @@ let runtime () =
     (1000. *. t_j /. float_of_int records);
   metric "runtime.journal_append_ms" (1000. *. t_j /. float_of_int records)
 
+(* --------------------------------------------------------------- CSR core *)
+
+module Csr = Ermes_tmg.Csr
+module Verify = Ermes_verify.Verify
+
+let min_time ?(reps = 3) f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to reps do
+    let r, t = time f in
+    result := Some r;
+    best := min !best t
+  done;
+  (Option.get !result, !best)
+
+(* Pointer-based Howard vs the flat CSR port, cold, on the synth-1000 SoC.
+   The two must agree bit for bit — same ratio, witness, potentials and
+   iteration counts — so the speedup is for the identical computation. *)
+let csr_section () =
+  hr "CSR core - flat-array Howard vs pointer solver (synth-1000, cold)";
+  let sys = Generate.scaled ~processes:1000 ~channels:1500 () in
+  let tmg = (To_tmg.build sys).To_tmg.tmg in
+  let reps = if quick then 3 else 5 in
+  let ptr, t_ptr = min_time ~reps (fun () -> Howard.cycle_time tmg) in
+  let flat, t_csr = min_time ~reps (fun () -> Csr.cycle_time tmg) in
+  (match (ptr, flat) with
+  | Ok p, Ok f ->
+    if
+      not
+        (Ratio.equal p.Howard.cycle_time f.Howard.cycle_time
+        && p.Howard.critical_places = f.Howard.critical_places
+        && p.Howard.critical_transitions = f.Howard.critical_transitions
+        && p.Howard.potentials = f.Howard.potentials
+        && p.Howard.howard_iterations = f.Howard.howard_iterations
+        && p.Howard.cancel_iterations = f.Howard.cancel_iterations)
+    then failwith "csr bench: CSR result differs from the pointer solver"
+  | _ -> failwith "csr bench: synth-1000 did not analyze");
+  repro "pointer Howard: %7.2f ms    CSR Howard: %7.2f ms    (%.2fx)"
+    (1000. *. t_ptr) (1000. *. t_csr) (t_ptr /. t_csr);
+  repro "  verdict, witness, potentials and iteration counts are bit-identical";
+  metric "csr.howard.pointer_s" t_ptr;
+  metric "csr.howard.csr_s" t_csr;
+  metric "csr.howard.speedup" (t_ptr /. t_csr)
+
+(* ------------------------------------------------------------------ scale *)
+
+let peak_rss_mb () =
+  try
+    In_channel.with_open_text "/proc/self/status" @@ fun ic ->
+    let rec go () =
+      match In_channel.input_line ic with
+      | None -> 0.
+      | Some line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          Scanf.sscanf
+            (String.sub line 6 (String.length line - 6))
+            " %d kB"
+            (fun kb -> float_of_int kb /. 1024.)
+        else go ()
+    in
+    go ()
+  with _ -> 0.
+
+(* Cold Howard, warm Howard and certificate checking on tori of 10^3..10^6
+   transitions. The torus pins its maximum cycle ratio to exactly 128/1 (hot
+   row 0 against jittered cold rows), so a wrong verdict at scale fails the
+   bench rather than inflating a number. *)
+let scale () =
+  hr "Scale - CSR analysis throughput on 10^3..10^6-transition SoCs";
+  let sizes =
+    [ ("1e3", 25, 40); ("1e4", 100, 100); ("1e5", 250, 400) ]
+    @ (if quick then [] else [ ("1e6", 1000, 1000) ])
+  in
+  row "  %-6s %12s %12s %12s %14s %10s@." "nodes" "cold (ms)" "warm (ms)"
+    "certify (ms)" "nodes/sec" "rss (MB)";
+  List.iter
+    (fun (label, rows, cols) ->
+      let n = rows * cols in
+      let tmg = Generate.torus_tmg ~rows ~cols () in
+      let cold, t_cold = time (fun () -> Csr.cycle_time tmg) in
+      let solver = Csr.make_solver tmg in
+      ignore (Csr.solve solver);
+      let warm, t_warm = time (fun () -> Csr.solve solver) in
+      (match (cold, warm) with
+      | Ok c, Ok w ->
+        let expected = Ratio.make 128 1 in
+        if not (Ratio.equal c.Howard.cycle_time expected && Ratio.equal w.Howard.cycle_time expected)
+        then Format.kasprintf failwith "scale bench: torus %s cycle time %a, expected 128/1"
+               label Ratio.pp c.Howard.cycle_time
+      | _ -> failwith ("scale bench: torus " ^ label ^ " did not analyze"));
+      let frozen = Csr.of_tmg tmg in
+      let cert = Verify.of_howard_csr frozen cold in
+      let checked, t_cert = time (fun () -> Verify.check_csr (Csr.of_tmg tmg) cert) in
+      (match checked with
+      | Ok () -> ()
+      | Error v ->
+        Format.kasprintf failwith "scale bench: torus %s certificate rejected: %a" label
+          Verify.pp_violation v);
+      let nps = float_of_int n /. t_cold in
+      let rss = peak_rss_mb () in
+      row "  %-6s %12.2f %12.2f %12.2f %14.0f %10.1f@." label (1000. *. t_cold)
+        (1000. *. t_warm) (1000. *. t_cert) nps rss;
+      metric (Printf.sprintf "scale.cold_s.%s" label) t_cold;
+      metric (Printf.sprintf "scale.warm_s.%s" label) t_warm;
+      metric (Printf.sprintf "scale.certify_s.%s" label) t_cert;
+      metric (Printf.sprintf "scale.nodes_per_sec.%s" label) nps;
+      metric (Printf.sprintf "scale.peak_rss_mb.%s" label) rss)
+    sizes;
+  (* The acyclic and hierarchical families at 10^5, as verdict coverage: the
+     grid exercises the No_cycle/Acyclic path (Kahn at scale), the clusters
+     the many-SCC path; both certificates must check. *)
+  let grid = Generate.grid_tmg ~rows:250 ~cols:400 () in
+  let g_out = Csr.cycle_time grid in
+  (match g_out with
+  | Error Howard.No_cycle -> ()
+  | _ -> failwith "scale bench: 1e5 grid should be acyclic");
+  (match Verify.check_csr (Csr.of_tmg grid) (Verify.of_howard_csr (Csr.of_tmg grid) g_out) with
+  | Ok () -> ()
+  | Error v ->
+    Format.kasprintf failwith "scale bench: grid certificate rejected: %a"
+      Verify.pp_violation v);
+  let clusters = Generate.clusters_tmg ~clusters:1000 ~cluster_size:100 () in
+  let c_out = Csr.cycle_time clusters in
+  (match c_out with
+  | Ok r when Ratio.equal r.Howard.cycle_time (Ratio.make 128 1) -> ()
+  | _ -> failwith "scale bench: 1e5 clusters should run at 128/1");
+  (match
+     Verify.check_csr (Csr.of_tmg clusters) (Verify.of_howard_csr (Csr.of_tmg clusters) c_out)
+   with
+  | Ok () -> ()
+  | Error v ->
+    Format.kasprintf failwith "scale bench: clusters certificate rejected: %a"
+      Verify.pp_violation v);
+  repro "1e5 grid (acyclic) and 1e5 clusters-of-clusters verdicts certified"
+
 (* -------------------------------------------------------------------- main *)
 
 let sections =
@@ -941,6 +1076,8 @@ let sections =
     ("ablation-memory", ablation_memory);
     ("ermes-frontier", ermes_frontier);
     ("incremental", incremental);
+    ("csr", csr_section);
+    ("scale", scale);
     ("runtime", runtime);
     ("micro", micro);
   ]

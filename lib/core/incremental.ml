@@ -1,7 +1,7 @@
 module System = Ermes_slm.System
 module To_tmg = Ermes_slm.To_tmg
 module Tmg = Ermes_tmg.Tmg
-module Howard = Ermes_tmg.Howard
+module Csr = Ermes_tmg.Csr
 module Ratio = Ermes_tmg.Ratio
 module Obs = Ermes_obs.Obs
 
@@ -21,7 +21,7 @@ type stats = {
 type t = {
   sys : System.t;
   mutable mapping : To_tmg.mapping;
-  mutable solver : Howard.solver;
+  mutable solver : Csr.solver;
   lat : int array;
   gets : System.channel list array;
   puts : System.channel list array;
@@ -50,7 +50,7 @@ let create sys =
     {
       sys;
       mapping;
-      solver = Howard.make_solver mapping.To_tmg.tmg;
+      solver = Csr.make_solver mapping.To_tmg.tmg;
       lat = Array.make (max np 1) 0;
       gets = Array.make (max np 1) [];
       puts = Array.make (max np 1) [];
@@ -93,7 +93,7 @@ let sync sess =
   if !structural then begin
     Log.debug (fun m -> m "sync: channel transition set changed, full rebuild");
     sess.mapping <- To_tmg.build sys;
-    sess.solver <- Howard.make_solver sess.mapping.To_tmg.tmg;
+    sess.solver <- Csr.make_solver sess.mapping.To_tmg.tmg;
     sess.stats.rebuilds <- sess.stats.rebuilds + 1;
     Obs.incr "incremental.rebuilds";
     snapshot sess
@@ -132,7 +132,7 @@ let analyze sess =
   sync sess;
   sess.stats.analyses <- sess.stats.analyses + 1;
   Obs.incr "incremental.analyses";
-  Perf.of_howard sess.mapping (Howard.solve sess.solver)
+  Perf.of_howard sess.mapping (Csr.solve sess.solver)
 
 type certified = {
   outcome : (Perf.analysis, Perf.failure) result;
@@ -145,7 +145,7 @@ let analyze_certified sess =
   sess.stats.analyses <- sess.stats.analyses + 1;
   Obs.incr "incremental.analyses";
   Obs.incr "incremental.certified";
-  let raw = Howard.solve sess.solver in
+  let raw = Csr.solve sess.solver in
   let tmg = sess.mapping.To_tmg.tmg in
   let certificate = Ermes_verify.Verify.of_howard tmg raw in
   {
@@ -204,6 +204,6 @@ let probe sess probes =
   sess.stats.probes <- sess.stats.probes + 1;
   Obs.incr "incremental.analyses";
   Obs.incr "incremental.probes";
-  let outcome = Howard.solve sess.solver in
+  let outcome = Csr.solve sess.solver in
   List.iter (fun (t, before) -> Tmg.set_delay tmg t before) saved;
   Perf.of_howard m outcome

@@ -71,15 +71,18 @@ let search ?(limit = 100_000) ?(jobs = 1) ?checkpoint ?resume sys =
     | _ -> (List.map List.rev prefixes, rest)
   in
   let prefixes, rest = slice [ [] ] choices in
-  (* Copies are made sequentially, before any domain spawns. *)
-  let tasks = Array.of_list (List.map (fun pre -> (pre, System.copy work)) prefixes) in
-  let run (pre, w) =
+  let tasks = Array.of_list prefixes in
+  (* One slice, against a caller-provided working copy and warm incremental
+     session. Every enumeration leaf sets the complete order assignment on
+     the way down (prefix here, the rest in [enumerate]), so the outcome is
+     a function of the prefix alone — independent of whatever orders the
+     previous slice left on [w]. That is what lets slices share a session. *)
+  let run_slice w session pre =
     List.iter
       (fun (p, (g, o)) ->
         System.set_get_order w p g;
         System.set_put_order w p o)
       pre;
-    let session = Incremental.create w in
     let best = ref None in
     let evaluated = ref 0 and deadlocked = ref 0 in
     let evaluate () =
@@ -108,6 +111,34 @@ let search ?(limit = 100_000) ?(jobs = 1) ?checkpoint ?resume sys =
     enumerate rest;
     { slice_best = !best; slice_evaluated = !evaluated; slice_deadlocked = !deadlocked }
   in
+  (* A group of slices shares one System copy and one incremental session:
+     order flips between consecutive slices are exactly the cheap warm path
+     of [Incremental]. Giving every slice its own copy + cold session (as an
+     earlier version did) made [jobs] > 1 *slower* than sequential — the
+     sequential run kept one warm session for the whole enumeration while
+     the parallel run paid dozens of cold solver starts. *)
+  let run_group idxs =
+    let w = System.copy work in
+    let session = Incremental.create w in
+    List.map (fun i -> run_slice w session tasks.(i)) idxs
+  in
+  (* Split [xs] into at most [k] contiguous near-equal chunks. *)
+  let chunk k xs =
+    let len = List.length xs in
+    if len = 0 then []
+    else begin
+      let size = (len + k - 1) / k in
+      let rec go xs =
+        match xs with
+        | [] -> []
+        | _ ->
+          let head = List.filteri (fun i _ -> i < size) xs in
+          let tail = List.filteri (fun i _ -> i >= size) xs in
+          head :: go tail
+      in
+      go xs
+    end
+  in
   let n = Array.length tasks in
   let outcomes = Array.make n None in
   (match resume with
@@ -134,17 +165,30 @@ let search ?(limit = 100_000) ?(jobs = 1) ?checkpoint ?resume sys =
       done
   in
   flush ();
-  (* Pending slices run in waves so progress persists as the campaign goes
-     (one journal write per wave, not one at the very end). *)
+  (* Checkpointed campaigns run in waves so progress persists as they go
+     (one journal write per wave, not one at the very end); without a
+     journal there is nothing to persist and the whole pending set is one
+     wave. Each wave is split into at most [jobs] groups. The per-slice
+     outcomes — and hence the merged result and the journal records — are
+     bit-identical for every [jobs] value; grouping and waves only change
+     wall-clock and persistence granularity. *)
   let pending = List.filter (fun i -> outcomes.(i) = None) (List.init n Fun.id) in
-  let wave = max 1 (jobs * 4) in
+  (* Fan out over at most as many domains as the host has cores: domains
+     beyond that only timeshare one core and pay cross-domain GC
+     coordination — the other half of the historical jobs>1 slowdown.
+     Outcomes are bit-identical for any fan-out. *)
+  let fanout = max 1 (min jobs (Ermes_parallel.Parallel.available ())) in
+  let wave = if checkpointed then max 1 (jobs * 4) else max 1 n in
   let rec waves = function
     | [] -> ()
     | is ->
       let batch = List.filteri (fun k _ -> k < wave) is in
       let later = List.filteri (fun k _ -> k >= wave) is in
-      let results = Ermes_parallel.Parallel.map ~jobs (fun i -> run tasks.(i)) batch in
-      List.iter2 (fun i o -> outcomes.(i) <- Some o) batch results;
+      let groups = chunk fanout batch in
+      let results = Ermes_parallel.Parallel.map ~jobs:fanout run_group groups in
+      List.iter2
+        (fun g os -> List.iter2 (fun i o -> outcomes.(i) <- Some o) g os)
+        groups results;
       flush ();
       waves later
   in

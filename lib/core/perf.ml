@@ -2,6 +2,7 @@ module System = Ermes_slm.System
 module To_tmg = Ermes_slm.To_tmg
 module Tmg = Ermes_tmg.Tmg
 module Howard = Ermes_tmg.Howard
+module Csr = Ermes_tmg.Csr
 module Liveness = Ermes_tmg.Liveness
 module Ratio = Ermes_tmg.Ratio
 
@@ -55,7 +56,7 @@ let of_howard mapping outcome =
 
 let analyze sys =
   let mapping = To_tmg.build sys in
-  of_howard mapping (Howard.cycle_time mapping.To_tmg.tmg)
+  of_howard mapping (Csr.cycle_time mapping.To_tmg.tmg)
 
 let cycle_time_exn sys =
   match analyze sys with
@@ -105,7 +106,7 @@ let max_cycle_cost_through tmg ~num ~den start =
 let slack_of_transitions sys transition_of objects what =
   let mapping = To_tmg.build sys in
   let tmg = mapping.To_tmg.tmg in
-  match Howard.cycle_time tmg with
+  match Csr.cycle_time tmg with
   | Error _ -> failwith (Printf.sprintf "Perf.%s: system deadlocks or has no cycle" what)
   | Ok r ->
     let num = Ratio.num r.Howard.cycle_time and den = Ratio.den r.Howard.cycle_time in

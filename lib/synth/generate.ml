@@ -153,3 +153,139 @@ let scaled ?(seed = 1) ~processes ~channels () =
     max 2 (min processes (int_of_float (sqrt (float_of_int processes)) * 2))
   in
   generate { default with processes; channels; layers; seed }
+
+(* ------------------------------------------------------------------ *)
+(* Scalable analysis families. These build raw TMGs (no HLS metadata) of
+   known analytic shape, parameterized to 10^5..10^6 transitions: the CSR
+   scale benches and stress tests want nets whose exact verdict is known by
+   construction so a wrong answer at scale is caught, not just a slow one.
+   The hot/cold delay split (128 vs 64..71) pins the maximum cycle ratio to
+   exactly 128/1 on the designated hot ring: any cycle mixing in a cold
+   transition has a strictly smaller mean, so the verdict is insensitive to
+   the jitter seed. *)
+(* ------------------------------------------------------------------ *)
+
+module Tmg = Ermes_tmg.Tmg
+
+let hot_delay = 128
+let cold_delay rng = 64 + Prng.int_range rng ~lo:0 ~hi:7
+
+let grid_tmg ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Generate.grid_tmg: empty grid";
+  let tmg = Tmg.create () in
+  let t =
+    Array.init (rows * cols) (fun i -> Tmg.add_transition tmg ~delay:(1 + (i mod 7)) ())
+  in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then
+        ignore (Tmg.add_place tmg ~src:t.(idx r c) ~dst:t.(idx r (c + 1)) ~tokens:0 ());
+      if r + 1 < rows then
+        ignore (Tmg.add_place tmg ~src:t.(idx r c) ~dst:t.(idx (r + 1) c) ~tokens:0 ())
+    done
+  done;
+  tmg
+
+let torus_tmg ?(seed = 1) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Generate.torus_tmg: empty torus";
+  let rng = Prng.create ~seed in
+  let tmg = Tmg.create () in
+  let t =
+    Array.init (rows * cols) (fun i ->
+        let r = i / cols in
+        let delay = if r = 0 then hot_delay else cold_delay rng in
+        Tmg.add_transition tmg ~delay ())
+  in
+  let idx r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore
+        (Tmg.add_place tmg ~src:t.(idx r c) ~dst:t.(idx r ((c + 1) mod cols)) ~tokens:1 ());
+      ignore
+        (Tmg.add_place tmg ~src:t.(idx r c) ~dst:t.(idx ((r + 1) mod rows) c) ~tokens:1 ())
+    done
+  done;
+  tmg
+
+let clusters_tmg ?(seed = 1) ~clusters ~cluster_size () =
+  if clusters < 1 || cluster_size < 1 then
+    invalid_arg "Generate.clusters_tmg: empty hierarchy";
+  let rng = Prng.create ~seed in
+  let tmg = Tmg.create () in
+  let t =
+    Array.init (clusters * cluster_size) (fun i ->
+        let k = i / cluster_size in
+        let delay = if k = 0 then hot_delay else cold_delay rng in
+        Tmg.add_transition tmg ~delay ())
+  in
+  let member k j = (k * cluster_size) + j in
+  for k = 0 to clusters - 1 do
+    (* Local ring inside cluster k. *)
+    for j = 0 to cluster_size - 1 do
+      ignore
+        (Tmg.add_place tmg ~src:t.(member k j)
+           ~dst:t.(member k ((j + 1) mod cluster_size))
+           ~tokens:1 ())
+    done;
+    (* Top-level ring over the clusters' gateway members. *)
+    ignore
+      (Tmg.add_place tmg ~src:t.(member k 0)
+         ~dst:t.(member ((k + 1) mod clusters) 0)
+         ~tokens:1 ())
+  done;
+  tmg
+
+let mesh_system ?(seed = 1) ~rows ~cols () =
+  if rows < 1 || cols < 1 then invalid_arg "Generate.mesh_system: empty mesh";
+  let rng = Prng.create ~seed in
+  let sys = System.create ~name:(Printf.sprintf "mesh_%dx%d_s%d" rows cols seed) () in
+  let w =
+    Array.init rows (fun r ->
+        Array.init cols (fun c ->
+            System.add_simple_process sys
+              ~latency:(8 + Prng.int_range rng ~lo:0 ~hi:7)
+              ~area:0.01
+              (Printf.sprintf "w%04d_%04d" r c)))
+  in
+  let next = ref 0 in
+  let channel s d =
+    let name = Printf.sprintf "c%07d" !next in
+    incr next;
+    ignore
+      (System.add_channel sys ~name ~src:s ~dst:d
+         ~latency:(1 + Prng.int_range rng ~lo:0 ~hi:3))
+  in
+  (* Forward mesh: right and down neighbours. *)
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 2 do
+      channel w.(r).(c) w.(r).(c + 1)
+    done;
+    if r + 1 < rows then
+      for c = 0 to cols - 1 do
+        channel w.(r).(c) w.(r + 1).(c)
+      done
+  done;
+  (* Each row is closed into a pipeline ring through a pre-loaded
+     [Puts_first] relay register — the same feedback shape [generate] uses,
+     so every cycle of the channel graph carries a token and a conservative
+     order is deadlock-free. *)
+  Array.iteri
+    (fun r row ->
+      let relay =
+        System.add_simple_process sys ~phase:System.Puts_first
+          ~latency:(1 + Prng.int_range rng ~lo:0 ~hi:3)
+          ~area:0.002
+          (Printf.sprintf "relay%04d" r)
+      in
+      channel row.(cols - 1) relay;
+      channel relay row.(0))
+    w;
+  (* Testbench hookup so the system has a source and a sink and stays
+     weakly connected through them. *)
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  channel src w.(0).(0);
+  channel w.(rows - 1).(cols - 1) snk;
+  Ermes_core.Order.conservative sys;
+  sys

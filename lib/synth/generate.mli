@@ -39,3 +39,37 @@ val generate : config -> System.t
 val scaled : ?seed:int -> processes:int -> channels:int -> unit -> System.t
 (** [scaled ~processes ~channels ()] is [generate] with the other parameters
     scaled from {!default} (layer count grows with √processes). *)
+
+(** {2 Scalable analysis families}
+
+    Raw TMGs (and one full system) of known analytic shape, parameterized to
+    10^5–10^6 transitions for the CSR scale benches and stress tests. The
+    cyclic families pin a {e hot} ring at delay 128 against cold transitions
+    jittered in [64, 71], so their maximum cycle ratio is exactly [128/1] by
+    construction — any cycle mixing in a cold transition has a strictly
+    smaller mean — and a wrong verdict at scale is caught, not just a slow
+    one. Deterministic in the seed. *)
+
+val grid_tmg : rows:int -> cols:int -> unit -> Ermes_tmg.Tmg.t
+(** Acyclic 2-D grid: [rows*cols] transitions, right/down places, all
+    token-free — the [No_cycle]/[Acyclic] path (and Kahn liveness) at
+    scale. *)
+
+val torus_tmg : ?seed:int -> rows:int -> cols:int -> unit -> Ermes_tmg.Tmg.t
+(** 2-D torus: [rows*cols] transitions, right/down places with wraparound,
+    unit tokens everywhere ([2*rows*cols] places, one SCC). Row 0 is the hot
+    ring: the maximum cycle ratio is exactly [128/1]. *)
+
+val clusters_tmg :
+  ?seed:int -> clusters:int -> cluster_size:int -> unit -> Ermes_tmg.Tmg.t
+(** Hierarchical clusters-of-clusters: each cluster is a unit-token ring of
+    [cluster_size] transitions; the clusters' gateway members form a second
+    unit-token ring. Cluster 0 is hot: the maximum cycle ratio is exactly
+    [128/1]. *)
+
+val mesh_system : ?seed:int -> rows:int -> cols:int -> unit -> System.t
+(** A full {!System.t} mesh SoC for the CLI path: [rows*cols] [Gets_first]
+    workers wired right/down, each row closed into a pipeline ring through a
+    pre-loaded [Puts_first] relay (the feedback shape {!generate} uses, so a
+    conservative order is deadlock-free), plus testbench source/sink. Passes
+    {!System.validate}. *)

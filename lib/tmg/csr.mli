@@ -1,0 +1,120 @@
+(** Flat CSR (compressed sparse row) analysis core.
+
+    {!Tmg.t} is a pointer-rich labelled multigraph: records, closures and
+    per-vertex arc {e lists}. Every hot solver loop over it chases pointers
+    and allocates. This module freezes a net into unboxed [int array]s —
+    transitions and places keep their dense ids ({!Tmg.transition} and
+    {!Tmg.place} already {e are} dense ints, so the index mapping between the
+    two representations is the identity) — and re-implements the hot solvers
+    (Howard policy iteration, Karp, Lawler, liveness/topological ranks,
+    Tarjan SCC) as allocation-free loops over those arrays.
+
+    {2 Index-mapping contract}
+
+    [of_tmg] and [to_tmg] are O(V+E) and preserve ids, names, delays, tokens
+    and endpoints exactly: transition [v] of the net is row [v] of the CSR
+    arrays, place [p] is column [p]. Consumers that hold {!Tmg.place} /
+    {!Tmg.transition} handles — {!Ermes_slm.To_tmg.mapping}, incremental
+    sessions, certificates — therefore keep working unchanged against CSR
+    results: a witness cycle returned here is a plain [Tmg.place list] whose
+    ids are valid in the source net.
+
+    {2 Equivalence contract}
+
+    On a freshly built net (no rewiring history), {!solve} mirrors
+    {!Howard.solve} operation for operation — same traversal orders, same
+    float rounding, same tie-breaking — so verdict, exact ratio, witness
+    cycle, potentials and iteration counts are bit-identical. After arc
+    rewires the two representations may visit components in different orders
+    and can return different (equally valid and equally exact) witnesses;
+    the ratio and verdict always agree. *)
+
+type t = {
+  n : int;  (** transition count *)
+  m : int;  (** place count *)
+  delay : int array;  (** per transition: firing delay *)
+  weight : int array;
+      (** per place: cached [delay.(dst.(p))] — the arc weight used by every
+          cycle-ratio solver (each cycle transition counted once) *)
+  tokens : int array;  (** per place: initial marking *)
+  src : int array;  (** per place: producer transition *)
+  dst : int array;  (** per place: consumer transition *)
+  out_row : int array;
+      (** length [n+1]: out-places of transition [v] are
+          [out_adj.(out_row.(v)) .. out_adj.(out_row.(v+1) - 1)] *)
+  out_adj : int array;  (** place ids, ascending within each row *)
+  in_row : int array;  (** length [n+1]: same, for in-places *)
+  in_adj : int array;  (** place ids, ascending within each row *)
+  tname : string array;  (** per transition *)
+  pname : string array;  (** per place *)
+}
+
+val of_tmg : Tmg.t -> t
+(** O(V+E) freeze. Ids are preserved (identity mapping). *)
+
+val to_tmg : t -> Tmg.t
+(** O(V+E) thaw: rebuilds a net with identical ids, names, delays, endpoints
+    and marking. [to_tmg (of_tmg tmg)] is indistinguishable from [tmg]
+    through every {!Tmg} accessor. *)
+
+type components = {
+  comp : int array;
+      (** component id per transition, numbered in reverse topological order
+          exactly like {!Ermes_digraph.Scc.compute} on a freshly built net *)
+  comp_count : int;
+}
+
+val strongly_connected : t -> components
+(** Iterative Tarjan over the CSR adjacency: explicit int-array stacks, no
+    recursion, no per-vertex allocation — a path graph of 10^6 vertices uses
+    O(1) OCaml stack. *)
+
+val live_ranks : t -> (int array, Liveness.dead_cycle) result
+(** Liveness by topological ranks of the token-free subgraph, mirroring
+    {!Liveness.live_ranks} bit for bit: [Ok ranks] satisfies
+    [ranks.(src p) < ranks.(dst p)] for every token-free place [p];
+    [Error] carries the same witness cycle the pointer path reports. *)
+
+val topo_ranks : t -> (int array, Liveness.dead_cycle) result
+(** Topological ranks over {e all} places (the whole net): the [Acyclic]
+    certificate's rank vector. [Error] carries some cycle of the net (its
+    places need not be token-free — this is a cyclicity witness, not a
+    deadlock witness). *)
+
+(** {2 Howard solver}
+
+    A drop-in replacement for {!Howard.solver}: holds the source net, re-syncs
+    the frozen arrays against it on each {!solve} (delay edits absorbed for
+    free, token edits invalidate the cached liveness verdict, endpoint rewires
+    rebuild the adjacency and the SCC decomposition, count changes re-freeze),
+    and warm-starts policy and certification potentials across solves. All
+    per-solve scratch is preallocated: the policy-iteration, potential
+    propagation and positive-cycle-cancellation inner loops allocate nothing
+    but the final result. *)
+
+type solver
+
+val make_solver : Tmg.t -> solver
+(** Freeze [tmg] and preallocate all solver scratch. Registers the
+    [csr.*] observability counters. *)
+
+val solve : solver -> (Howard.result, Howard.error) result
+(** Exact maximum cycle ratio with certificate ingredients (witness places,
+    integer potentials), bit-identical to {!Howard.solve} on freshly built
+    nets. The result's [potentials] array is a fresh copy. *)
+
+val cycle_time : Tmg.t -> (Howard.result, Howard.error) result
+(** [solve (make_solver tmg)] — one-shot cold analysis. *)
+
+(** {2 CSR-backed cross-check solvers} *)
+
+val karp_unit : t -> Ratio.t option
+(** Karp's maximum cycle mean on a unit-token net (the same per-SCC dynamic
+    program as {!Karp.of_unit_tmg}, over flat arrays); [None] if acyclic.
+    @raise Invalid_argument if any place's marking differs from 1. *)
+
+val lawler_certified :
+  t -> (Ratio.t * Tmg.place list * int array, Lawler.error) result
+(** Lawler's binary search over flat arrays, mirroring {!Lawler.certified}:
+    exact ratio, witness cycle (as place ids of the source net) and integer
+    optimality potentials. *)

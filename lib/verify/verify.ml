@@ -3,6 +3,7 @@ module Ratio = Ermes_tmg.Ratio
 module Howard = Ermes_tmg.Howard
 module Lawler = Ermes_tmg.Lawler
 module Liveness = Ermes_tmg.Liveness
+module Csr = Ermes_tmg.Csr
 module Traversal = Ermes_digraph.Traversal
 
 type t =
@@ -154,6 +155,122 @@ let check tmg cert =
     in
     feasible (Tmg.places tmg)
 
+(* The same obligations, read off a frozen {!Csr.t} instead of the pointer
+   net. The CSR freeze is itself part of the trusted base here, so callers
+   wanting full independence should pass a {e fresh} [Csr.of_tmg] rather
+   than a solver's internal arrays. [weight.(p)] is by construction
+   [delay.(dst.(p))], the same quantity the pointer checker reads. *)
+let check_csr (g : Csr.t) cert =
+  let pid (p : Tmg.place) = (p :> int) in
+  let check_place_ids obligation places =
+    let rec go = function
+      | [] -> Ok ()
+      | p :: rest ->
+        let i = pid p in
+        if i < 0 || i >= g.Csr.m then
+          fail obligation "place id %d outside the net (%d places)" i g.Csr.m
+        else go rest
+    in
+    go places
+  in
+  let check_closed_walk obligation places =
+    let* () = check_place_ids obligation places in
+    match places with
+    | [] -> fail obligation "empty witness cycle"
+    | first :: _ ->
+      let rec go = function
+        | [] -> assert false
+        | [ last ] ->
+          if g.Csr.dst.(pid last) = g.Csr.src.(pid first) then Ok ()
+          else
+            fail obligation "witness does not close: %s ends at %s, %s starts at %s"
+              g.Csr.pname.(pid last)
+              g.Csr.tname.(g.Csr.dst.(pid last))
+              g.Csr.pname.(pid first)
+              g.Csr.tname.(g.Csr.src.(pid first))
+        | p :: (q :: _ as rest) ->
+          if g.Csr.dst.(pid p) = g.Csr.src.(pid q) then go rest
+          else
+            fail obligation "witness is not a walk: %s ends at %s but %s starts at %s"
+              g.Csr.pname.(pid p)
+              g.Csr.tname.(g.Csr.dst.(pid p))
+              g.Csr.pname.(pid q)
+              g.Csr.tname.(g.Csr.src.(pid q))
+      in
+      go places
+  in
+  let check_array_size obligation what a =
+    if Array.length a = g.Csr.n then Ok ()
+    else
+      fail obligation "%s has %d entries for %d transitions" what (Array.length a)
+        g.Csr.n
+  in
+  let check_ranks obligation ~relevant ranks =
+    let* () = check_array_size obligation "rank vector" ranks in
+    let rec go p =
+      if p >= g.Csr.m then Ok ()
+      else if relevant p then begin
+        let u = g.Csr.src.(p) and v = g.Csr.dst.(p) in
+        if ranks.(u) < ranks.(v) then go (p + 1)
+        else
+          fail obligation "place %s violates the order: rank(%s)=%d >= rank(%s)=%d"
+            g.Csr.pname.(p) g.Csr.tname.(u) ranks.(u) g.Csr.tname.(v) ranks.(v)
+      end
+      else go (p + 1)
+    in
+    go 0
+  in
+  let check_liveness_ranks ranks =
+    check_ranks "liveness-ranks" ~relevant:(fun p -> g.Csr.tokens.(p) = 0) ranks
+  in
+  match cert with
+  | Deadlocked { cycle } ->
+    let* () = check_closed_walk "dead-cycle" cycle in
+    let rec all_empty = function
+      | [] -> Ok ()
+      | p :: rest ->
+        if g.Csr.tokens.(pid p) = 0 then all_empty rest
+        else
+          fail "dead-cycle" "place %s carries %d tokens; the witness is not token-free"
+            g.Csr.pname.(pid p)
+            g.Csr.tokens.(pid p)
+    in
+    all_empty cycle
+  | Acyclic { ranks } -> check_ranks "acyclic-ranks" ~relevant:(fun _ -> true) ranks
+  | Live { ranks } -> check_liveness_ranks ranks
+  | Bounded { ratio; witness; potentials; ranks } ->
+    let p = Ratio.num ratio and q = Ratio.den ratio in
+    let* () = check_liveness_ranks ranks in
+    let* () = check_closed_walk "witness-cycle" witness in
+    let wsum = List.fold_left (fun acc pl -> acc + g.Csr.weight.(pid pl)) 0 witness in
+    let tsum = List.fold_left (fun acc pl -> acc + g.Csr.tokens.(pid pl)) 0 witness in
+    let* () =
+      if tsum <= 0 then
+        fail "witness-ratio" "witness cycle carries no token (delay %d)" wsum
+      else Ok ()
+    in
+    let* () =
+      if q * wsum = p * tsum then Ok ()
+      else
+        fail "witness-ratio" "witness attains %d/%d, certificate claims %d/%d" wsum tsum
+          p q
+    in
+    let* () = check_array_size "potential-feasibility" "potential vector" potentials in
+    let rec feasible pl =
+      if pl >= g.Csr.m then Ok ()
+      else begin
+        let u = g.Csr.src.(pl) and v = g.Csr.dst.(pl) in
+        let reduced = (q * g.Csr.weight.(pl)) - (p * g.Csr.tokens.(pl)) in
+        if potentials.(u) + reduced <= potentials.(v) then feasible (pl + 1)
+        else
+          fail "potential-feasibility"
+            "place %s violates feasibility: pot(%s)=%d + (%d*%d - %d*%d) > pot(%s)=%d"
+            g.Csr.pname.(pl) g.Csr.tname.(u) potentials.(u) q g.Csr.weight.(pl) p
+            g.Csr.tokens.(pl) g.Csr.tname.(v) potentials.(v)
+      end
+    in
+    feasible 0
+
 let describe = function
   | Bounded { ratio; witness; potentials; _ } ->
     Printf.sprintf "bounded: max cycle ratio %s, witness of %d places, potentials over %d transitions"
@@ -198,6 +315,27 @@ let of_howard tmg = function
       }
   | Error (Howard.Deadlock d) -> Deadlocked { cycle = d.Liveness.dead_places }
   | Error Howard.No_cycle -> Acyclic { ranks = acyclic_ranks tmg }
+
+let csr_refuted_ranks (g : Csr.t) = Array.make g.Csr.n 0
+
+let of_howard_csr (g : Csr.t) = function
+  | Ok (r : Howard.result) ->
+    let ranks =
+      match Csr.live_ranks g with Ok r -> r | Error _ -> csr_refuted_ranks g
+    in
+    Bounded
+      {
+        ratio = r.Howard.cycle_time;
+        witness = r.Howard.critical_places;
+        potentials = r.Howard.potentials;
+        ranks;
+      }
+  | Error (Howard.Deadlock d) -> Deadlocked { cycle = d.Liveness.dead_places }
+  | Error Howard.No_cycle ->
+    let ranks =
+      match Csr.topo_ranks g with Ok r -> r | Error _ -> csr_refuted_ranks g
+    in
+    Acyclic { ranks }
 
 let of_lawler tmg = function
   | Ok (ratio, witness, potentials) ->

@@ -64,6 +64,14 @@ val check : Tmg.t -> t -> (unit, violation) result
     raw net. Uses only [Tmg] accessors and exact integer arithmetic; never
     calls solver code. O(E). *)
 
+val check_csr : Ermes_tmg.Csr.t -> t -> (unit, violation) result
+(** The same obligations as {!check}, read off a frozen {!Ermes_tmg.Csr.t}
+    instead of the pointer net — allocation-free scans over the flat arrays,
+    suitable for million-place nets. The freeze itself joins the trusted
+    base: for full independence pass a fresh {!Ermes_tmg.Csr.of_tmg}, not a
+    solver's internal state. [check_csr (Csr.of_tmg tmg) c] accepts exactly
+    when [check tmg c] does. *)
+
 val describe : t -> string
 (** One-line human-readable summary ("bounded: ratio 12/1, witness of 5
     places, ..."). *)
@@ -81,6 +89,16 @@ val of_howard :
   Tmg.t ->
   (Ermes_tmg.Howard.result, Ermes_tmg.Howard.error) result ->
   t
+
+val of_howard_csr :
+  Ermes_tmg.Csr.t ->
+  (Ermes_tmg.Howard.result, Ermes_tmg.Howard.error) result ->
+  t
+(** Like {!of_howard} but the liveness / acyclicity rank vectors are
+    computed on the CSR core ({!Ermes_tmg.Csr.live_ranks} /
+    {!Ermes_tmg.Csr.topo_ranks}) — no pointer-net traversal anywhere on the
+    certification path. On a freshly built net the resulting certificate is
+    bit-identical to {!of_howard}'s. *)
 
 val of_lawler :
   Tmg.t ->

@@ -109,10 +109,10 @@ one counter ("C") event per registered counter:
 
   $ grep -c '"traceEvents"' trace.json
   1
-  $ grep -c '"name":"howard.solve","ph":"X"' trace.json
+  $ grep -c '"name":"csr.solve","ph":"X"' trace.json
   1
   $ grep -c '"ph":"C"' trace.json
-  8
+  10
 
 The trace file is written even when the command fails:
 
@@ -130,9 +130,9 @@ carries the warm/cold and rebuild counters:
   iter 1: converged           CT=12           area=0.0700 (0 changes)
   target met
   wrote opt.soc
-  $ grep -c '"name":"howard.solve.cold"' dse.json
+  $ grep -c '"name":"csr.solve.cold"' dse.json
   1
-  $ grep -c '"name":"howard.solve.warm"' dse.json
+  $ grep -c '"name":"csr.solve.warm"' dse.json
   1
   $ grep -c '"name":"incremental.rebuilds"' dse.json
   1
@@ -151,7 +151,7 @@ instrumentation summary:
   1
   $ grep -c "== spans ==" profile.txt
   1
-  $ grep -c "howard.solve.cold" profile.txt
+  $ grep -c "csr.solve.cold" profile.txt
   1
   $ grep -c "sim.cycles" profile.txt
   1

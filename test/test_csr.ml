@@ -1,0 +1,243 @@
+(* The flat CSR core against the pointer solvers it replaces.
+
+   The contract under test is equivalence, not mere agreement: on a freshly
+   built net the CSR Howard port must reproduce the pointer solver bit for
+   bit — verdict, exact ratio, witness cycle, integer potentials and both
+   iteration counters — because incremental sessions and certificates were
+   built on the pointer solver's exact outputs. Karp, Lawler and the
+   liveness/topological ranks get the same treatment, the freeze/thaw pair
+   must round-trip through every accessor, and the iterative SCC must take a
+   10^5-vertex path graph in stride where the old recursive walk blew the
+   OCaml stack. *)
+
+module Tmg = Ermes_tmg.Tmg
+module Ratio = Ermes_tmg.Ratio
+module Howard = Ermes_tmg.Howard
+module Karp = Ermes_tmg.Karp
+module Lawler = Ermes_tmg.Lawler
+module Liveness = Ermes_tmg.Liveness
+module Csr = Ermes_tmg.Csr
+module Generate = Ermes_synth.Generate
+module To_tmg = Ermes_slm.To_tmg
+module Verify = Ermes_verify.Verify
+
+(* Like Helpers.build_tmg but without the make-it-live fixup: deadlocked
+   markings stay deadlocked, so the Deadlock path is compared too. *)
+let build_raw_tmg (delays, ring_tokens, chords) =
+  let tmg = Tmg.create () in
+  let ts = List.map (fun d -> Tmg.add_transition tmg ~delay:d ()) delays in
+  let arr = Array.of_list ts in
+  let n = Array.length arr in
+  List.iteri
+    (fun i tokens ->
+      ignore (Tmg.add_place tmg ~src:arr.(i) ~dst:arr.((i + 1) mod n) ~tokens ()))
+    ring_tokens;
+  List.iter
+    (fun (s, d, tokens) -> ignore (Tmg.add_place tmg ~src:arr.(s) ~dst:arr.(d) ~tokens ()))
+    chords;
+  tmg
+
+let raw_tmg_gen = QCheck2.Gen.map build_raw_tmg Helpers.random_tmg_gen
+
+(* A unit-token variant for Karp, which requires exactly one token per
+   place. Always live (every cycle carries tokens). *)
+let unit_tmg_gen =
+  QCheck2.Gen.map
+    (fun (delays, ring_tokens, chords) ->
+      build_raw_tmg
+        ( delays,
+          List.map (fun _ -> 1) ring_tokens,
+          List.map (fun (s, d, _) -> (s, d, 1)) chords ))
+    Helpers.random_tmg_gen
+
+let fail fmt = Format.kasprintf (fun s -> Alcotest.failf "%s" s) fmt
+
+(* ---- Howard: bit-identical runs ---------------------------------------- *)
+
+let same_dead (a : Liveness.dead_cycle) (b : Liveness.dead_cycle) =
+  a.Liveness.dead_places = b.Liveness.dead_places
+  && a.Liveness.dead_transitions = b.Liveness.dead_transitions
+
+let prop_howard_bit_identical tmg =
+  (match (Howard.cycle_time tmg, Csr.cycle_time tmg) with
+  | Ok p, Ok c ->
+    if not (Ratio.equal p.Howard.cycle_time c.Howard.cycle_time) then
+      fail "ratio: %a vs %a" Ratio.pp p.Howard.cycle_time Ratio.pp
+        c.Howard.cycle_time;
+    if p.Howard.critical_places <> c.Howard.critical_places then
+      fail "witness places differ";
+    if p.Howard.critical_transitions <> c.Howard.critical_transitions then
+      fail "witness transitions differ";
+    if p.Howard.potentials <> c.Howard.potentials then fail "potentials differ";
+    if p.Howard.howard_iterations <> c.Howard.howard_iterations then
+      fail "policy rounds: %d vs %d" p.Howard.howard_iterations
+        c.Howard.howard_iterations;
+    if p.Howard.cancel_iterations <> c.Howard.cancel_iterations then
+      fail "cancel rounds: %d vs %d" p.Howard.cancel_iterations
+        c.Howard.cancel_iterations
+  | Error (Howard.Deadlock a), Error (Howard.Deadlock b) ->
+    if not (same_dead a b) then fail "deadlock witnesses differ"
+  | Error Howard.No_cycle, Error Howard.No_cycle -> ()
+  | _ -> fail "verdicts differ");
+  true
+
+(* ---- Karp / Lawler / ranks: same answers off the same arrays ------------ *)
+
+let prop_karp_equal tmg =
+  let g = Csr.of_tmg tmg in
+  (match (Karp.of_unit_tmg tmg, Csr.karp_unit g) with
+  | None, None -> ()
+  | Some a, Some b when Ratio.equal a b -> ()
+  | _ -> fail "karp verdicts differ");
+  true
+
+let prop_lawler_equal tmg =
+  let g = Csr.of_tmg tmg in
+  (match (Lawler.certified tmg, Csr.lawler_certified g) with
+  | Ok (ra, wa, pa), Ok (rb, wb, pb) ->
+    if not (Ratio.equal ra rb) then fail "lawler ratio differs";
+    if wa <> wb then fail "lawler witness differs";
+    if pa <> pb then fail "lawler potentials differ"
+  | Error Lawler.Deadlock, Error Lawler.Deadlock -> ()
+  | Error Lawler.No_cycle, Error Lawler.No_cycle -> ()
+  | _ -> fail "lawler verdicts differ");
+  true
+
+let prop_live_ranks_equal tmg =
+  let g = Csr.of_tmg tmg in
+  (match (Liveness.live_ranks tmg, Csr.live_ranks g) with
+  | Ok a, Ok b -> if a <> b then fail "rank vectors differ"
+  | Error a, Error b -> if not (same_dead a b) then fail "dead cycles differ"
+  | _ -> fail "liveness verdicts differ");
+  true
+
+(* ---- certificates cross the representation boundary --------------------- *)
+
+let prop_certificates_cross_accepted tmg =
+  let g = Csr.of_tmg tmg in
+  let from_csr = Verify.of_howard_csr g (Csr.cycle_time tmg) in
+  let from_ptr = Verify.of_howard tmg (Howard.cycle_time tmg) in
+  List.iter
+    (fun (label, cert) ->
+      (match Verify.check tmg cert with
+      | Ok () -> ()
+      | Error v -> fail "%s rejected by check: %a" label Verify.pp_violation v);
+      match Verify.check_csr g cert with
+      | Ok () -> ()
+      | Error v ->
+        fail "%s rejected by check_csr: %a" label Verify.pp_violation v)
+    [ ("csr certificate", from_csr); ("pointer certificate", from_ptr) ];
+  true
+
+(* ---- freeze / thaw round-trip ------------------------------------------- *)
+
+let prop_round_trip tmg =
+  let g = Csr.of_tmg tmg in
+  let tmg' = Csr.to_tmg g in
+  let n = Tmg.transition_count tmg and m = Tmg.place_count tmg in
+  if Tmg.transition_count tmg' <> n then fail "transition count differs";
+  if Tmg.place_count tmg' <> m then fail "place count differs";
+  for v = 0 to n - 1 do
+    if Tmg.delay tmg' v <> Tmg.delay tmg v then fail "delay differs at %d" v;
+    if Tmg.transition_name tmg' v <> Tmg.transition_name tmg v then
+      fail "transition name differs at %d" v
+  done;
+  for p = 0 to m - 1 do
+    if Tmg.place_src tmg' p <> Tmg.place_src tmg p then fail "src differs at %d" p;
+    if Tmg.place_dst tmg' p <> Tmg.place_dst tmg p then fail "dst differs at %d" p;
+    if Tmg.tokens tmg' p <> Tmg.tokens tmg p then fail "tokens differ at %d" p;
+    if Tmg.place_name tmg' p <> Tmg.place_name tmg p then
+      fail "place name differs at %d" p
+  done;
+  (* Re-freezing the thawed net reproduces the arrays exactly. *)
+  if Csr.of_tmg tmg' <> g then fail "re-freeze differs";
+  true
+
+(* ---- deep graphs: the iterative SCC and rank walks ---------------------- *)
+
+(* A 10^5-transition path graph. The old recursive Tarjan overflowed the
+   OCaml stack around depth ~10^4; the CSR core must return 10^5 singleton
+   components and an Acyclic verdict. *)
+let test_path_stress () =
+  let n = 100_000 in
+  let tmg = Tmg.create () in
+  let ts = Array.init n (fun _ -> Tmg.add_transition tmg ~delay:1 ()) in
+  for i = 0 to n - 2 do
+    ignore (Tmg.add_place tmg ~src:ts.(i) ~dst:ts.(i + 1) ~tokens:1 ())
+  done;
+  let g = Csr.of_tmg tmg in
+  let { Csr.comp_count; _ } = Csr.strongly_connected g in
+  Alcotest.(check int) "singleton components" n comp_count;
+  (match Csr.cycle_time tmg with
+  | Error Howard.No_cycle -> ()
+  | _ -> Alcotest.fail "expected No_cycle on a path graph");
+  match Csr.topo_ranks g with
+  | Error _ -> Alcotest.fail "path graph is acyclic"
+  | Ok ranks ->
+    for p = 0 to g.Csr.m - 1 do
+      if ranks.(g.Csr.src.(p)) >= ranks.(g.Csr.dst.(p)) then
+        Alcotest.fail "topological ranks out of order"
+    done
+
+(* A 10^5-transition single ring: one SCC, and the policy-evaluation walk
+   (also iterative) crosses the whole cycle in one chain. *)
+let test_ring_stress () =
+  let n = 100_000 in
+  let tmg = Tmg.create () in
+  let ts = Array.init n (fun _ -> Tmg.add_transition tmg ~delay:1 ()) in
+  for i = 0 to n - 1 do
+    ignore (Tmg.add_place tmg ~src:ts.(i) ~dst:ts.((i + 1) mod n) ~tokens:1 ())
+  done;
+  let g = Csr.of_tmg tmg in
+  let { Csr.comp_count; _ } = Csr.strongly_connected g in
+  Alcotest.(check int) "one component" 1 comp_count;
+  match Csr.cycle_time tmg with
+  | Ok r -> Helpers.check_ratio "ring cycle time" (Ratio.make 1 1) r.Howard.cycle_time
+  | Error _ -> Alcotest.fail "ring is live and cyclic"
+
+(* ---- a realistic net: the synthetic SoC family -------------------------- *)
+
+let test_synth_bit_identical () =
+  let sys = Generate.scaled ~processes:200 ~channels:300 () in
+  let tmg = (To_tmg.build sys).To_tmg.tmg in
+  assert (prop_howard_bit_identical tmg)
+
+let () =
+  Alcotest.run "csr"
+    [
+      ( "howard",
+        [
+          Helpers.qtest ~count:300 "bit-identical (live nets)"
+            Helpers.live_tmg_arbitrary prop_howard_bit_identical;
+          Helpers.qtest ~count:300 "bit-identical (raw nets)" raw_tmg_gen
+            prop_howard_bit_identical;
+          Alcotest.test_case "bit-identical (synth-200)" `Quick
+            test_synth_bit_identical;
+        ] );
+      ( "cross-check",
+        [
+          Helpers.qtest ~count:200 "karp agrees (unit nets)" unit_tmg_gen
+            prop_karp_equal;
+          Helpers.qtest ~count:200 "lawler agrees (raw nets)" raw_tmg_gen
+            prop_lawler_equal;
+          Helpers.qtest ~count:300 "live ranks agree (raw nets)" raw_tmg_gen
+            prop_live_ranks_equal;
+        ] );
+      ( "certificates",
+        [
+          Helpers.qtest ~count:200 "accepted by both checkers (live nets)"
+            Helpers.live_tmg_arbitrary prop_certificates_cross_accepted;
+          Helpers.qtest ~count:200 "accepted by both checkers (raw nets)"
+            raw_tmg_gen prop_certificates_cross_accepted;
+        ] );
+      ( "round-trip",
+        [
+          Helpers.qtest ~count:300 "freeze/thaw identity (raw nets)" raw_tmg_gen
+            prop_round_trip;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "10^5-node path graph" `Quick test_path_stress;
+          Alcotest.test_case "10^5-node ring" `Quick test_ring_stress;
+        ] );
+    ]

@@ -334,6 +334,46 @@ let test_oracle_jobs_motivating () =
   | Some r -> Alcotest.(check int) "all 36 combinations" 36 r.Oracle.evaluated
   | None -> Alcotest.fail "oracle found nothing"
 
+(* The regression this guards: an earlier Oracle gave every slice its own
+   System copy and cold incremental session, so jobs:4 paid dozens of cold
+   solver starts while jobs:1 kept one warm session — the parallel search
+   was 2-4x *slower* than the sequential one. With slices grouped onto
+   shared warm sessions, extra jobs may buy nothing on a loaded or
+   single-core host, but they must never cost more than scheduling noise.
+   Min-of-3 runs per jobs value smooths the clock. *)
+let test_oracle_jobs_timing () =
+  (* A reconvergent fan-in/fan-out shape with 1,728 order combinations —
+     large enough that a timing ratio means something. *)
+  let sys = System.create ~name:"oracle-timing" () in
+  let proc lat name = System.add_simple_process sys ~latency:lat ~area:0.01 name in
+  let chan name src dst lat = ignore (System.add_channel sys ~name ~src ~dst ~latency:lat) in
+  let srcs = Array.init 4 (fun i -> proc (2 + (3 * i)) (Printf.sprintf "src%d" i)) in
+  let hub = proc 7 "hub" in
+  let mids = Array.init 3 (fun i -> proc (3 + (2 * i)) (Printf.sprintf "mid%d" i)) in
+  let hub2 = proc 5 "hub2" in
+  let snks = Array.init 2 (fun i -> proc (1 + i) (Printf.sprintf "snk%d" i)) in
+  Array.iteri (fun i s -> chan (Printf.sprintf "a%d" i) s hub (1 + (2 * i))) srcs;
+  Array.iteri (fun i m -> chan (Printf.sprintf "b%d" i) hub m (5 - i)) mids;
+  Array.iteri (fun i m -> chan (Printf.sprintf "c%d" i) m hub2 (2 + i)) mids;
+  Array.iteri (fun i t -> chan (Printf.sprintf "d%d" i) hub2 t (3 - i)) snks;
+  let min_time jobs =
+    let best = ref infinity in
+    let result = ref None in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      result := Oracle.search ~limit:10_000 ~jobs sys;
+      best := min !best (Unix.gettimeofday () -. t0)
+    done;
+    (!best, !result)
+  in
+  let t1, r1 = min_time 1 in
+  let t4, r4 = min_time 4 in
+  Alcotest.(check bool) "identical results across jobs" true (oracle_results_equal r1 r4);
+  Alcotest.(check bool)
+    (Printf.sprintf "jobs4 (%.4fs) <= jobs1 (%.4fs) x 1.2" t4 t1)
+    true
+    (t4 <= t1 *. 1.2)
+
 (* ---- parallel ordering -------------------------------------------------- *)
 
 let prop_local_search_jobs sys =
@@ -429,6 +469,8 @@ let () =
         [
           test_oracle_jobs;
           Alcotest.test_case "motivating, jobs 4" `Quick test_oracle_jobs_motivating;
+          Alcotest.test_case "jobs 4 never slower than jobs 1" `Quick
+            test_oracle_jobs_timing;
         ] );
       ("ordering", [ test_local_search_jobs; test_apply_safe_session ]);
       ("fuzz", [ Alcotest.test_case "jobs 2 == jobs 1" `Quick test_fuzz_jobs ]);

@@ -48,9 +48,9 @@ let test_counters_exact () =
      Alcotest.(check int) "suboptimal CT" Motivating.expected_suboptimal_cycle_time
        (Ratio.num a.Perf.cycle_time / Ratio.den a.Perf.cycle_time)
    | Error _ -> Alcotest.fail "suboptimal system deadlocked");
-  Alcotest.(check int) "1 cold solve" 1 (Obs.counter "howard.solve.cold");
-  Alcotest.(check int) "0 warm solves" 0 (Obs.counter "howard.solve.warm");
-  Alcotest.(check int) "1 SCC computation" 1 (Obs.counter "howard.scc.recomputed");
+  Alcotest.(check int) "1 cold solve" 1 (Obs.counter "csr.solve.cold");
+  Alcotest.(check int) "0 warm solves" 0 (Obs.counter "csr.solve.warm");
+  Alcotest.(check int) "1 SCC computation" 1 (Obs.counter "csr.scc.recomputed");
   Alcotest.(check int) "1 analysis" 1 (Obs.counter "incremental.analyses");
   let analyze_ok tag =
     match Incremental.analyze session with
@@ -59,10 +59,10 @@ let test_counters_exact () =
   in
   (* Unchanged system, analyze again: warm, every cache hits. *)
   analyze_ok "repeat";
-  Alcotest.(check int) "now 1 warm solve" 1 (Obs.counter "howard.solve.warm");
-  Alcotest.(check int) "still 1 cold solve" 1 (Obs.counter "howard.solve.cold");
-  Alcotest.(check int) "liveness verdict reused" 1 (Obs.counter "howard.cache.liveness_hit");
-  Alcotest.(check int) "SCC reused" 1 (Obs.counter "howard.cache.scc_hit");
+  Alcotest.(check int) "now 1 warm solve" 1 (Obs.counter "csr.solve.warm");
+  Alcotest.(check int) "still 1 cold solve" 1 (Obs.counter "csr.solve.cold");
+  Alcotest.(check int) "liveness verdict reused" 1 (Obs.counter "csr.cache.liveness_hit");
+  Alcotest.(check int) "SCC reused" 1 (Obs.counter "csr.cache.scc_hit");
   (* Reorder to the paper's optimal configuration (one put-order change on
      P2, one get-order change on P6 — together they stay live): exactly two
      rethreads, and the structural edit invalidates the liveness verdict. *)
@@ -78,7 +78,7 @@ let test_counters_exact () =
    | Error _ -> Alcotest.fail "rethread: unexpected deadlock");
   Alcotest.(check int) "2 rethreads" 2 (Obs.counter "incremental.rethreads");
   Alcotest.(check int) "liveness invalidated once" 1
-    (Obs.counter "howard.cache.liveness_invalidated");
+    (Obs.counter "csr.cache.liveness_invalidated");
   Alcotest.(check int) "0 rebuilds so far" 0 (Obs.counter "incremental.rebuilds");
   (* FIFO-izing a channel changes the transition set: one full rebuild, and
      the rebuilt solver starts cold. *)
@@ -86,14 +86,14 @@ let test_counters_exact () =
   System.set_channel_kind sys a (System.Fifo 2);
   analyze_ok "fifoize";
   Alcotest.(check int) "1 rebuild" 1 (Obs.counter "incremental.rebuilds");
-  Alcotest.(check int) "rebuild solves cold" 2 (Obs.counter "howard.solve.cold");
+  Alcotest.(check int) "rebuild solves cold" 2 (Obs.counter "csr.solve.cold");
   (* A depth change on the now-FIFO channel is a marking edit, not a
      rebuild, and the solver stays warm. *)
   System.set_channel_kind sys a (System.Fifo 5);
   analyze_ok "depth edit";
   Alcotest.(check int) "1 marking edit" 1 (Obs.counter "incremental.marking_edits");
   Alcotest.(check int) "still 1 rebuild" 1 (Obs.counter "incremental.rebuilds");
-  Alcotest.(check int) "depth edit solves warm" 3 (Obs.counter "howard.solve.warm");
+  Alcotest.(check int) "depth edit solves warm" 3 (Obs.counter "csr.solve.warm");
   (* Probes count as analyses and probes. *)
   let p5 = Option.get (System.find_process sys "P5") in
   ignore (Incremental.probe session [ Incremental.Slow_process (p5, 3) ]);
