@@ -692,7 +692,7 @@ let incremental () =
     let (), t =
       time (fun () ->
           for i = 0 to k_warm - 1 do
-            let tr = compute.(i mod Array.length compute) in
+            let tr = compute.(i mod Array.length compute).(0) in
             Tmg.set_delay tmg tr (1 + ((Tmg.delay tmg tr + i) mod 50));
             match solve () with
             | Ok (r : Howard.result) -> cts := r.Howard.cycle_time :: !cts

@@ -200,11 +200,29 @@ let analyze_cmd =
            (Perf.latency_slack sys)
        end;
        if simulate then begin
+         (* The simulator's period is per monitor *iteration*; on a
+            multi-rate system the monitor fires q(monitor) times per common
+            period, so the TMG cycle time is the product (the same contract
+            the differential oracle checks). *)
+         let qmon =
+           match System.sinks sys, System.repetition_vector sys with
+           | m :: _, Ok q -> q.(m)
+           | _ -> 1
+         in
          match Sim.steady_cycle_time sys with
          | Ok (Sim.Period r) ->
-           Format.printf "simulated steady-state cycle time: %a (%s)@." Ratio.pp r
-             (if Ratio.equal r a.Perf.cycle_time then "matches the analysis"
-              else "DIFFERS from the analysis")
+           let scaled = Ratio.mul r (Ratio.of_int qmon) in
+           let verdict =
+             if Ratio.equal scaled a.Perf.cycle_time then "matches the analysis"
+             else "DIFFERS from the analysis"
+           in
+           if qmon = 1 then
+             Format.printf "simulated steady-state cycle time: %a (%s)@." Ratio.pp r verdict
+           else
+             Format.printf
+               "simulated steady-state cycle time: %a per monitor iteration, x%d firings \
+                per period = %a (%s)@."
+               Ratio.pp r qmon Ratio.pp scaled verdict
          | Ok Sim.No_period -> Format.printf "simulation: periodicity not reached; raise rounds@."
          | Ok (Sim.Deadlock d) ->
            Format.printf "simulation: %a@." (Sim.pp_deadlock sys) d;
@@ -551,7 +569,14 @@ let rtl_cmd =
   in
   let run file verify out =
     let sys = or_die (load file) in
-    let rtl = Ermes_rtl.Soc_rtl.build sys in
+    let rtl =
+      try Ermes_rtl.Soc_rtl.build sys
+      with Invalid_argument msg ->
+        (* Multi-rate / handshake channels are not lowered yet (ROADMAP
+           item 4): a structured error, not a crash. *)
+        prerr_endline ("ermes: " ^ msg);
+        exit 1
+    in
     if verify then begin
       match (Ermes_rtl.Soc_rtl.measured_cycle_time sys, Perf.analyze sys) with
       | Some rtl_ct, Ok a ->

@@ -39,8 +39,9 @@ let total_slots sys =
   List.fold_left
     (fun acc c ->
       match System.channel_kind sys c with
-      | System.Rendezvous -> acc
-      | System.Fifo k -> acc + k)
+      | System.Rendezvous | System.Handshake _ -> acc
+      | System.Fifo k -> acc + k
+      | System.Multi_rate { depth; _ } -> acc + depth)
     0 (System.channels sys)
 
 let () =

@@ -18,8 +18,21 @@ let analyze_exn session =
     Format.kasprintf failwith "Buffer_opt: %a"
       (Perf.pp_failure (Incremental.system session)) f
 
+(* The optimizer only resizes unit-rate channels: [Rendezvous <-> Fifo] is a
+   plain depth ladder (0, 1, 2, ...). [Multi_rate] depths interact with the
+   rate unfolding and [Handshake] channels have no buffer at all, so both are
+   excluded from the candidate set rather than silently retyped. *)
+let sizable sys c =
+  match System.channel_kind sys c with
+  | System.Rendezvous | System.Fifo _ -> true
+  | System.Multi_rate _ | System.Handshake _ -> false
+
 let depth_of sys c =
-  match System.channel_kind sys c with System.Rendezvous -> 0 | System.Fifo d -> d
+  match System.channel_kind sys c with
+  | System.Rendezvous -> 0
+  | System.Fifo d -> d
+  | System.Multi_rate _ | System.Handshake _ ->
+    invalid_arg "Buffer_opt.depth_of: channel is not sizable"
 
 let set_depth sys c d =
   System.set_channel_kind sys c (if d = 0 then System.Rendezvous else System.Fifo d)
@@ -56,7 +69,7 @@ let size ?(max_slots = 64) ~tct sys =
            end
          | Error _ -> ());
         set_depth sys c d)
-      !current.Perf.critical_channels;
+      (List.filter (sizable sys) !current.Perf.critical_channels);
     match !best with
     | None -> continue_ := false
     | Some (c, d, ct) ->

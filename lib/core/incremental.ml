@@ -74,22 +74,49 @@ let stats sess = sess.stats
 let mapping sess = sess.mapping
 
 (* Diff the cached shadow state against the live system and translate each
-   difference into the cheapest TMG edit: a selection change is one delay
-   write, an order change rewires one process chain, a [Fifo d → Fifo d']
-   depth change is one token write on the credit place, and only a
-   [Rendezvous ↔ Fifo] change (it alters the transition set) falls back to a
-   full rebuild. Callers mutate the System freely between analyses; no
-   notification protocol is needed. *)
+   difference into the cheapest TMG edit: a selection change is a delay
+   write per compute instance, an order change rewires one process chain, a
+   depth-only change on a buffered channel is a token write per credit place
+   (when {!To_tmg.absorb_depth_edit} proves the gadget structure unchanged —
+   always, at unit rates), and a [Handshake] hold change is a delay write
+   per ack transition. Anything that alters the transition set or the
+   gadget wiring (kind changes, rate changes, unabsorbable depth changes)
+   falls back to a full rebuild. Callers mutate the System freely between
+   analyses; no notification protocol is needed. *)
 let sync sess =
   let sys = sess.sys in
-  let structural = ref false and depth_edits = ref [] in
+  let structural = ref false in
+  let depth_edits = ref [] and hold_edits = ref [] in
   for c = System.channel_count sys - 1 downto 0 do
     let k = System.channel_kind sys c in
     if k <> sess.kinds.(c) then
       match (sess.kinds.(c), k) with
-      | System.Fifo _, System.Fifo d' -> depth_edits := (c, d') :: !depth_edits
+      | System.Fifo _, System.Fifo _ -> depth_edits := c :: !depth_edits
+      | ( System.Multi_rate { produce; consume; depth = _ },
+          System.Multi_rate { produce = p'; consume = c'; depth = _ } )
+        when produce = p' && consume = c' ->
+        depth_edits := c :: !depth_edits
+      | System.Handshake _, System.Handshake { hold } ->
+        hold_edits := (c, hold) :: !hold_edits
       | _, _ -> structural := true
   done;
+  (* Depth edits are attempted before deciding on a rebuild: an edit the
+     gadget cannot absorb (a credit-place source moves at true multi-rates)
+     escalates to the same full rebuild a kind change causes. *)
+  if not !structural then begin
+    let m = sess.mapping in
+    List.iter
+      (fun c ->
+        if To_tmg.absorb_depth_edit m sys c then begin
+          sess.kinds.(c) <- System.channel_kind sys c;
+          sess.stats.marking_edits <- sess.stats.marking_edits + 1;
+          Obs.incr "incremental.marking_edits";
+          Log.debug (fun f ->
+              f "sync: depth of %s changed (marking edit)" (System.channel_name sys c))
+        end
+        else structural := true)
+      !depth_edits
+  end;
   if !structural then begin
     Log.debug (fun m -> m "sync: channel transition set changed, full rebuild");
     sess.mapping <- To_tmg.build sys;
@@ -101,18 +128,22 @@ let sync sess =
   else begin
     let m = sess.mapping in
     List.iter
-      (fun (c, depth) ->
-        Tmg.set_tokens m.To_tmg.tmg (Option.get m.To_tmg.credit_place.(c)) depth;
-        sess.kinds.(c) <- System.Fifo depth;
-        sess.stats.marking_edits <- sess.stats.marking_edits + 1;
-        Obs.incr "incremental.marking_edits";
+      (fun (c, hold) ->
+        Array.iter
+          (fun a -> Tmg.set_delay m.To_tmg.tmg a hold)
+          m.To_tmg.channel_ack.(c);
+        sess.kinds.(c) <- System.Handshake { hold };
+        sess.stats.delay_edits <- sess.stats.delay_edits + 1;
+        Obs.incr "incremental.delay_edits";
         Log.debug (fun f ->
-            f "sync: depth of %s -> %d (marking edit)" (System.channel_name sys c) depth))
-      !depth_edits;
+            f "sync: hold of %s -> %d (delay edit)" (System.channel_name sys c) hold))
+      !hold_edits;
     for p = 0 to System.process_count sys - 1 do
       let l = System.latency sys p in
       if l <> sess.lat.(p) then begin
-        Tmg.set_delay m.To_tmg.tmg m.To_tmg.compute_transition.(p) l;
+        Array.iter
+          (fun t -> Tmg.set_delay m.To_tmg.tmg t l)
+          m.To_tmg.compute_transition.(p);
         sess.lat.(p) <- l;
         sess.stats.delay_edits <- sess.stats.delay_edits + 1;
         Obs.incr "incremental.delay_edits"
@@ -188,16 +219,19 @@ let probe sess probes =
   let saved =
     Hashtbl.fold
       (fun key delta acc ->
-        let t, faulted =
+        let ts, faulted =
           match key with
           | `P p ->
             (m.To_tmg.compute_transition.(p), max 0 (System.latency sys p + delta))
           | `C c ->
             (m.To_tmg.channel_entry.(c), max 1 (System.channel_latency sys c + delta))
         in
-        let before = Tmg.delay tmg t in
-        Tmg.set_delay tmg t faulted;
-        (t, before) :: acc)
+        Array.fold_left
+          (fun acc t ->
+            let before = Tmg.delay tmg t in
+            Tmg.set_delay tmg t faulted;
+            (t, before) :: acc)
+          acc ts)
       deltas []
   in
   sess.stats.analyses <- sess.stats.analyses + 1;

@@ -103,7 +103,7 @@ let max_cycle_cost_through tmg ~num ~den start =
   go (n + 1);
   if d.(start) > neg then Some d.(start) else None
 
-let slack_of_transitions sys transition_of objects what =
+let slack_of_transitions sys transitions_of objects what =
   let mapping = To_tmg.build sys in
   let tmg = mapping.To_tmg.tmg in
   match Csr.cycle_time tmg with
@@ -112,14 +112,20 @@ let slack_of_transitions sys transition_of objects what =
     let num = Ratio.num r.Howard.cycle_time and den = Ratio.den r.Howard.cycle_time in
     List.map
       (fun x ->
-        let t = transition_of mapping x in
-        match max_cycle_cost_through tmg ~num ~den t with
-        | None -> (x, Unbounded)
-        | Some worst ->
-          (* Adding s cycles to the transition's delay adds den*s to its
-             worst cycle's reduced cost; the cycle time is unchanged while it
-             stays <= 0. *)
-          (x, Bounded (-worst / den)))
+        (* A latency bump of s raises the delay of {e every} unfolded
+           instance, so a cycle threading k of the object's n instances gains
+           den*s*k <= den*s*n reduced cost. Dividing by n keeps the bound
+           sound at any unfolding; at unit rates n = 1 and this is exact. *)
+        let ts = transitions_of mapping x in
+        let n = Array.length ts in
+        Array.fold_left
+          (fun acc t ->
+            match (acc, max_cycle_cost_through tmg ~num ~den t) with
+            | acc, None -> acc
+            | Unbounded, Some worst -> Bounded (-worst / (den * n))
+            | Bounded s, Some worst -> Bounded (min s (-worst / (den * n))))
+          Unbounded ts
+        |> fun slack -> (x, slack))
       objects
 
 let latency_slack sys =

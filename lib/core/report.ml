@@ -30,9 +30,7 @@ let markdown ?(frontier = false) sys =
       (fun (c, s) ->
         pf "| %s | %d | %s | %s |\n" (System.channel_name sys c)
           (System.channel_latency sys c)
-          (match System.channel_kind sys c with
-           | System.Rendezvous -> "rendezvous"
-           | System.Fifo d -> Printf.sprintf "fifo(%d)" d)
+          (System.string_of_kind (System.channel_kind sys c))
           (Format.asprintf "%a" Perf.pp_slack s))
       (Perf.channel_slack sys);
     pf "\n## Area\n\n";

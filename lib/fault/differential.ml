@@ -84,14 +84,26 @@ let check_sim add faulted scenario rounds verdict =
   let sim ?monitor r =
     Sim.steady_cycle_time ?monitor ~rounds:r ~max_cycles:(budget r) ~hooks faulted
   in
+  (* The simulator's period is per monitor iteration; the TMG cycle time is
+     per firing of each unfolded transition instance. The default monitor
+     (the first sink) completes q(monitor) iterations per TMG period, so the
+     two agree up to that factor — exactly 1 on unit-rate systems. *)
+  let qmon =
+    match System.repetition_vector faulted with
+    | Error _ -> 1
+    | Ok q -> ( match System.sinks faulted with s :: _ -> q.(s) | [] -> 1)
+  in
   match verdict with
   | Live ct -> (
     let rec check r escalate =
       match sim r with
       | Error e -> add "sim: %s" e
       | Ok (Sim.Period p) ->
-        if not (Ratio.equal p ct) then
-          add "sim: steady period %s, howard says %s" (rs p) (rs ct)
+        if not (Ratio.equal (Ratio.mul p (Ratio.of_int qmon)) ct) then
+          add "sim: steady period %s (x%d unfolding = %s), howard says %s" (rs p)
+            qmon
+            (rs (Ratio.mul p (Ratio.of_int qmon)))
+            (rs ct)
       | Ok (Sim.Deadlock d) ->
         add "sim: deadlock at cycle %d on a system the analyses call live" d.Sim.at_cycle
       | Ok (Sim.Timeout t) ->

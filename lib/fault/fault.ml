@@ -67,7 +67,17 @@ let apply sys scenario =
       | System.Rendezvous, _ -> ()
       | System.Fifo d, None -> System.set_channel_kind out c (System.Fifo d)
       | System.Fifo d, Some d' ->
-        System.set_channel_kind out c (System.Fifo (max 1 (min d d'))))
+        System.set_channel_kind out c (System.Fifo (max 1 (min d d')))
+      | (System.Multi_rate _ as k), None -> System.set_channel_kind out c k
+      | (System.Handshake _ as k), _ ->
+        (* A handshake has no buffer to shrink; the fault is a no-op on it. *)
+        System.set_channel_kind out c k
+      | System.Multi_rate ({ produce; consume; depth } as r), Some d' ->
+        (* Shrinking below max(produce, consume) would make the kind invalid
+           (a put or get could never complete); clamp there instead. *)
+        let floor_depth = max produce consume in
+        System.set_channel_kind out c
+          (System.Multi_rate { r with depth = max floor_depth (min depth d') }))
     (System.channels sys);
   (* add_channel appended channels in declaration order, which already equals
      the original get/put orders only when those were never permuted — restore

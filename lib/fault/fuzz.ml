@@ -41,7 +41,10 @@ let gen_fault rng sys =
   let processes = System.processes sys in
   let fifos =
     List.filter
-      (fun c -> match System.channel_kind sys c with System.Fifo _ -> true | _ -> false)
+      (fun c ->
+        match System.channel_kind sys c with
+        | System.Fifo _ | System.Multi_rate _ -> true
+        | System.Rendezvous | System.Handshake _ -> false)
       channels
   in
   let jitter () =
@@ -84,12 +87,50 @@ let gen_case rng ~max_processes =
   in
   let sys = Generate.generate cfg in
   (* Dress the system up: buffered channels exercise the relay-station TMG
-     expansion, permuted statement orders exercise the deadlock detectors
-     (a permutation may legitimately deadlock a reconvergent path). *)
+     expansion, multi-rate weights the SDF rate unfolding, handshakes the
+     valid/ready gadget, and permuted statement orders the deadlock
+     detectors (a permutation may legitimately deadlock a reconvergent
+     path). Rates are consistent by construction: each process draws a
+     repetition factor q(p) and a multi-rate channel derives its weights as
+     produce = q(dst)/g, consume = q(src)/g with g = gcd(q(src), q(dst)),
+     so the SDF balance equations always admit the drawn vector as their
+     solution — no generated case is rejected for rate inconsistency. *)
+  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+  let rep =
+    let multirate = Prng.bool_with rng ~probability:0.5 in
+    Array.init (System.process_count sys) (fun _ ->
+        if multirate then Prng.int_range rng ~lo:1 ~hi:3 else 1)
+  in
   List.iter
     (fun c ->
-      if Prng.bool_with rng ~probability:0.3 then
-        System.set_channel_kind sys c (System.Fifo (Prng.int_range rng ~lo:1 ~hi:4)))
+      let qs = rep.(System.channel_src sys c)
+      and qd = rep.(System.channel_dst sys c) in
+      let g = gcd qs qd in
+      let produce = qd / g and consume = qs / g in
+      if produce > 1 || consume > 1 then
+        (* produce and consume are coprime, so produce + consume - 1 is the
+           minimal deadlock-free depth; a little slack keeps most cases live
+           while the occasional tight buffer still throttles. *)
+        System.set_channel_kind sys c
+          (System.Multi_rate
+             {
+               produce;
+               consume;
+               depth = produce + consume - 1 + Prng.int_range rng ~lo:0 ~hi:3;
+             })
+      else
+        match Prng.int_range rng ~lo:0 ~hi:9 with
+        | 0 | 1 | 2 ->
+          System.set_channel_kind sys c (System.Fifo (Prng.int_range rng ~lo:1 ~hi:4))
+        | 3 ->
+          System.set_channel_kind sys c
+            (System.Handshake { hold = Prng.int_range rng ~lo:0 ~hi:5 })
+        | 4 ->
+          (* Unit-rate multi-rate: must behave bit-identically to a FIFO. *)
+          System.set_channel_kind sys c
+            (System.Multi_rate
+               { produce = 1; consume = 1; depth = Prng.int_range rng ~lo:1 ~hi:4 })
+        | _ -> ())
     (System.channels sys);
   if Prng.bool_with rng ~probability:0.4 then
     List.iter

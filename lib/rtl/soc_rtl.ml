@@ -42,7 +42,16 @@ let build sys =
   List.iter
     (fun c ->
       if System.channel_latency sys c >= limit then
-        invalid_arg "Soc_rtl.build: channel latency too large")
+        invalid_arg "Soc_rtl.build: channel latency too large";
+      match System.channel_kind sys c with
+      | System.Rendezvous | System.Fifo _ -> ()
+      | System.Multi_rate _ | System.Handshake _ ->
+        invalid_arg
+          (Printf.sprintf
+             "Soc_rtl.build: channel %S is a %s channel; the RTL back end only \
+              lowers rendezvous and FIFO channels"
+             (System.channel_name sys c)
+             (System.string_of_kind (System.channel_kind sys c))))
     (System.channels sys);
   let b = B.create ~name:(sanitize (System.name sys) ^ "_ctrl") in
   let np = System.process_count sys and nc = System.channel_count sys in
@@ -147,7 +156,10 @@ let build sys =
         B.drive b items (inc (Ir.Sig enq_fire) (dec (Ir.Sig deq_fire) (Ir.Sig items)));
         entry_fire.(c) <- Ir.Sig enq_fire;
         exit_fire.(c) <- Ir.Sig deq_fire;
-        fire_of.(c) <- deq_fire)
+        fire_of.(c) <- deq_fire
+      | System.Multi_rate _ | System.Handshake _ ->
+        (* Rejected by the preamble check above. *)
+        assert false)
     (System.channels sys);
   (* Process FSMs: advance conditions per statement, next-state logic,
      computation counters, iteration counters. *)

@@ -29,8 +29,10 @@ type t = {
 }
 
 val build : System.t -> t
-(** @raise Invalid_argument on systems rejected by {!System.validate} or
-    with a process latency or channel latency beyond 2{^30} cycles. *)
+(** @raise Invalid_argument on systems rejected by {!System.validate}, with
+    a process latency or channel latency beyond 2{^30} cycles, or containing
+    a [Multi_rate] or [Handshake] channel (the RTL back end lowers only
+    rendezvous and FIFO channels; see ROADMAP item 4). *)
 
 val measured_cycle_time :
   ?rounds:int -> ?max_cycles:int -> System.t -> Ermes_tmg.Ratio.t option

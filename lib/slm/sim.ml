@@ -59,15 +59,24 @@ let default_max_cycles ~max_iterations sys =
         0 (System.channels sys)
   in
   let np = System.process_count sys in
-  (max_iterations + np + 8) * (total + np + 1)
+  (* A multi-rate system interleaves up to max q(p) firings of a process per
+     common period; scale the budget accordingly. Unit-rate systems have
+     q = 1 everywhere and keep the historical budget bit-identically. *)
+  let qmax =
+    match System.repetition_vector sys with
+    | Ok q -> Array.fold_left max 1 q
+    | Error _ -> 1
+  in
+  (max_iterations + np + 8) * (total + np + 1) * qmax
 
 type stmt = Sget of System.channel | Scompute | Sput of System.channel
 
 type event =
   | Compute_done of System.process
-  | Transfer_done of System.channel  (* rendezvous completion *)
-  | Enqueue_done of System.channel  (* FIFO: item landed in the buffer *)
-  | Dequeue_done of System.channel  (* FIFO: item handed to the consumer *)
+  | Transfer_done of System.channel  (* rendezvous/handshake completion *)
+  | Ack_done of System.channel  (* handshake: consumer released the data *)
+  | Enqueue_done of System.channel  (* buffered: items landed in the buffer *)
+  | Dequeue_done of System.channel  (* buffered: items handed to the consumer *)
 
 let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
   List.iter
@@ -128,8 +137,8 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
     List.iter
       (fun c ->
         match System.channel_kind sys c with
-        | System.Fifo depth -> credits.(c) <- depth
-        | System.Rendezvous -> ())
+        | System.Fifo depth | System.Multi_rate { depth; _ } -> credits.(c) <- depth
+        | System.Rendezvous | System.Handshake _ -> ())
       (System.channels sys);
     let iterations = Array.make np 0 in
     let completions = Array.make np [] in
@@ -184,29 +193,33 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
         try_match c
     and try_match c =
       match System.channel_kind sys c with
-      | System.Rendezvous ->
+      | System.Rendezvous | System.Handshake _ ->
+        (* [transfer_active] covers both the transfer itself and, for a
+           handshake, the consumer's hold time before the ack. *)
         if waiting_get.(c) && waiting_put.(c) && not transfer_active.(c) then begin
           end_get c;
           end_put c;
           transfer_active.(c) <- true;
           Heap.push events (!now + transfer_latency c) (Transfer_done c)
         end
-      | System.Fifo _ ->
-        (* Enqueue: the producer needs a free slot; the transfer into the
-           buffer takes the channel latency. *)
-        if waiting_put.(c) && credits.(c) > 0 && not enq_busy.(c) then begin
+      | System.Fifo _ | System.Multi_rate _ ->
+        let produce, consume = System.channel_rates sys c in
+        (* Enqueue: the producer needs [produce] free slots; the transfer
+           into the buffer takes the channel latency. *)
+        if waiting_put.(c) && credits.(c) >= produce && not enq_busy.(c) then begin
           end_put c;
-          credits.(c) <- credits.(c) - 1;
+          credits.(c) <- credits.(c) - produce;
           enq_busy.(c) <- true;
           Heap.push events (!now + transfer_latency c) (Enqueue_done c)
         end;
-        (* Dequeue: the consumer needs a buffered item; the local read takes
-           one cycle. *)
-        if waiting_get.(c) && items.(c) > 0 && not deq_busy.(c) then begin
+        (* Dequeue: the consumer needs [consume] buffered items; the local
+           read takes the get-side latency (shared with the TMG's dequeue
+           transition through {!System.get_side_latency}). *)
+        if waiting_get.(c) && items.(c) >= consume && not deq_busy.(c) then begin
           end_get c;
-          set_items c (items.(c) - 1);
+          set_items c (items.(c) - consume);
           deq_busy.(c) <- true;
-          Heap.push events (!now + 1) (Dequeue_done c)
+          Heap.push events (!now + System.get_side_latency sys c) (Dequeue_done c)
         end
     and advance p =
       pc.(p) <- (pc.(p) + 1) mod Array.length program.(p);
@@ -250,20 +263,30 @@ let run ?monitor ?(max_iterations = 64) ?max_cycles ?(hooks = no_hooks) sys =
           match ev with
           | Compute_done p -> advance p
           | Transfer_done c ->
-            transfer_active.(c) <- false;
-            (* Both endpoints move past their put/get; the consumer first is an
-               arbitrary but fixed tie-break (no semantic effect: both advance at
-               the same instant). *)
+            (* A handshake with a positive hold keeps the channel busy until
+               the consumer acks; with hold = 0 the event flow is exactly the
+               rendezvous one. Both endpoints move past their put/get; the
+               consumer first is an arbitrary but fixed tie-break (no
+               semantic effect: both advance at the same instant). *)
+            (match System.channel_kind sys c with
+             | System.Handshake { hold } when hold > 0 ->
+               Heap.push events (!now + hold) (Ack_done c)
+             | _ -> transfer_active.(c) <- false);
             advance (System.channel_dst sys c);
             advance (System.channel_src sys c)
+          | Ack_done c ->
+            transfer_active.(c) <- false;
+            try_match c
           | Enqueue_done c ->
+            let produce, _ = System.channel_rates sys c in
             enq_busy.(c) <- false;
-            set_items c (items.(c) + 1);
+            set_items c (items.(c) + produce);
             advance (System.channel_src sys c);
             try_match c
           | Dequeue_done c ->
+            let _, consume = System.channel_rates sys c in
             deq_busy.(c) <- false;
-            credits.(c) <- credits.(c) + 1;
+            credits.(c) <- credits.(c) + consume;
             advance (System.channel_dst sys c);
             try_match c
         end
@@ -399,7 +422,10 @@ let pp_profile sys ppf r =
     (System.processes sys);
   let fifos =
     List.filter
-      (fun c -> match System.channel_kind sys c with System.Fifo _ -> true | _ -> false)
+      (fun c ->
+        match System.channel_kind sys c with
+        | System.Fifo _ | System.Multi_rate _ -> true
+        | System.Rendezvous | System.Handshake _ -> false)
       (System.channels sys)
   in
   if fifos <> [] then begin
@@ -407,7 +433,9 @@ let pp_profile sys ppf r =
     List.iter
       (fun c ->
         let depth =
-          match System.channel_kind sys c with System.Fifo d -> d | _ -> 0
+          match System.channel_kind sys c with
+          | System.Fifo d | System.Multi_rate { depth = d; _ } -> d
+          | System.Rendezvous | System.Handshake _ -> 0
         in
         Format.fprintf ppf "  %-16s %10d %12.2f %12d@,"
           (System.channel_name sys c) depth

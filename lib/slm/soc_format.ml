@@ -69,6 +69,34 @@ let rec parse_impls dcol acc = function
     parse_impls dcol (impl :: acc) rest
   | (tok, col) :: _ -> fail col "expected 'impl TAG latency INT area FLOAT', got %S" tok
 
+let kind_usage =
+  "usage: channel NAME SRC DST latency INT [fifo INT | rate INT/INT fifo INT | \
+   handshake INT]"
+
+(* The channel-kind tail of a [channel] directive. Returns the kind and the
+   column of its parameter token (where a validation error should point), or
+   [None] for the default rendezvous kind. Shared with the linter, which
+   re-runs it on the raw token stream to produce position-accurate
+   diagnostics even when the strict parse fails elsewhere.
+   @raise Parse_error on a malformed tail. *)
+let parse_kind_tokens rest =
+  match rest with
+  | [] -> None
+  | [ ("fifo", _); (k, kcol) ] -> Some (System.Fifo (int_of kcol "fifo" k), kcol)
+  | [ ("rate", _); (pc, rcol); ("fifo", _); (k, kcol) ] ->
+    let produce, consume =
+      match String.index_opt pc '/' with
+      | Some i ->
+        let p = String.sub pc 0 i in
+        let c = String.sub pc (i + 1) (String.length pc - i - 1) in
+        (int_of rcol "rate produce" p, int_of (rcol + i + 1) "rate consume" c)
+      | None -> fail rcol "rate: expected PRODUCE/CONSUME, got %S" pc
+    in
+    Some (System.Multi_rate { produce; consume; depth = int_of kcol "fifo" k }, rcol)
+  | [ ("handshake", _); (k, kcol) ] ->
+    Some (System.Handshake { hold = int_of kcol "handshake" k }, kcol)
+  | (_, col) :: _ -> fail col "%s" kind_usage
+
 let find_process sys col name =
   match System.find_process sys name with
   | Some p -> p
@@ -150,17 +178,21 @@ let parse ?limits text =
       :: (l, lcol) :: rest ->
       let s = get_sys dcol in
       let src = find_process s scol src and dst = find_process s tcol dst in
+      let latency = int_of lcol "latency" l in
+      if latency < 1 then fail lcol "latency must be >= 1, got %d" latency;
       let c =
-        try System.add_channel s ~name ~src ~dst ~latency:(int_of lcol "latency" l)
+        try System.add_channel s ~name ~src ~dst ~latency
         with Invalid_argument m -> fail ncol "%s" m
       in
-      (match rest with
-       | [] -> ()
-       | [ ("fifo", _); (k, kcol) ] -> (
-         try System.set_channel_kind s c (System.Fifo (int_of kcol "fifo" k))
-         with Invalid_argument m -> fail kcol "%s" m)
-       | _ -> fail dcol "usage: channel NAME SRC DST latency INT [fifo INT]")
-    | ("channel", dcol) :: _ -> fail dcol "usage: channel NAME SRC DST latency INT [fifo INT]"
+      (match parse_kind_tokens rest with
+       | None -> ()
+       | Some (kind, pcol) -> (
+         (* Validate first so the diagnostic carries the bare message, not
+            the [set_channel_kind] exception prefix (same text as lint). *)
+         match System.validate_kind kind with
+         | Error m -> fail pcol "%s" m
+         | Ok () -> System.set_channel_kind s c kind))
+    | ("channel", dcol) :: _ -> fail dcol "%s" kind_usage
     | ("gets", dcol) :: (pname, pcol) :: chs ->
       let s = get_sys dcol in
       let p = find_process s pcol pname in
@@ -232,7 +264,7 @@ let print sys =
         (System.channel_latency sys c)
         (match System.channel_kind sys c with
          | System.Rendezvous -> ""
-         | System.Fifo k -> Printf.sprintf " fifo %d" k))
+         | k -> " " ^ System.string_of_kind k))
     (System.channels sys);
   List.iter
     (fun p ->

@@ -8,10 +8,16 @@
     system NAME
     process NAME [puts_first] impl TAG latency INT area FLOAT [impl ...]...
     select PROCESS INDEX
-    channel NAME SRC DST latency INT [fifo INT]
+    channel NAME SRC DST latency INT [fifo INT | rate INT/INT fifo INT | handshake INT]
     gets PROCESS CH CH ...     # permutation of PROCESS's input channels
     puts PROCESS CH CH ...     # permutation of PROCESS's output channels
     v}
+
+    The channel tail selects the kind: nothing for a rendezvous, [fifo D]
+    for a depth-[D] FIFO, [rate P/C fifo D] for an SDF-style multi-rate
+    buffer ([P] items deposited per put, [C] removed per get), and
+    [handshake K] for a valid/ready handshake whose consumer holds data [K]
+    cycles before acking. Channel latency must be ≥ 1.
 
     Directives may appear in any order as long as every name is declared
     before it is referenced (the printer emits processes, then channels, then
@@ -36,6 +42,19 @@ val tokenize : string -> (string * int) list
     This is the exact lexer [parse] uses — exposed so the lint pass
     ([Ermes_verify.Lint]) can diagnose declaration-level mistakes in files
     the strict parser rejects. *)
+
+exception Parse_error of int * string
+(** [(column, message)] — raised by {!parse_kind_tokens}; internal to
+    {!parse}, which collects it into its error listing. *)
+
+val parse_kind_tokens :
+  (string * int) list -> (System.channel_kind * int) option
+(** [parse_kind_tokens rest] parses the channel-kind tail of a [channel]
+    directive from [tokenize]d tokens (everything after the latency value):
+    [None] for an empty tail (rendezvous), otherwise the kind and the column
+    of its parameter token. Performs no semantic validation — pair it with
+    {!System.validate_kind}. Shared with the linter so the two can never
+    drift. @raise Parse_error on a malformed tail. *)
 
 val parse : ?limits:limits -> string -> (System.t, string) result
 (** [parse text] builds a system, or returns an error message. Every error

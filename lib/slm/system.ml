@@ -18,7 +18,50 @@ type pinfo = {
   mutable puts : channel list;
 }
 
-type channel_kind = Rendezvous | Fifo of int
+type channel_kind =
+  | Rendezvous
+  | Fifo of int
+  | Multi_rate of { produce : int; consume : int; depth : int }
+  | Handshake of { hold : int }
+
+let max_rate = 1024
+
+let validate_kind = function
+  | Rendezvous -> Ok ()
+  | Fifo depth ->
+    if depth < 1 then Error "FIFO depth must be >= 1" else Ok ()
+  | Multi_rate { produce; consume; depth } ->
+    if produce < 1 || consume < 1 then
+      Error
+        (Printf.sprintf "multi-rate produce/consume must be >= 1, got %d/%d" produce
+           consume)
+    else if produce > max_rate || consume > max_rate then
+      Error
+        (Printf.sprintf "multi-rate produce/consume must be <= %d, got %d/%d" max_rate
+           produce consume)
+    else if depth < max produce consume then
+      Error
+        (Printf.sprintf
+           "multi-rate depth must be >= max(produce, consume) = %d, got %d"
+           (max produce consume) depth)
+    else Ok ()
+  | Handshake { hold } ->
+    if hold < 0 then Error (Printf.sprintf "handshake hold must be >= 0, got %d" hold)
+    else Ok ()
+
+let string_of_kind = function
+  | Rendezvous -> "rendezvous"
+  | Fifo depth -> Printf.sprintf "fifo %d" depth
+  | Multi_rate { produce; consume; depth } ->
+    Printf.sprintf "rate %d/%d fifo %d" produce consume depth
+  | Handshake { hold } -> Printf.sprintf "handshake %d" hold
+
+(* The canonical non-default annotation every printer shares: empty for the
+   default rendezvous kind, otherwise a space and [string_of_kind] — exactly
+   the suffix [Soc_format] parses back. *)
+let kind_suffix = function
+  | Rendezvous -> ""
+  | k -> " " ^ string_of_kind k
 
 type cinfo = { cname : string; clatency : int; mutable ckind : channel_kind }
 
@@ -94,12 +137,19 @@ let channel_kind t c = (Digraph.arc_label t.g c).ckind
 let put_side_latency t c = channel_latency t c
 
 let get_side_latency t c =
-  match channel_kind t c with Rendezvous -> channel_latency t c | Fifo _ -> 1
+  match channel_kind t c with
+  | Rendezvous | Handshake _ -> channel_latency t c
+  | Fifo _ | Multi_rate _ -> 1
+
+let channel_rates t c =
+  match channel_kind t c with
+  | Multi_rate { produce; consume; _ } -> (produce, consume)
+  | Rendezvous | Fifo _ | Handshake _ -> (1, 1)
 
 let set_channel_kind t c kind =
-  (match kind with
-   | Fifo depth when depth < 1 -> invalid_arg "System.set_channel_kind: FIFO depth must be >= 1"
-   | Fifo _ | Rendezvous -> ());
+  (match validate_kind kind with
+   | Error m -> invalid_arg ("System.set_channel_kind: " ^ m)
+   | Ok () -> ());
   (Digraph.arc_label t.g c).ckind <- kind
 
 let impls t p = (Digraph.vertex_label t.g p).impls
@@ -155,6 +205,104 @@ let order_combinations t =
 let graph t =
   Digraph.map_labels ~vertex:(fun pi -> pi.pname) ~arc:(fun ci -> ci.cname) t.g
 
+let max_repetition = 4096
+
+(* Minimal positive integer solution of the SDF balance equations
+   q(src)·produce = q(dst)·consume over every channel: the number of firings
+   of each process per common period. Unit-rate kinds constrain their
+   endpoints to equal rates, so a system without [Multi_rate] channels always
+   gets the all-ones vector. Propagates exact rationals over an undirected
+   BFS, then scales each weakly-connected component to the least integer
+   vector; inconsistent rates (no common period) or a repetition count above
+   [max_repetition] are reported as errors. *)
+let repetition_vector t =
+  let np = process_count t in
+  if np = 0 then Ok [||]
+  else begin
+    let num = Array.make np 0 and den = Array.make np 1 in
+    let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+    let adj = Array.make np [] in
+    List.iter
+      (fun c ->
+        let produce, consume = channel_rates t c in
+        let s = channel_src t c and d = channel_dst t c in
+        (* q(v) = q(u) * mul / div along the (undirected) hop. *)
+        adj.(s) <- (c, d, produce, consume) :: adj.(s);
+        adj.(d) <- (c, s, consume, produce) :: adj.(d))
+      (channels t);
+    let error = ref None in
+    let fail fmt = Printf.ksprintf (fun s -> error := Some s) fmt in
+    let comps = ref [] in
+    for root = 0 to np - 1 do
+      if num.(root) = 0 && !error = None then begin
+        num.(root) <- 1;
+        den.(root) <- 1;
+        let comp = ref [ root ] in
+        let queue = Queue.create () in
+        Queue.push root queue;
+        while (not (Queue.is_empty queue)) && !error = None do
+          let u = Queue.pop queue in
+          List.iter
+            (fun (c, v, mul, div) ->
+              if !error = None then begin
+                let n = num.(u) * mul and d = den.(u) * div in
+                let g = gcd n d in
+                let n = n / g and d = d / g in
+                if n > 1 lsl 30 || d > 1 lsl 30 then
+                  fail "rate unfolding too large around channel %s" (channel_name t c)
+                else if num.(v) = 0 then begin
+                  num.(v) <- n;
+                  den.(v) <- d;
+                  comp := v :: !comp;
+                  Queue.push v queue
+                end
+                else if num.(v) * d <> n * den.(v) then
+                  fail
+                    "inconsistent rates: channel %s admits no common period (%s would \
+                     need to fire %d/%d times per period of %s, but %d/%d elsewhere)"
+                    (channel_name t c) (process_name t v) n d (process_name t u)
+                    num.(v) den.(v)
+              end)
+            adj.(u)
+        done;
+        comps := !comp :: !comps
+      end
+    done;
+    match !error with
+    | Some e -> Error e
+    | None ->
+      let q = Array.make np 1 in
+      List.iter
+        (fun comp ->
+          if !error = None then begin
+            let l =
+              List.fold_left
+                (fun acc p ->
+                  let g = gcd acc den.(p) in
+                  acc / g * den.(p))
+                1 comp
+            in
+            if l > 1 lsl 30 then
+              fail "rate unfolding too large (no small common period)"
+            else begin
+              let vals = List.map (fun p -> num.(p) * (l / den.(p))) comp in
+              let g = List.fold_left gcd 0 vals in
+              List.iter2
+                (fun p v ->
+                  let v = v / g in
+                  if v > max_repetition then
+                    fail
+                      "rate unfolding too large: process %s repeats %d times per \
+                       period (max %d)"
+                      (process_name t p) v max_repetition
+                  else q.(p) <- v)
+                comp vals
+            end
+          end)
+        !comps;
+      (match !error with Some e -> Error e | None -> Ok q)
+  end
+
 let validate t =
   let ( let* ) r f = Result.bind r f in
   let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
@@ -187,9 +335,14 @@ let validate t =
   List.iter
     (fun p -> if !bad = None && not (fwd.(p) && bwd.(p)) then bad := Some p)
     (processes t);
-  match !bad with
-  | Some p -> fail "process %s is not on any source-to-sink path" (process_name t p)
-  | None -> Ok ()
+  let* () =
+    match !bad with
+    | Some p -> fail "process %s is not on any source-to-sink path" (process_name t p)
+    | None -> Ok ()
+  in
+  (* Multi-rate weights must admit a common period, or no bounded schedule
+     (and no marked-graph unfolding) exists. *)
+  match repetition_vector t with Error m -> Error m | Ok _ -> Ok ()
 
 let copy t =
   let t' = create ~name:t.sys_name () in
@@ -223,8 +376,9 @@ let to_dot t =
     [ ("shape", shape); ("label", Printf.sprintf "%s\nL=%d" (process_name t p) (latency t p)) ]
   in
   let arc_attrs c =
-    let suffix = match channel_kind t c with Rendezvous -> "" | Fifo k -> Printf.sprintf " fifo:%d" k in
-    [ ("label", Printf.sprintf "%s (%d%s)" (channel_name t c) (channel_latency t c) suffix) ]
+    [ ("label",
+       Printf.sprintf "%s (%d%s)" (channel_name t c) (channel_latency t c)
+         (kind_suffix (channel_kind t c))) ]
   in
   Dot.to_string ~name:t.sys_name ~vertex_attrs ~arc_attrs ~vertex_name t.g
 
@@ -244,8 +398,6 @@ let pp ppf t =
         (process_name t (channel_src t c))
         (process_name t (channel_dst t c))
         (channel_latency t c)
-        (match channel_kind t c with
-         | Rendezvous -> ""
-         | Fifo k -> Printf.sprintf " fifo=%d" k))
+        (kind_suffix (channel_kind t c)))
     (channels t);
   Format.fprintf ppf "@]"

@@ -46,6 +46,36 @@ type channel_kind =
           the producer run ahead — cycles that couple the consumer back to
           the producer gain one token per slot — but it cannot repair a
           deadlock caused by reversed data dependencies. *)
+  | Multi_rate of { produce : int; consume : int; depth : int }
+      (** an SDF-style bounded buffer with integer transfer weights: each
+          producer [put] deposits [produce] items, each consumer [get]
+          removes [consume] items, through a buffer of [depth] ≥
+          max(produce, consume) slots. [Multi_rate { produce = 1;
+          consume = 1; depth }] is semantically identical to [Fifo depth].
+          A system's multi-rate weights must admit a common period
+          ({!repetition_vector}); {!validate} rejects inconsistent rates. *)
+  | Handshake of { hold : int }
+      (** a latency-insensitive valid/ready handshake: the transfer is a
+          rendezvous (both sides block until the other arrives), but after
+          each transfer the consumer holds the data for [hold] ≥ 0 extra
+          cycles before acknowledging, and the producer cannot start the
+          next transfer until the ack. [Handshake { hold = 0 }] behaves
+          identically to [Rendezvous]. *)
+
+val max_rate : int
+(** Cap on [Multi_rate] produce/consume weights (1024). *)
+
+val validate_kind : channel_kind -> (unit, string) result
+(** The single validity check for channel-kind parameters, shared by
+    {!set_channel_kind} (which raises on [Error]) and the linter (which turns
+    the same message into a diagnostic): FIFO depth ≥ 1, multi-rate
+    produce/consume in [1, 1024] with depth ≥ max(produce, consume),
+    handshake hold ≥ 0. *)
+
+val string_of_kind : channel_kind -> string
+(** Canonical rendering of a kind, identical everywhere a kind is printed
+    (and exactly what {!Soc_format} parses back): ["rendezvous"],
+    ["fifo D"], ["rate P/C fifo D"], ["handshake K"]. *)
 
 type t
 
@@ -73,7 +103,7 @@ val add_channel : t -> name:string -> src:process -> dst:process -> latency:int 
 
 val set_channel_kind : t -> channel -> channel_kind -> unit
 (** Change a channel's protocol — buffer sizing is an exploration knob.
-    @raise Invalid_argument on a FIFO depth < 1. *)
+    @raise Invalid_argument when {!validate_kind} rejects the kind. *)
 
 val process_count : t -> int
 val channel_count : t -> int
@@ -97,7 +127,23 @@ val put_side_latency : t -> channel -> int
 
 val get_side_latency : t -> channel -> int
 (** Cycles the consumer spends per transfer: the channel latency for a
-    rendezvous channel, one cycle (the local buffer read) for a FIFO. *)
+    rendezvous or handshake channel (the transfer is shared), one cycle (the
+    local buffer read) for a FIFO or multi-rate buffer. This is the single
+    source of truth for the dequeue latency: both the TMG translation's
+    dequeue transition and the simulator's dequeue event use it, so the two
+    models cannot disagree. *)
+
+val channel_rates : t -> channel -> int * int
+(** [(produce, consume)] items per transfer — [(1, 1)] for every kind except
+    [Multi_rate]. *)
+
+val repetition_vector : t -> (int array, string) result
+(** The minimal positive integer solution of the SDF balance equations
+    [q(src) * produce = q(dst) * consume] per channel, indexed by process:
+    how many times each process fires per common period. All-ones when every
+    channel has unit rates. [Error] when the rates are inconsistent (no
+    common period exists) or the unfolding would exceed 4096 firings for
+    some process. *)
 
 val impls : t -> process -> impl array
 val selected : t -> process -> int
@@ -143,7 +189,8 @@ val graph : t -> (string, string) Ermes_digraph.Digraph.t
 
 val validate : t -> (unit, string) result
 (** Structural checks: at least one process, weak connectivity, at least one
-    source and one sink, and every process lies on a source→sink path. *)
+    source and one sink, every process lies on a source→sink path, and the
+    multi-rate weights admit a common period ({!repetition_vector}). *)
 
 val copy : t -> t
 (** Deep copy (orders and selections are independent). *)

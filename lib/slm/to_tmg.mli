@@ -1,20 +1,35 @@
-(** Translation of a system into its timed marked graph (paper §3, Fig. 3).
+(** Translation of a system into its timed marked graph (paper §3, Fig. 3),
+    generalized to multi-rate and handshake channels by rate-unfolding.
 
-    Each {e rendezvous} channel becomes one transition whose delay is the
-    channel latency; each process's computation phase becomes one transition
-    whose delay is the process's (currently selected) latency. The serial
-    structure of a process — gets in [get]-order, then compute, then puts in
-    [put]-order, cyclically (or puts first for [Puts_first] processes) —
-    becomes a cycle of places threading those transitions: the place entering
-    a channel transition from the consumer side is the {e get-place}, from
-    the producer side the {e put-place}.
+    The repetition vector [q] ({!System.repetition_vector}) gives each
+    process its number of firings per common period; every structure below
+    is instantiated [q]-many times per period, and a unit-rate system (all
+    [q] = 1) builds exactly the historical single-instance net.
 
-    A {e FIFO} channel of depth [k] becomes a relay-station pair: an enqueue
-    transition (delay = channel latency) on the producer side and a dequeue
-    transition (delay 1) on the consumer side, joined by an empty data place
-    and a [k]-token credit place in the reverse direction — so any cycle that
-    couples the consumer back to the producer through the channel carries the
-    [k] buffering tokens.
+    Each {e rendezvous} channel becomes one transition per instance whose
+    delay is the channel latency; each process's computation phase becomes
+    one transition per instance whose delay is the process's (currently
+    selected) latency. The serial structure of a process — gets in
+    [get]-order, then compute, then puts in [put]-order, cyclically (or puts
+    first for [Puts_first] processes), unrolled [q] times — becomes a single
+    cycle of places threading those transitions with one token: the place
+    entering a channel transition from the consumer side is the
+    {e get-place}, from the producer side the {e put-place}.
+
+    A {e FIFO} or {e multi-rate} channel becomes a relay-station gadget: an
+    enqueue transition (delay = channel latency) per producer instance and a
+    dequeue transition (delay = {!System.get_side_latency}, the local buffer
+    read) per consumer instance, joined by data places forward and credit
+    places backward whose sources and markings come from the closed-form
+    producer/consumer instance arithmetic — at unit rates, exactly one empty
+    data place and one [depth]-token credit place.
+
+    A {e handshake} channel becomes a transfer transition per instance (both
+    endpoints thread through it, like a rendezvous) plus an {e ack}
+    transition of delay [hold]; the ack loop X_i → A_i → X_{i+1 (mod q)}
+    carries a single token, so consecutive transfers are separated by the
+    hold time. With [hold = 0] the ack loop can never be critical, so the
+    cycle time equals the rendezvous translation's.
 
     Initial marking: one token in the place that precedes each process's
     first I/O statement — the first get-place for processes with inputs, the
@@ -26,14 +41,24 @@ type owner = Channel of System.channel | Process of System.process
 
 type mapping = {
   tmg : Ermes_tmg.Tmg.t;
-  channel_entry : Ermes_tmg.Tmg.transition array;
-      (** producer-side transition per channel: the single rendezvous
-          transition, or the FIFO's enqueue *)
-  channel_exit : Ermes_tmg.Tmg.transition array;
-      (** consumer-side transition per channel: equals [channel_entry] for
-          rendezvous channels, the FIFO's dequeue otherwise *)
-  compute_transition : Ermes_tmg.Tmg.transition array;
-      (** indexed by process id *)
+  channel_entry : Ermes_tmg.Tmg.transition array array;
+      (** producer-side transition instances per channel (one per producer
+          firing per period): the rendezvous/handshake transfer transitions,
+          or the buffered gadget's enqueues *)
+  channel_exit : Ermes_tmg.Tmg.transition array array;
+      (** consumer-side transition instances per channel: equals
+          [channel_entry] for rendezvous and handshake channels, the
+          buffered gadget's dequeues otherwise *)
+  channel_ack : Ermes_tmg.Tmg.transition array array;
+      (** handshake ack transitions (delay = hold) per channel, [[||]] for
+          every other kind. A [hold] edit is a {!Ermes_tmg.Tmg.set_delay}
+          on each of these. *)
+  compute_transition : Ermes_tmg.Tmg.transition array array;
+      (** per process, its compute-transition instances (one per firing per
+          period); a selection change is a delay write on each *)
+  repetition : int array;
+      (** the repetition vector the net was built under, indexed by
+          process *)
   owner : owner array;  (** indexed by transition id *)
   initial_place : Ermes_tmg.Tmg.place option array;
       (** per process, the place of its statement cycle holding the single
@@ -44,26 +69,40 @@ type mapping = {
       (** per process, its statement-cycle places in creation order: index
           [i] is the place entering statement [i+1] (cyclically). These are
           the places {!rethread} rewires in place after an order change. *)
-  credit_place : Ermes_tmg.Tmg.place option array;
-      (** per channel, the FIFO credit place whose token count is the FIFO
-          depth — [None] for rendezvous channels. A [Fifo d → Fifo d']
-          depth change is absorbed in place with
-          {!Ermes_tmg.Tmg.set_tokens}; only [Rendezvous ↔ Fifo] changes
-          the transition set and requires a fresh {!build}. *)
+  data_place : Ermes_tmg.Tmg.place array array;
+      (** per channel, the forward places of its gadget: per dequeue
+          instance for buffered kinds, the X → ack places for handshakes,
+          [[||]] for rendezvous *)
+  credit_place : Ermes_tmg.Tmg.place array array;
+      (** per channel, the backward places of its gadget: per enqueue
+          instance for buffered kinds (at unit rates, the single place whose
+          token count is the FIFO depth), the ack → X places for
+          handshakes, [[||]] for rendezvous. Depth changes are absorbed in
+          place by {!absorb_depth_edit} when sound. *)
 }
 
 val build : System.t -> mapping
 (** [build sys] constructs the TMG of the system under its current statement
-    orders, implementation selections and channel kinds. *)
+    orders, implementation selections and channel kinds.
+    @raise Invalid_argument when {!System.repetition_vector} fails (callers
+    are expected to {!System.validate} first). *)
 
 val rethread : mapping -> System.t -> System.process -> unit
 (** [rethread mapping sys p] rewires process [p]'s chain places to match the
     system's {e current} [get]/[put] orders, producing a net bit-identical
     (same ids, names, endpoints, marking) to what [build] would create from
     scratch — without rebuilding anything. Selection changes need no rethread
-    (use {!Ermes_tmg.Tmg.set_delay} on [compute_transition]); channel-kind
-    changes do require a fresh {!build}.
+    (use {!Ermes_tmg.Tmg.set_delay} on the [compute_transition] instances);
+    channel-kind changes do require a fresh {!build}.
     @raise Invalid_argument if the statement count changed. *)
+
+val absorb_depth_edit : mapping -> System.t -> System.channel -> bool
+(** [absorb_depth_edit mapping sys c] updates the net in place for a
+    depth-only change of buffered channel [c] (the system already holds the
+    new kind; produce/consume must be unchanged). Returns [true] when the
+    edit was absorbed as credit-place token writes — always, at unit rates —
+    and [false] (net untouched) when the new depth moves a credit-place
+    source, which only happens at true multi-rates and requires a rebuild. *)
 
 val transition_owner : mapping -> Ermes_tmg.Tmg.transition -> owner
 

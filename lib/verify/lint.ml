@@ -106,17 +106,41 @@ let declaration_pass lines =
           if src_ok then append t.outs src name;
           if dst_ok then append t.ins dst name
         end;
-        let rec fifo = function
-          | ("fifo", _) :: (k, kcol) :: _ -> (
-            match int_of_string_opt k with
+        (* Latency and kind parameters, through the same helpers the strict
+           parser and [System.set_channel_kind] use — the checks cannot
+           drift. E106 keeps its historical meaning (bad FIFO depth); other
+           kinds report under E109; a throughput-limiting multi-rate depth
+           is W203. *)
+        (match rest with
+         | ("latency", _) :: (l, lcol) :: tail ->
+           (match int_of_string_opt l with
             | Some v when v < 1 ->
-              emit "E106" Error line kcol "channel %S: FIFO depth must be >= 1, got %d"
+              emit "E111" Error line lcol "channel %S: latency must be >= 1, got %d"
                 name v
-            | _ -> ())
-          | _ :: rest -> fifo rest
-          | [] -> ()
-        in
-        fifo rest
+            | _ -> ());
+           (match Soc_format.parse_kind_tokens tail with
+            | exception Soc_format.Parse_error (col, msg) ->
+              emit "E109" Error line col "channel %S: %s" name msg
+            | None -> ()
+            | Some (kind, pcol) -> (
+              match System.validate_kind kind with
+              | Error msg -> (
+                match kind with
+                | System.Fifo d ->
+                  emit "E106" Error line pcol "channel %S: %s, got %d" name msg d
+                | _ -> emit "E109" Error line pcol "channel %S: %s" name msg)
+              | Ok () -> (
+                match kind with
+                | System.Multi_rate { produce; consume; depth } ->
+                  let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+                  let safe = produce + consume - gcd produce consume in
+                  if depth < safe then
+                    emit "W203" Warning line pcol
+                      "channel %S: depth %d is below produce + consume - \
+                       gcd = %d and may deadlock or throttle the rates"
+                      name depth safe
+                | _ -> ())))
+         | _ -> ())
       | _ -> ())
     lines;
   (* Sweep 3: references (select / gets / puts). *)
@@ -211,6 +235,13 @@ let semantic_pass sys proc_pos =
       (fun message -> diags := { code; severity; line; col; message } :: !diags)
       fmt
   in
+  match System.repetition_vector sys with
+  | Error msg ->
+    (* Inconsistent multi-rate weights: no common period, no unfolding, no
+       TMG — its own code, distinct from the structural E105. *)
+    emit "E110" Error 0 0 "%s" msg;
+    !diags
+  | Ok _ ->
   match System.validate sys with
   | Error msg ->
     emit "E105" Error 0 0 "invalid system structure: %s" msg;

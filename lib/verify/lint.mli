@@ -28,10 +28,19 @@
     E108  resource limit: the input (or a single token) exceeds the
           configured byte ceiling ({!Ermes_slm.Soc_format.default_limits};
           ERMES_MAX_SOC_BYTES / ERMES_MAX_SOC_TOKEN)
+    E109  invalid channel-kind parameters: malformed kind tail, multi-rate
+          produce/consume out of range or depth below max(produce, consume),
+          negative handshake hold ({!Ermes_slm.System.validate_kind})
+    E110  inconsistent multi-rate weights: the SDF balance equations admit
+          no common period, or the rate unfolding would be unreasonably
+          large ({!Ermes_slm.System.repetition_vector})
+    E111  non-positive channel latency
     W201  serialization warning: swapping two adjacent gets strictly
           improves the cycle time
     W202  serialization warning: swapping two adjacent puts strictly
           improves the cycle time
+    W203  multi-rate depth below produce + consume - gcd(produce, consume):
+          the buffer may deadlock the channel or throttle its rates
     v}
 
     Exit-code contract (implemented by the CLI): 0 when the report is clean
@@ -43,7 +52,7 @@
 type severity = Error | Warning
 
 type diagnostic = {
-  code : string;  (** stable code, ["E101"] .. ["W202"] *)
+  code : string;  (** stable code, ["E101"] .. ["W203"] *)
   severity : severity;
   line : int;  (** 1-based; 0 for whole-system diagnostics *)
   col : int;  (** 1-based; 0 for whole-system diagnostics *)

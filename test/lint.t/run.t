@@ -36,7 +36,7 @@ declarations are already broken:
   broken.soc:3:9: E102 error: duplicate process "p"
   broken.soc:4:9: E105 error: process "lonely" has no channels (isolated)
   broken.soc:6:9: E101 error: channel "self" must connect two distinct processes, both ends are "p"
-  broken.soc:7:30: E106 error: channel "a": FIFO depth must be >= 1, got 0
+  broken.soc:7:30: E106 error: channel "a": FIFO depth must be >= 1
   broken.soc:8:9: E102 error: duplicate channel "a"
   broken.soc:9:13: E102 error: channel "b": undeclared process "ghost"
   broken.soc:10:6: E102 error: puts: undeclared process "nobody"
@@ -171,3 +171,43 @@ unreadable file:
   $ ermes lint missing.soc
   ermes: missing.soc: No such file or directory
   [1]
+
+E109/E110/E111/W203: channel-kind and rate diagnostics. E111 flags a
+non-positive latency at its column; E109 a malformed or invalid kind
+tail; E110 inconsistent multi-rate weights (no common period); W203 a
+multi-rate depth that passes validation but can still deadlock:
+
+  $ cat > kinds.soc <<'EOF_SOC'
+  > system kinds
+  > process a impl only latency 1 area 0
+  > process b impl only latency 1 area 0
+  > process c impl only latency 1 area 0
+  > channel u a b latency 0
+  > channel v a b latency 1 rate 2/0 fifo 4
+  > channel w a b latency 1 frobnicate 9
+  > channel x b c latency 1 rate 2/3 fifo 3
+  > channel y b c latency 1 handshake 2
+  > EOF_SOC
+  $ ermes lint kinds.soc
+  kinds.soc:5:23: E111 error: channel "u": latency must be >= 1, got 0
+  kinds.soc:6:30: E109 error: channel "v": multi-rate produce/consume must be >= 1, got 2/0
+  kinds.soc:7:25: E109 error: channel "w": usage: channel NAME SRC DST latency INT [fifo INT | rate INT/INT fifo INT | handshake INT]
+  kinds.soc:8:30: W203 warning: channel "x": depth 3 is below produce + consume - gcd = 4 and may deadlock or throttle the rates
+  kinds.soc: 3 error(s), 1 warning(s)
+  [2]
+
+E110: a reconvergent pair of paths whose rates admit no common period:
+
+  $ cat > rates.soc <<'EOF_SOC'
+  > system rates
+  > process src impl only latency 1 area 0
+  > process mid impl only latency 1 area 0
+  > process snk impl only latency 1 area 0
+  > channel a src mid latency 1 rate 2/1 fifo 2
+  > channel b mid snk latency 1
+  > channel c src snk latency 1
+  > EOF_SOC
+  $ ermes lint rates.soc
+  rates.soc: E110 error: inconsistent rates: channel b admits no common period (mid would need to fire 1/1 times per period of snk, but 2/1 elsewhere)
+  rates.soc: 1 error(s), 0 warning(s)
+  [2]

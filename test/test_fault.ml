@@ -240,6 +240,37 @@ let test_differential_dead_scenario () =
   Alcotest.(check bool) "deadlock verdict" true
     (r.Differential.verdict = Some Differential.Dead)
 
+let test_differential_new_kinds () =
+  (* Multi-rate and handshake channels through the full oracle battery, with
+     faults on top. The unfolded system's sim verdict is compared at the
+     q(monitor)-scaled period. *)
+  let sys = Motivating.suboptimal () in
+  let a = find_c sys "a" and b = find_c sys "b" in
+  System.set_channel_kind sys a (System.Multi_rate { produce = 1; consume = 1; depth = 2 });
+  System.set_channel_kind sys b (System.Handshake { hold = 3 });
+  let scenario =
+    [
+      Fault.Latency_jitter { channel = b; delta = 2 };
+      Fault.Fifo_shrink { channel = a; depth = 1 };
+    ]
+  in
+  let r = Differential.run_case sys scenario in
+  Alcotest.(check (list string)) "all oracles agree" [] r.Differential.mismatches;
+  (* A true rate-unfolded chain (q = (3, 2, 2)), no faults: every oracle on
+     the unfolded TMG plus the q-scaled simulator. *)
+  let mr = System.create ~name:"mr" () in
+  let src = System.add_simple_process mr ~latency:1 ~area:0. "src" in
+  let dec = System.add_simple_process mr ~latency:2 ~area:0. "dec" in
+  let snk = System.add_simple_process mr ~latency:1 ~area:0. "snk" in
+  let c = System.add_channel mr ~name:"a" ~src ~dst:dec ~latency:1 in
+  ignore (System.add_channel mr ~name:"b" ~src:dec ~dst:snk ~latency:1);
+  System.set_channel_kind mr c (System.Multi_rate { produce = 2; consume = 3; depth = 6 });
+  let r = Differential.run_case mr [] in
+  Alcotest.(check (list string)) "multi-rate chain agrees" [] r.Differential.mismatches;
+  match r.Differential.verdict with
+  | Some (Differential.Live _) -> ()
+  | _ -> Alcotest.fail "expected a live verdict"
+
 (* ---- fuzz campaign -------------------------------------------------------- *)
 
 let test_fuzz_clean_and_deterministic () =
@@ -254,6 +285,18 @@ let test_fuzz_clean_and_deterministic () =
   Alcotest.(check int) "deterministic live count" s1.Fuzz.live s2.Fuzz.live;
   Alcotest.(check int) "deterministic dead count" s1.Fuzz.dead s2.Fuzz.dead;
   Alcotest.(check int) "deterministic fault count" s1.Fuzz.faults_injected s2.Fuzz.faults_injected
+
+let test_fuzz_mixed_kinds_sweep () =
+  (* Acceptance sweep: 500 random systems mixing all four channel kinds (the
+     generator draws per-process repetition factors, so true multi-rate
+     weights appear alongside FIFOs and handshakes), all eight oracles
+     cross-checked on every case. *)
+  let config = { Fuzz.default with Fuzz.cases = 500; seed = 11; repro_dir = None } in
+  let s = Fuzz.run ~jobs:4 config in
+  Alcotest.(check (list string)) "no mismatches" []
+    (List.concat_map (fun f -> f.Fuzz.mismatches) s.Fuzz.failures);
+  Alcotest.(check int) "all cases ran" 500 s.Fuzz.cases_run;
+  Alcotest.(check bool) "both verdicts exercised" true (s.Fuzz.live > 100 && s.Fuzz.dead > 0)
 
 let test_fuzz_repro_emission () =
   (* The repro writer must produce a parseable .soc with the faulted system
@@ -346,10 +389,12 @@ let () =
         [
           Alcotest.test_case "live scenario" `Quick test_differential_live_scenario;
           Alcotest.test_case "dead scenario" `Quick test_differential_dead_scenario;
+          Alcotest.test_case "multi-rate and handshake" `Quick test_differential_new_kinds;
         ] );
       ( "fuzz",
         [
           Alcotest.test_case "clean + deterministic" `Quick test_fuzz_clean_and_deterministic;
+          Alcotest.test_case "mixed-kind 500-case sweep" `Slow test_fuzz_mixed_kinds_sweep;
           Alcotest.test_case "repro emission" `Quick test_fuzz_repro_emission;
         ] );
       ( "resilience",

@@ -129,6 +129,45 @@ let test_depth_edit_in_place () =
   Alcotest.(check int) "4 marking edits" 4
     (Incremental.stats session).Incremental.marking_edits
 
+(* Multi-rate depth edits at fixed weights absorb as token writes on the
+   gadget's credit places (no rebuild at unit rates, and at true rates only
+   when a credit source moves); handshake hold edits absorb as delay writes
+   on the ack instances. Kind and rate changes still rebuild. *)
+let test_new_kind_edits_in_place () =
+  let sys = Motivating.suboptimal () in
+  let a = Option.get (System.find_channel sys "a") in
+  let b = Option.get (System.find_channel sys "b") in
+  System.set_channel_kind sys a
+    (System.Multi_rate { produce = 1; consume = 1; depth = 2 });
+  System.set_channel_kind sys b (System.Handshake { hold = 1 });
+  let session = Incremental.create sys in
+  (match Incremental.analyze session with
+   | Ok _ -> ()
+   | Error _ -> Alcotest.fail "system deadlocked");
+  let rebuilds () = (Incremental.stats session).Incremental.rebuilds in
+  let base = rebuilds () in
+  List.iter
+    (fun d ->
+      System.set_channel_kind sys a
+        (System.Multi_rate { produce = 1; consume = 1; depth = d });
+      Alcotest.(check bool) (Printf.sprintf "agrees at depth %d" d) true
+        (agrees (Perf.analyze sys) (Incremental.analyze session)))
+    [ 3; 1; 5 ];
+  Alcotest.(check int) "depth edits absorbed without rebuild" base (rebuilds ());
+  List.iter
+    (fun hold ->
+      System.set_channel_kind sys b (System.Handshake { hold });
+      Alcotest.(check bool) (Printf.sprintf "agrees at hold %d" hold) true
+        (agrees (Perf.analyze sys) (Incremental.analyze session)))
+    [ 0; 7; 2 ];
+  Alcotest.(check int) "hold edits absorbed without rebuild" base (rebuilds ());
+  (* A rate change is structural. *)
+  System.set_channel_kind sys a
+    (System.Multi_rate { produce = 2; consume = 2; depth = 4 });
+  Alcotest.(check bool) "agrees after rate change" true
+    (agrees (Perf.analyze sys) (Incremental.analyze session));
+  Alcotest.(check bool) "rate change rebuilt" true (rebuilds () > base)
+
 let prop_depth_session_equiv (sys, (which, depths)) =
   let chans = Array.of_list (System.channels sys) in
   let c = chans.(which mod Array.length chans) in
@@ -161,7 +200,10 @@ let reference_buffer_size ?(max_slots = 64) ~tct sys =
     match Perf.analyze sys with Ok a -> a | Error _ -> failwith "deadlock"
   in
   let depth_of c =
-    match System.channel_kind sys c with System.Rendezvous -> 0 | System.Fifo d -> d
+    match System.channel_kind sys c with
+    | System.Rendezvous -> 0
+    | System.Fifo d -> d
+    | System.Multi_rate _ | System.Handshake _ -> assert false
   in
   let set_depth c d =
     System.set_channel_kind sys c (if d = 0 then System.Rendezvous else System.Fifo d)
@@ -457,6 +499,8 @@ let () =
           test_session_equiv_dag;
           Alcotest.test_case "kind change rebuilds" `Quick test_rebuild_on_kind_change;
           Alcotest.test_case "depth edits in place" `Quick test_depth_edit_in_place;
+          Alcotest.test_case "multi-rate/handshake edits in place" `Quick
+            test_new_kind_edits_in_place;
           test_depth_session_equiv;
         ] );
       ( "buffer-opt",

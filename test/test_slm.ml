@@ -155,7 +155,7 @@ let test_to_tmg_shape () =
       Alcotest.(check int)
         (System.channel_name sys c ^ " delay")
         (System.channel_latency sys c)
-        (Tmg.delay tmg m.To_tmg.channel_entry.(c)))
+        (Tmg.delay tmg m.To_tmg.channel_entry.(c).(0)))
     (System.channels sys);
   (* Compute transition delays = process latencies. *)
   List.iter
@@ -163,7 +163,7 @@ let test_to_tmg_shape () =
       Alcotest.(check int)
         (System.process_name sys p ^ " delay")
         (System.latency sys p)
-        (Tmg.delay tmg m.To_tmg.compute_transition.(p)))
+        (Tmg.delay tmg m.To_tmg.compute_transition.(p).(0)))
     (System.processes sys)
 
 let test_to_tmg_marked_graph_invariant () =
@@ -174,7 +174,7 @@ let test_to_tmg_marked_graph_invariant () =
   let m = To_tmg.build sys in
   List.iter
     (fun p ->
-      let t = m.To_tmg.compute_transition.(p) in
+      let t = m.To_tmg.compute_transition.(p).(0) in
       Alcotest.(check int) "one in" 1 (List.length (Tmg.in_places m.To_tmg.tmg t));
       Alcotest.(check int) "one out" 1 (List.length (Tmg.out_places m.To_tmg.tmg t)))
     (System.processes sys)
@@ -184,13 +184,13 @@ let test_to_tmg_owner_mapping () =
   let m = To_tmg.build sys in
   List.iter
     (fun c ->
-      match To_tmg.transition_owner m m.To_tmg.channel_entry.(c) with
+      match To_tmg.transition_owner m m.To_tmg.channel_entry.(c).(0) with
       | To_tmg.Channel c' -> Alcotest.(check int) "channel owner" c c'
       | To_tmg.Process _ -> Alcotest.fail "misclassified channel")
     (System.channels sys);
   List.iter
     (fun p ->
-      match To_tmg.transition_owner m m.To_tmg.compute_transition.(p) with
+      match To_tmg.transition_owner m m.To_tmg.compute_transition.(p).(0) with
       | To_tmg.Process p' -> Alcotest.(check int) "process owner" p p'
       | To_tmg.Channel _ -> Alcotest.fail "misclassified process")
     (System.processes sys)
@@ -360,7 +360,7 @@ let test_to_dot_annotations () =
   let sys = pipeline2 () in
   System.set_channel_kind sys 0 (System.Fifo 3);
   let dot = System.to_dot sys in
-  Alcotest.(check bool) "fifo annotated" true (Astring_contains.contains dot "fifo:3");
+  Alcotest.(check bool) "fifo annotated" true (Astring_contains.contains dot "fifo 3");
   Alcotest.(check bool) "latency annotated" true (Astring_contains.contains dot "L=2")
 
 (* ---- FIFO channels ---------------------------------------------------------- *)
@@ -394,8 +394,8 @@ let test_fifo_tmg_shape () =
   List.iter
     (fun c ->
       Alcotest.(check bool) "entry <> exit" true
-        (m.To_tmg.channel_entry.(c) <> m.To_tmg.channel_exit.(c));
-      Alcotest.(check int) "dequeue delay 1" 1 (Tmg.delay tmg m.To_tmg.channel_exit.(c)))
+        (m.To_tmg.channel_entry.(c).(0) <> m.To_tmg.channel_exit.(c).(0));
+      Alcotest.(check int) "dequeue delay 1" 1 (Tmg.delay tmg m.To_tmg.channel_exit.(c).(0)))
     (System.channels sys)
 
 let test_fifo_decouples_suboptimal_order () =
@@ -469,20 +469,300 @@ let prop_fifo_sim_matches_analysis =
       | _ -> false)
 
 let prop_fifo_mixed_kinds_consistent =
-  (* Random mixture of rendezvous and FIFO channels. *)
+  (* Random mixture of all four channel kinds (multi-rate at unit weights,
+     so the repetition vector stays all-ones and sim period = TMG CT). *)
   Helpers.qtest ~count:40 "mixed channel kinds: simulation = analysis"
-    QCheck2.Gen.(pair Helpers.dag_system_gen (list_repeat 24 (int_range 0 3)))
+    QCheck2.Gen.(
+      pair Helpers.dag_system_gen (list_repeat 24 (pair (int_range 0 5) (int_range 1 4))))
     (fun (sys, draws) ->
       let draws = Array.of_list draws in
       List.iteri
         (fun i c ->
           match draws.(i mod Array.length draws) with
-          | 0 -> ()
-          | d -> System.set_channel_kind sys c (System.Fifo d))
+          | 0, _ -> ()
+          | (1 | 2 | 3), d -> System.set_channel_kind sys c (System.Fifo d)
+          | 4, d -> System.set_channel_kind sys c (System.Handshake { hold = d - 1 })
+          | _, d ->
+            System.set_channel_kind sys c
+              (System.Multi_rate { produce = 1; consume = 1; depth = d }))
         (System.channels sys);
       match (analyze sys, Sim.steady_cycle_time ~rounds:96 sys) with
       | Ok res, Ok (Sim.Period m) -> Ratio.equal res.Howard.cycle_time m
       | Error (Howard.Deadlock _), Ok (Sim.Deadlock _) -> true
+      | _ -> false)
+
+(* ---- multi-rate and handshake channels -------------------------------------- *)
+
+module Verify = Ermes_verify.Verify
+
+let mr_pipeline () =
+  (* src --(rate 2/3 fifo 6)--> dec --(fifo 2)--> snk; repetition vector
+     (3, 2, 2): src puts 2 items per iteration, dec gets 3 per iteration. *)
+  let sys = System.create ~name:"mr" () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let dec = System.add_simple_process sys ~latency:2 ~area:0. "dec" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  let a = System.add_channel sys ~name:"a" ~src ~dst:dec ~latency:1 in
+  let b = System.add_channel sys ~name:"b" ~src:dec ~dst:snk ~latency:1 in
+  System.set_channel_kind sys a (System.Multi_rate { produce = 2; consume = 3; depth = 6 });
+  System.set_channel_kind sys b (System.Fifo 2);
+  sys
+
+let hs_pipeline hold =
+  (* src --(latency 3, handshake)--> mid --> snk. *)
+  let sys = System.create ~name:"hs" () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let mid = System.add_simple_process sys ~latency:2 ~area:0. "mid" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  let a = System.add_channel sys ~name:"a" ~src ~dst:mid ~latency:3 in
+  ignore (System.add_channel sys ~name:"b" ~src:mid ~dst:snk ~latency:1);
+  System.set_channel_kind sys a (System.Handshake { hold });
+  sys
+
+let test_kind_validation () =
+  Alcotest.(check bool) "negative hold rejected" true
+    (Result.is_error (System.validate_kind (System.Handshake { hold = -1 })));
+  Alcotest.(check bool) "zero produce rejected" true
+    (Result.is_error
+       (System.validate_kind (System.Multi_rate { produce = 0; consume = 1; depth = 1 })));
+  Alcotest.(check bool) "depth below max rate rejected" true
+    (Result.is_error
+       (System.validate_kind (System.Multi_rate { produce = 2; consume = 3; depth = 2 })));
+  Alcotest.(check bool) "rate over the cap rejected" true
+    (Result.is_error
+       (System.validate_kind
+          (System.Multi_rate { produce = System.max_rate + 1; consume = 1; depth = 2000 })));
+  Alcotest.(check (result unit string)) "valid multi-rate" (Ok ())
+    (System.validate_kind (System.Multi_rate { produce = 2; consume = 3; depth = 6 }));
+  Alcotest.(check (result unit string)) "valid handshake" (Ok ())
+    (System.validate_kind (System.Handshake { hold = 0 }));
+  let sys = pipeline2 () in
+  Alcotest.check_raises "set_channel_kind routes through validate_kind"
+    (Invalid_argument
+       "System.set_channel_kind: multi-rate depth must be >= max(produce, consume) = 3, \
+        got 1")
+    (fun () ->
+      System.set_channel_kind sys 0 (System.Multi_rate { produce = 2; consume = 3; depth = 1 }))
+
+let test_repetition_vector () =
+  (match System.repetition_vector (mr_pipeline ()) with
+   | Ok q -> Alcotest.(check (array int)) "q = (3, 2, 2)" [| 3; 2; 2 |] q
+   | Error e -> Alcotest.fail e);
+  (match System.repetition_vector (pipeline2 ()) with
+   | Ok q -> Alcotest.(check (array int)) "unit system is all-ones" [| 1; 1; 1; 1 |] q
+   | Error e -> Alcotest.fail e);
+  (* A reconvergent pair of paths with conflicting products has no common
+     period: q(snk) = 2 q(src) through m, q(snk) = q(src) directly. *)
+  let sys = System.create ~name:"bad" () in
+  let src = System.add_simple_process sys ~latency:1 ~area:0. "src" in
+  let m = System.add_simple_process sys ~latency:1 ~area:0. "m" in
+  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+  let a = System.add_channel sys ~name:"a" ~src ~dst:m ~latency:1 in
+  ignore (System.add_channel sys ~name:"b" ~src:m ~dst:snk ~latency:1);
+  ignore (System.add_channel sys ~name:"c" ~src ~dst:snk ~latency:1);
+  System.set_channel_kind sys a (System.Multi_rate { produce = 2; consume = 1; depth = 2 });
+  (match System.repetition_vector sys with
+   | Error e ->
+     Alcotest.(check bool) "error names the channel" true
+       (Astring_contains.contains e "no common period")
+   | Ok _ -> Alcotest.fail "inconsistent rates accepted");
+  match System.validate sys with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "validate must reject inconsistent rates"
+
+let test_multirate_ct () =
+  let sys = mr_pipeline () in
+  (* dec fires twice per TMG period, each iteration costing deq 1 + compute 2
+     + enq 1 = 4 cycles: CT 8. The simulator's period is per monitor (snk)
+     iteration, and snk completes q(snk) = 2 iterations per TMG period. *)
+  (match analyze sys with
+   | Ok res -> Helpers.check_ratio "CT = 8" (r 8 1) res.Howard.cycle_time
+   | Error _ -> Alcotest.fail "deadlock");
+  match Sim.steady_cycle_time ~rounds:96 sys with
+  | Ok (Sim.Period m) -> Helpers.check_ratio "sim period = CT / q(snk) = 4" (r 4 1) m
+  | _ -> Alcotest.fail "no steady period"
+
+let test_multirate_underdepth_deadlocks_consistently () =
+  (* depth 3 >= max(2, 3) passes validation but is below produce + consume -
+     gcd = 4: the gadget has a token-free cycle and the simulator blocks. *)
+  let sys = mr_pipeline () in
+  System.set_channel_kind sys 0 (System.Multi_rate { produce = 2; consume = 3; depth = 3 });
+  (match analyze sys with
+   | Error (Howard.Deadlock _) -> ()
+   | _ -> Alcotest.fail "TMG analysis must deadlock");
+  match Sim.steady_cycle_time ~rounds:16 sys with
+  | Ok (Sim.Deadlock _) -> ()
+  | _ -> Alcotest.fail "simulation must deadlock"
+
+let test_handshake_ct () =
+  (* A short hold hides under the consumer chain (get 3 + compute 2 + put 1 =
+     6); a long hold gates the next transfer through the ack loop: transfer 3
+     + hold 10 = 13. *)
+  List.iter
+    (fun (hold, expect) ->
+      let sys = hs_pipeline hold in
+      (match analyze sys with
+       | Ok res ->
+         Helpers.check_ratio (Printf.sprintf "hold %d: CT" hold) (r expect 1)
+           res.Howard.cycle_time
+       | Error _ -> Alcotest.fail "deadlock");
+      match Sim.steady_cycle_time ~rounds:64 sys with
+      | Ok (Sim.Period m) ->
+        Helpers.check_ratio (Printf.sprintf "hold %d: sim" hold) (r expect 1) m
+      | _ -> Alcotest.fail "no steady period")
+    [ (2, 6); (10, 13) ]
+
+let certificate_checks sys =
+  let m = To_tmg.build sys in
+  let tmg = m.To_tmg.tmg in
+  Verify.check tmg (Verify.of_howard tmg (Howard.cycle_time tmg))
+
+let test_unit_multirate_is_fifo () =
+  (* Multi_rate {1, 1, d} must produce the bit-identical TMG a Fifo d does —
+     same names, delays, tokens, wiring — so every downstream analysis and
+     certificate is unchanged, not merely numerically equal. *)
+  let mk kind =
+    let sys = pipeline2 () in
+    List.iter (fun c -> System.set_channel_kind sys c kind) (System.channels sys);
+    sys
+  in
+  let fifo = mk (System.Fifo 3) in
+  let mr = mk (System.Multi_rate { produce = 1; consume = 1; depth = 3 }) in
+  let dump sys = Format.asprintf "%a" Tmg.pp (To_tmg.build sys).To_tmg.tmg in
+  Alcotest.(check string) "bit-identical TMG" (dump fifo) (dump mr);
+  Alcotest.(check (result unit string)) "fifo certificate" (Ok ())
+    (Result.map_error (fun v -> v.Verify.obligation) (certificate_checks fifo));
+  Alcotest.(check (result unit string)) "multi-rate certificate" (Ok ())
+    (Result.map_error (fun v -> v.Verify.obligation) (certificate_checks mr));
+  match (Sim.steady_cycle_time fifo, Sim.steady_cycle_time mr) with
+  | Ok (Sim.Period a), Ok (Sim.Period b) -> Helpers.check_ratio "same sim period" a b
+  | _ -> Alcotest.fail "simulation failed"
+
+let test_handshake0_matches_rendezvous () =
+  (* hold = 0 acks instantly: the ack loop (delay L + 0, one token) can never
+     beat the process chain through the same transfer, so the cycle time and
+     the simulated period equal the rendezvous system's exactly. *)
+  let mk kind =
+    let sys = Motivating.suboptimal () in
+    List.iter (fun c -> System.set_channel_kind sys c kind) (System.channels sys);
+    sys
+  in
+  let rdv = mk System.Rendezvous in
+  let hs = mk (System.Handshake { hold = 0 }) in
+  (match (analyze rdv, analyze hs) with
+   | Ok a, Ok b -> Helpers.check_ratio "same CT" a.Howard.cycle_time b.Howard.cycle_time
+   | _ -> Alcotest.fail "analysis failed");
+  Alcotest.(check (result unit string)) "handshake certificate" (Ok ())
+    (Result.map_error (fun v -> v.Verify.obligation) (certificate_checks hs));
+  match (Sim.steady_cycle_time rdv, Sim.steady_cycle_time hs) with
+  | Ok (Sim.Period a), Ok (Sim.Period b) -> Helpers.check_ratio "same sim period" a b
+  | _ -> Alcotest.fail "simulation failed"
+
+let test_side_latency_agreement () =
+  (* The simulator's dequeue completion and the TMG's consumer-side
+     transition delay both route through System.get_side_latency; the TMG
+     side must carry exactly that value on every exit instance, for every
+     kind. *)
+  let sys = mr_pipeline () in
+  let extra = System.add_simple_process sys ~latency:1 ~area:0. "tap" in
+  let src = Option.get (System.find_process sys "src") in
+  let h = System.add_channel sys ~name:"h" ~src ~dst:extra ~latency:2 in
+  System.set_channel_kind sys h (System.Handshake { hold = 1 });
+  let m = To_tmg.build sys in
+  List.iter
+    (fun c ->
+      Array.iter
+        (fun t ->
+          Alcotest.(check int)
+            (System.channel_name sys c ^ " exit delay = get_side_latency")
+            (System.get_side_latency sys c)
+            (Tmg.delay m.To_tmg.tmg t))
+        m.To_tmg.channel_exit.(c))
+    (System.channels sys)
+
+let test_soc_all_kinds_fixpoint () =
+  (* print -> parse -> print is a fixpoint with every kind present, and each
+     kind survives the round trip structurally. *)
+  let sys = mr_pipeline () in
+  let dec = Option.get (System.find_process sys "dec") in
+  let tap = System.add_simple_process sys ~latency:1 ~area:0. "tap" in
+  let h = System.add_channel sys ~name:"h" ~src:dec ~dst:tap ~latency:2 in
+  System.set_channel_kind sys h (System.Handshake { hold = 4 });
+  ignore (System.add_channel sys ~name:"v" ~src:dec ~dst:tap ~latency:1);
+  let text = Soc_format.print sys in
+  match Soc_format.parse text with
+  | Error e -> Alcotest.fail e
+  | Ok sys' ->
+    Alcotest.(check string) "print is a parse fixpoint" text (Soc_format.print sys');
+    Alcotest.(check bool) "multi-rate preserved" true
+      (System.channel_kind sys' 0
+      = System.Multi_rate { produce = 2; consume = 3; depth = 6 });
+    Alcotest.(check bool) "fifo preserved" true (System.channel_kind sys' 1 = System.Fifo 2);
+    Alcotest.(check bool) "handshake preserved" true
+      (System.channel_kind sys' 2 = System.Handshake { hold = 4 });
+    Alcotest.(check bool) "rendezvous preserved" true
+      (System.channel_kind sys' 3 = System.Rendezvous)
+
+let test_soc_new_kind_errors () =
+  let check_error text fragment =
+    match Soc_format.parse text with
+    | Ok _ -> Alcotest.fail ("accepted: " ^ text)
+    | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" e fragment)
+        true
+        (Astring_contains.contains e fragment)
+  in
+  let two_procs =
+    "system s\nprocess a impl x latency 1 area 0\nprocess b impl x latency 1 area 0\n"
+  in
+  check_error (two_procs ^ "channel c a b latency 0") "latency must be >= 1";
+  check_error (two_procs ^ "channel c a b latency -3") "latency must be >= 1";
+  check_error (two_procs ^ "channel c a b latency 1 rate 2 fifo 4") "PRODUCE/CONSUME";
+  check_error (two_procs ^ "channel c a b latency 1 rate 2/x fifo 4") "integer";
+  check_error (two_procs ^ "channel c a b latency 1 handshake -1") "hold";
+  check_error (two_procs ^ "channel c a b latency 1 rate 2/3 fifo 2") "depth";
+  check_error (two_procs ^ "channel c a b latency 1 frobnicate 2") "usage: channel"
+
+let prop_multirate_chain_consistent =
+  (* Pipelines whose processes draw repetition factors in 1..3; every channel
+     derives the coprime weights produce = q(dst)/g, consume = q(src)/g and a
+     deadlock-free depth. The simulated per-iteration period times q(monitor)
+     must equal the TMG cycle time. *)
+  Helpers.qtest ~count:40 "multi-rate chains: sim x q(sink) = analysis"
+    QCheck2.Gen.(list_size (int_range 2 5) (pair (int_range 1 3) (int_range 1 8)))
+    (fun spec ->
+      let sys = System.create ~name:"chain" () in
+      let ps =
+        List.mapi
+          (fun i (_, l) ->
+            System.add_simple_process sys ~latency:l ~area:0. (Printf.sprintf "p%d" i))
+          spec
+      in
+      let reps = Array.of_list (List.map fst spec) in
+      let rec gcd a b = if b = 0 then a else gcd b (a mod b) in
+      List.iteri
+        (fun i p ->
+          match List.nth_opt ps (i + 1) with
+          | None -> ()
+          | Some p' ->
+            let g = gcd reps.(i) reps.(i + 1) in
+            let produce = reps.(i + 1) / g and consume = reps.(i) / g in
+            let c =
+              System.add_channel sys
+                ~name:(Printf.sprintf "c%d" i)
+                ~src:p ~dst:p' ~latency:1
+            in
+            if produce > 1 || consume > 1 then
+              System.set_channel_kind sys c
+                (System.Multi_rate { produce; consume; depth = produce + consume }))
+        ps;
+      match
+        (analyze sys, Sim.steady_cycle_time ~rounds:96 sys, System.repetition_vector sys)
+      with
+      | Ok res, Ok (Sim.Period m), Ok q ->
+        let snk = List.nth ps (List.length ps - 1) in
+        Ratio.equal (Ratio.mul m (Ratio.of_int q.(snk))) res.Howard.cycle_time
       | _ -> false)
 
 (* ---- heap ---------------------------------------------------------------- *)
@@ -617,6 +897,24 @@ let () =
           Alcotest.test_case "cannot fix data cycles" `Quick test_fifo_cannot_fix_data_dependence_cycle;
           Alcotest.test_case "soc round-trip" `Quick test_fifo_soc_roundtrip;
         ] );
+      ( "multi-rate-handshake",
+        [
+          Alcotest.test_case "kind validation" `Quick test_kind_validation;
+          Alcotest.test_case "repetition vector" `Quick test_repetition_vector;
+          Alcotest.test_case "multi-rate cycle time" `Quick test_multirate_ct;
+          Alcotest.test_case "under-depth deadlocks consistently" `Quick
+            test_multirate_underdepth_deadlocks_consistently;
+          Alcotest.test_case "handshake cycle time" `Quick test_handshake_ct;
+          Alcotest.test_case "unit multi-rate == fifo (bit-identical)" `Quick
+            test_unit_multirate_is_fifo;
+          Alcotest.test_case "handshake hold=0 == rendezvous" `Quick
+            test_handshake0_matches_rendezvous;
+          Alcotest.test_case "sim/TMG dequeue latency agree" `Quick
+            test_side_latency_agreement;
+          Alcotest.test_case "soc fixpoint with every kind" `Quick
+            test_soc_all_kinds_fixpoint;
+          Alcotest.test_case "soc kind errors" `Quick test_soc_new_kind_errors;
+        ] );
       ( "soc-format",
         [
           Alcotest.test_case "round-trip" `Quick test_soc_roundtrip_motivating;
@@ -634,5 +932,6 @@ let () =
           prop_fifo_depth_monotone;
           prop_fifo_sim_matches_analysis;
           prop_fifo_mixed_kinds_consistent;
+          prop_multirate_chain_consistent;
         ] );
     ]
