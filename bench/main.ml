@@ -8,8 +8,8 @@
            dune exec bench/main.exe -- --jobs J      (fan sweeps over J domains)
 
    Sections: table1 fig2 fig3 fig4 m1 fig6-timing fig6-area scalability
-             ablation-mcm ablation-ordering ablation-dse incremental runtime
-             micro   *)
+             ablation-mcm ablation-ordering ablation-dse incremental csr rtl
+             scale runtime micro   *)
 
 module System = Ermes_slm.System
 module Motivating = Ermes_slm.Motivating
@@ -967,6 +967,46 @@ let csr_section () =
   metric "csr.howard.csr_s" t_csr;
   metric "csr.howard.speedup" (t_ptr /. t_csr)
 
+(* -------------------------------------------------------------------- rtl *)
+
+(* The ninth oracle's cost profile: how fast the two-phase interpreter
+   clocks the generated control skeleton, and what co-simulating a case
+   adds over the discrete-event simulation it cross-checks. Both headline
+   numbers are ratios of work done on this host, so they gate in CI like
+   the *.speedup metrics do. *)
+let rtl_bench () =
+  hr "RTL co-simulation - interpreter throughput and oracle overhead";
+  let module Soc_rtl = Ermes_rtl.Soc_rtl in
+  let module Interp = Ermes_rtl.Interp in
+  let sys = Motivating.suboptimal () in
+  let rtl, t_build = min_time (fun () -> Soc_rtl.build sys) in
+  let nsig = Array.length rtl.Soc_rtl.design.Ermes_rtl.Ir.signals in
+  let cycles = if quick then 300_000 else 2_000_000 in
+  let (), t_run =
+    min_time (fun () ->
+        let ip = Interp.create rtl.Soc_rtl.design in
+        Interp.run ip ~cycles)
+  in
+  let cps = float_of_int cycles /. t_run in
+  repro "build: %.3f ms (%d signals); interpreter: %.2f Mcycles/s (%d cycles)"
+    (1000. *. t_build) nsig (cps /. 1e6) cycles;
+  metric "rtl.build_ms" (1000. *. t_build);
+  metric "rtl.interp.cycles_per_sec" cps;
+  (* Oracle overhead: one co-simulated measurement vs the discrete-event
+     simulation it is diffed against, at the fuzzer's default horizon. The
+     two must agree — a silent divergence here would invalidate the ratio. *)
+  let rounds = 64 in
+  let rtl_ct, t_cosim = min_time (fun () -> Soc_rtl.measured_cycle_time ~rounds sys) in
+  let des_ct, t_sim = min_time (fun () -> Sim.steady_cycle_time ~rounds sys) in
+  (match (rtl_ct, des_ct) with
+  | Some r, Ok (Sim.Period d) when Ratio.equal r d -> ()
+  | _ -> failwith "rtl bench: co-simulation disagrees with the simulator");
+  repro "cosim %.3f ms vs simulation %.3f ms at %d rounds: %.1fx overhead"
+    (1000. *. t_cosim) (1000. *. t_sim) rounds (t_cosim /. t_sim);
+  metric "rtl.cosim_ms" (1000. *. t_cosim);
+  metric "rtl.sim_ms" (1000. *. t_sim);
+  metric "rtl.cosim.overhead_x" (t_cosim /. t_sim)
+
 (* ------------------------------------------------------------------ scale *)
 
 let peak_rss_mb () =
@@ -1077,6 +1117,7 @@ let sections =
     ("ermes-frontier", ermes_frontier);
     ("incremental", incremental);
     ("csr", csr_section);
+    ("rtl", rtl_bench);
     ("scale", scale);
     ("runtime", runtime);
     ("micro", micro);

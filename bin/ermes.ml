@@ -564,39 +564,84 @@ let buffers_cmd =
 (* ---- rtl --------------------------------------------------------------- *)
 
 let rtl_cmd =
-  let verify =
-    Arg.(value & flag & info [ "verify" ] ~doc:"Co-simulate the generated RTL against the analysis before writing.")
+  let emit =
+    Arg.(value & opt (some string) None
+         & info [ "emit"; "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the generated Verilog to $(docv). Without it the Verilog goes \
+                   to stdout (unless $(b,--cosim) takes the output over).")
   in
-  let run file verify out =
+  let cosim =
+    Arg.(value & flag & info [ "cosim" ]
+           ~doc:"Co-simulate: interpret the generated RTL cycle by cycle and diff its \
+                 steady-state cycle time against the TMG analysis. Exit 0 on \
+                 agreement, 2 on any disagreement or an (agreed) deadlock, 3 when no \
+                 steady period emerges within the horizon.")
+  in
+  let rounds =
+    Arg.(value & opt int 48 & info [ "rounds" ] ~docv:"N"
+           ~doc:"Monitored sink iterations for --cosim.")
+  in
+  let run file emit cosim rounds =
     let sys = or_die (load file) in
     let rtl =
+      (* Unsupported inputs (counter widths beyond the IR's limits) are a
+         one-line diagnostic naming the offender, not a backtrace. *)
       try Ermes_rtl.Soc_rtl.build sys
       with Invalid_argument msg ->
-        (* Multi-rate / handshake channels are not lowered yet (ROADMAP
-           item 4): a structured error, not a crash. *)
         prerr_endline ("ermes: " ^ msg);
         exit 1
     in
-    if verify then begin
-      match (Ermes_rtl.Soc_rtl.measured_cycle_time sys, Perf.analyze sys) with
-      | Some rtl_ct, Ok a ->
-        Format.eprintf "RTL steady-state cycle time %a; analysis %a (%s)@." Ratio.pp rtl_ct
-          Ratio.pp a.Perf.cycle_time
-          (if Ratio.equal rtl_ct a.Perf.cycle_time then "match" else "MISMATCH")
-      | None, Error f -> Format.eprintf "RTL stalls and the analysis agrees: %a@." (Perf.pp_failure sys) f
-      | None, Ok _ -> Format.eprintf "warning: RTL stalled but the analysis found a cycle time@."
-      | Some _, Error _ -> Format.eprintf "warning: RTL ran but the analysis reports deadlock@."
-    end;
     let text = Ermes_rtl.Emit.to_verilog rtl.Ermes_rtl.Soc_rtl.design in
-    match out with
-    | None -> print_string text
-    | Some path ->
-      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
-      Printf.printf "wrote %s\n" path
+    (match emit with
+     | Some path ->
+       Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text);
+       Printf.printf "wrote %s\n" path
+     | None -> if not cosim then print_string text);
+    if cosim then begin
+      (* The RTL period is per monitor (first-sink) iteration; the analysis
+         cycle time is per unfolded firing — they agree up to q(monitor). *)
+      let qmon =
+        match System.repetition_vector sys with
+        | Error _ -> 1
+        | Ok q -> ( match System.sinks sys with s :: _ -> q.(s) | [] -> 1)
+      in
+      match (Ermes_rtl.Soc_rtl.cosim ~rounds sys, Perf.analyze sys) with
+      | exception Invalid_argument msg ->
+        prerr_endline ("ermes: " ^ msg);
+        exit 1
+      | Ermes_rtl.Soc_rtl.Rtl_period p, Ok a ->
+        let scaled = Ratio.mul p (Ratio.of_int qmon) in
+        if Ratio.equal scaled a.Perf.cycle_time then
+          Format.printf "cosim: RTL steady period %a (x%d unfolding = %a); analysis %a (match)@."
+            Ratio.pp p qmon Ratio.pp scaled Ratio.pp a.Perf.cycle_time
+        else begin
+          Format.printf "cosim: MISMATCH — RTL steady period %a (x%d unfolding = %a), analysis %a@."
+            Ratio.pp p qmon Ratio.pp scaled Ratio.pp a.Perf.cycle_time;
+          exit 2
+        end
+      | Ermes_rtl.Soc_rtl.Rtl_exhausted _, Error f ->
+        Format.printf "cosim: RTL stalls and the analysis agrees: %a@." (Perf.pp_failure sys) f;
+        exit 2
+      | Ermes_rtl.Soc_rtl.Rtl_exhausted { cycles; iterations }, Ok a ->
+        Format.printf
+          "cosim: MISMATCH — RTL stalled after %d iterations (%d cycles), analysis %a@."
+          iterations cycles Ratio.pp a.Perf.cycle_time;
+        exit 2
+      | Ermes_rtl.Soc_rtl.Rtl_period p, Error f ->
+        Format.printf "cosim: MISMATCH — RTL settles at %a, analysis reports %a@."
+          Ratio.pp p (Perf.pp_failure sys) f;
+        exit 2
+      | Ermes_rtl.Soc_rtl.Rtl_no_period, _ ->
+        Format.printf "cosim: no steady period within %d monitored iterations (raise --rounds)@."
+          rounds;
+        exit 3
+    end
   in
   Cmd.v
-    (Cmd.info "rtl" ~exits ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel handshakes).")
-    (with_logs Term.(const run $ file_arg $ verify $ output_arg))
+    (Cmd.info "rtl" ~exits
+       ~doc:"Generate the Verilog control skeleton (per-process FSMs + channel \
+             handshakes) and optionally co-simulate it against the analysis.")
+    (with_logs Term.(const run $ file_arg $ emit $ cosim $ rounds))
 
 (* ---- inject ------------------------------------------------------------ *)
 
@@ -612,8 +657,8 @@ let inject_cmd =
   let check =
     Arg.(value & flag & info [ "check" ]
            ~doc:"Cross-check the faulted system across every oracle (liveness, Howard, \
-                 Karp, Lawler, token game, max-plus firing, simulator) instead of \
-                 emitting it.")
+                 Karp, Lawler, token game, max-plus firing, simulator, certificate \
+                 checker, RTL co-simulation) instead of emitting it.")
   in
   let rounds =
     Arg.(value & opt int 96 & info [ "rounds" ] ~docv:"N" ~doc:"Simulation horizon for --check.")
@@ -669,13 +714,19 @@ let fuzz_cmd =
   let no_repro =
     Arg.(value & flag & info [ "no-repro" ] ~doc:"Do not write repro files.")
   in
-  let run seed cases max_processes rounds repro_dir no_repro checkpoint resume jobs =
+  let no_rtl =
+    Arg.(value & flag & info [ "no-rtl" ]
+           ~doc:"Disable the RTL co-simulation oracle (on by default; structural \
+                 faults only — scenarios with droptoken skip it on their own).")
+  in
+  let run seed cases max_processes rounds repro_dir no_repro no_rtl checkpoint resume jobs =
     let config =
       {
         Fuzz.seed;
         cases;
         max_processes;
         rounds;
+        rtl = not no_rtl;
         repro_dir = (if no_repro then None else repro_dir);
       }
     in
@@ -700,7 +751,7 @@ let fuzz_cmd =
        (with_trace
           Term.(
             const run $ seed $ cases $ max_processes $ rounds $ repro_dir $ no_repro
-            $ checkpoint_arg $ resume_arg $ jobs_arg)))
+            $ no_rtl $ checkpoint_arg $ resume_arg $ jobs_arg)))
 
 (* ---- batch -------------------------------------------------------------- *)
 

@@ -10,6 +10,7 @@ module Lawler = Ermes_tmg.Lawler
 module Token_game = Ermes_tmg.Token_game
 module Firing = Ermes_tmg.Firing
 module Verify = Ermes_verify.Verify
+module Soc_rtl = Ermes_rtl.Soc_rtl
 
 type verdict = Live of Ratio.t | Dead
 
@@ -77,6 +78,16 @@ let check_firing add tmg rounds v =
    activity keeps the event queue busy). Every process of a valid system
    lies on a source-to-sink path, so a dead cycle always starves or blocks
    at least one sink. *)
+(* The simulator's (and the RTL interpreter's) period is per monitor
+   iteration; the TMG cycle time is per firing of each unfolded transition
+   instance. The default monitor (the first sink) completes q(monitor)
+   iterations per TMG period, so the two agree up to that factor — exactly 1
+   on unit-rate systems. *)
+let monitor_repetition faulted =
+  match System.repetition_vector faulted with
+  | Error _ -> 1
+  | Ok q -> ( match System.sinks faulted with s :: _ -> q.(s) | [] -> 1)
+
 let check_sim add faulted scenario rounds verdict =
   let add fmt = Printf.ksprintf add fmt in
   let hooks = Fault.hooks scenario in
@@ -84,15 +95,7 @@ let check_sim add faulted scenario rounds verdict =
   let sim ?monitor r =
     Sim.steady_cycle_time ?monitor ~rounds:r ~max_cycles:(budget r) ~hooks faulted
   in
-  (* The simulator's period is per monitor iteration; the TMG cycle time is
-     per firing of each unfolded transition instance. The default monitor
-     (the first sink) completes q(monitor) iterations per TMG period, so the
-     two agree up to that factor — exactly 1 on unit-rate systems. *)
-  let qmon =
-    match System.repetition_vector faulted with
-    | Error _ -> 1
-    | Ok q -> ( match System.sinks faulted with s :: _ -> q.(s) | [] -> 1)
-  in
+  let qmon = monitor_repetition faulted in
   match verdict with
   | Live ct -> (
     let rec check r escalate =
@@ -131,7 +134,69 @@ let check_sim add faulted scenario rounds verdict =
         add "sim: every sink completed %d iterations on a system the analyses deadlock"
           rounds)
 
-let run_case ?(rounds = 96) sys scenario =
+(* The ninth oracle: generate the RTL control skeleton of the same faulted
+   design and interpret it cycle by cycle. Structural faults are baked into
+   [faulted], so the RTL sees them; [Channel_stall] is transient and cannot
+   change the steady state the RTL is compared on. [Token_removal] has no
+   RTL counterpart — it edits the TMG marking and starves the simulator
+   through hooks, but every generated FSM still starts with its token — so
+   the RTL oracle sits out those scenarios. Horizon exhaustion (including
+   the interpreter's register-level fixed point) is the RTL's deadlock
+   verdict, cross-checked against the analyses exactly as the simulator's
+   [Deadlocked]/[Timed_out] outcomes are. *)
+let check_rtl add faulted scenario rounds verdict =
+  let add fmt = Printf.ksprintf add fmt in
+  if Fault.stuck_processes scenario <> [] then ()
+  else begin
+    let budget r = Sim.default_max_cycles ~max_iterations:r faulted in
+    let cosim ?monitor r =
+      Soc_rtl.cosim ?monitor ~rounds:r ~max_cycles:(budget r) faulted
+    in
+    let qmon = monitor_repetition faulted in
+    match verdict with
+    | Live ct -> (
+      (* A third of the simulator's horizon settles almost every live case;
+         escalate once before declaring the period missing, as the
+         simulator check does. *)
+      let rec check r escalate =
+        match cosim r with
+        | Soc_rtl.Rtl_period p ->
+          if not (Ratio.equal (Ratio.mul p (Ratio.of_int qmon)) ct) then
+            add "rtl: steady period %s (x%d unfolding = %s), howard says %s" (rs p) qmon
+              (rs (Ratio.mul p (Ratio.of_int qmon)))
+              (rs ct)
+        | Soc_rtl.Rtl_exhausted { cycles; iterations } ->
+          add "rtl: stalled after %d monitor iterations (%d cycles) on a system the \
+               analyses call live"
+            iterations cycles
+        | Soc_rtl.Rtl_no_period ->
+          if escalate then check (r * 4) false
+          else add "rtl: no steady period within %d monitored iterations" r
+        | exception Invalid_argument m -> add "rtl: build rejected a valid system: %s" m
+      in
+      check (max 12 (rounds / 3)) true)
+    | Dead -> (
+      (* As for the simulator: a deadlock verdict is global, a monitor is
+         local — the system is cleared if some sink observes the stall. *)
+      let sinks = System.sinks faulted in
+      let observed =
+        List.exists
+          (fun s ->
+            match cosim ~monitor:s rounds with
+            | Soc_rtl.Rtl_exhausted _ -> true
+            | Soc_rtl.Rtl_period _ | Soc_rtl.Rtl_no_period -> false
+            | exception Invalid_argument _ -> false)
+          sinks
+      in
+      if not observed then
+        match sinks with
+        | [] -> add "rtl: deadlocked system has no sink to monitor"
+        | _ ->
+          add "rtl: every sink completed %d iterations on a system the analyses deadlock"
+            rounds)
+  end
+
+let run_case ?(rounds = 96) ?(rtl = true) sys scenario =
   let mismatches = ref [] in
   let record s = mismatches := s :: !mismatches in
   let add fmt = Printf.ksprintf record fmt in
@@ -190,6 +255,7 @@ let run_case ?(rounds = 96) sys scenario =
       (* Firing raises on non-live nets; skip it when the liveness oracles
          already disagree (the mismatch is recorded above). *)
       if (v = Dead) = dead_per_liveness then check_firing record tmg rounds v;
-      check_sim record faulted scenario rounds v
+      check_sim record faulted scenario rounds v;
+      if rtl then check_rtl record faulted scenario rounds v
     | None -> ());
     { verdict; mismatches = List.rev !mismatches }

@@ -3,7 +3,8 @@
     One faulted system, many independent oracles: Commoner's liveness test,
     Howard's policy iteration, Lawler's binary search, Karp's cycle mean (on
     a unit-token copy of the marking), the untimed token game, the max-plus
-    earliest-firing schedule, and the discrete-event simulator. They compute
+    earliest-firing schedule, the discrete-event simulator, and the
+    interpreted RTL control skeleton ({!Ermes_rtl.Soc_rtl}). They compute
     the same two facts — does the system deadlock, and if not at what cycle
     time does it settle — by unrelated algorithms, so any disagreement is a
     bug in one of them (or in the fault machinery). The fuzz driver
@@ -26,7 +27,7 @@ type report = {
           agree *)
 }
 
-val run_case : ?rounds:int -> System.t -> Fault.scenario -> report
+val run_case : ?rounds:int -> ?rtl:bool -> System.t -> Fault.scenario -> report
 (** [run_case sys scenario] applies the scenario (structural faults rebuild
     the system, dynamic faults go through simulator hooks and TMG marking
     edits) and cross-checks every oracle. [rounds] (default 96) is the
@@ -34,7 +35,15 @@ val run_case : ?rounds:int -> System.t -> Fault.scenario -> report
     use; it is escalated automatically before a missing steady-state period
     is reported as a mismatch. Transient stalls extend the simulator's
     watchdog budget by {!Fault.stall_budget} so they cannot be misread as
-    livelock. *)
+    livelock.
+
+    [rtl] (default true) additionally co-simulates the generated RTL
+    control skeleton of the faulted design and diffs its steady period (or
+    horizon exhaustion) against the verdict. Scenarios containing
+    [Token_removal] skip the RTL oracle: the removed initial token has no
+    counterpart in the generated FSMs. Transient [Channel_stall]s are
+    invisible to the RTL but cannot change the steady state it is compared
+    on. *)
 
 val agreed : report -> bool
 (** No mismatches. *)

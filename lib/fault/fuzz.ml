@@ -10,11 +10,12 @@ type config = {
   cases : int;
   max_processes : int;
   rounds : int;
+  rtl : bool;
   repro_dir : string option;
 }
 
 let default =
-  { seed = 1; cases = 100; max_processes = 12; rounds = 96; repro_dir = Some "." }
+  { seed = 1; cases = 100; max_processes = 12; rounds = 96; rtl = true; repro_dir = Some "." }
 
 type failure = {
   case : int;
@@ -149,17 +150,17 @@ let gen_case rng ~max_processes =
   in
   (sys, scenario)
 
-let fails sys rounds scenario =
+let fails sys ~rounds ~rtl scenario =
   Obs.incr "fuzz.execs";
   Obs.incr "fuzz.shrink_steps";
-  match Differential.run_case ~rounds sys scenario with
+  match Differential.run_case ~rounds ~rtl sys scenario with
   | r -> not (Differential.agreed r)
   | exception _ -> true
 
 (* Greedy shrink: drop whole faults while the failure reproduces, then halve
    magnitudes fault by fault to a fixpoint. *)
-let shrink sys rounds scenario =
-  let fails sc = fails sys rounds sc in
+let shrink sys ~rounds ~rtl scenario =
+  let fails sc = fails sys ~rounds ~rtl sc in
   let rec drop sc =
     let rec try_drop pre = function
       | [] -> None
@@ -264,7 +265,7 @@ let run ?(log = fun _ -> ()) ?checkpoint ?resume ?jobs config =
         let execute () =
           let outcome =
             Obs.incr "fuzz.execs";
-            match Differential.run_case ~rounds:config.rounds sys scenario with
+            match Differential.run_case ~rounds:config.rounds ~rtl:config.rtl sys scenario with
             | r -> Ok r
             | exception e ->
               Error (Printf.sprintf "uncaught exception: %s" (Printexc.to_string e))
@@ -273,10 +274,10 @@ let run ?(log = fun _ -> ()) ?checkpoint ?resume ?jobs config =
           | Ok r when Differential.agreed r ->
             (case, sys, scenario, `Agreed r.Differential.verdict)
           | _ ->
-            let scenario = shrink sys config.rounds scenario in
+            let scenario = shrink sys ~rounds:config.rounds ~rtl:config.rtl scenario in
             let mismatches =
               Obs.incr "fuzz.execs";
-              match Differential.run_case ~rounds:config.rounds sys scenario with
+              match Differential.run_case ~rounds:config.rounds ~rtl:config.rtl sys scenario with
               | r when not (Differential.agreed r) -> r.Differential.mismatches
               | _ -> (
                 (* The shrunk scenario no longer fails deterministically (should

@@ -4,8 +4,11 @@ module Traversal = Ermes_digraph.Traversal
 type t = {
   design : Ir.design;
   values : int array;  (* current value per signal *)
-  comb_order : int list;  (* wires in dependence order *)
+  comb : (int * Ir.expr * int) array;  (* wires in dependence order: signal, expr, width *)
+  regs : (int * Ir.expr * int) array;  (* registers: signal, next expr, width *)
+  scratch : int array;  (* next-state staging, one slot per register *)
   mutable clock : int;
+  mutable settled : bool;  (* the last step committed no register change *)
 }
 
 let mask width v = if width >= 62 then v else v land ((1 lsl width) - 1)
@@ -68,14 +71,9 @@ let comb_topo_order (design : Ir.design) =
   | Error _ -> invalid_arg "Interp: combinational cycle (Builder.finish would have caught this)"
 
 let refresh t =
-  List.iter
-    (fun s ->
-      match t.design.Ir.signals.(s).Ir.kind with
-      | Ir.Wire e ->
-        t.values.(s) <-
-          mask t.design.Ir.signals.(s).Ir.width (eval t.values t.design.Ir.signals e)
-      | Ir.Input | Ir.Reg _ -> ())
-    t.comb_order
+  Array.iter
+    (fun (s, e, w) -> t.values.(s) <- mask w (eval t.values t.design.Ir.signals e))
+    t.comb
 
 let create design =
   let n = Array.length design.Ir.signals in
@@ -84,7 +82,34 @@ let create design =
     (fun s info ->
       match info.Ir.kind with Ir.Reg { reset; _ } -> values.(s) <- reset | _ -> ())
     design.Ir.signals;
-  let t = { design; values; comb_order = comb_topo_order design; clock = 0 } in
+  let comb =
+    comb_topo_order design
+    |> List.map (fun s ->
+           match design.Ir.signals.(s).Ir.kind with
+           | Ir.Wire e -> (s, e, design.Ir.signals.(s).Ir.width)
+           | Ir.Input | Ir.Reg _ -> assert false)
+    |> Array.of_list
+  in
+  let regs =
+    design.Ir.signals
+    |> Array.to_seqi
+    |> Seq.filter_map (fun (s, info) ->
+           match info.Ir.kind with
+           | Ir.Reg { next; _ } -> Some (s, next, info.Ir.width)
+           | Ir.Input | Ir.Wire _ -> None)
+    |> Array.of_seq
+  in
+  let t =
+    {
+      design;
+      values;
+      comb;
+      regs;
+      scratch = Array.make (Array.length regs) 0;
+      clock = 0;
+      settled = false;
+    }
+  in
   refresh t;
   t
 
@@ -96,6 +121,7 @@ let set_input t s v =
   if v < 0 || v <> mask info.Ir.width v then
     invalid_arg (Printf.sprintf "Interp.set_input: %d does not fit %s" v info.Ir.name);
   t.values.(s) <- v;
+  t.settled <- false;
   refresh t
 
 let peek t s = t.values.(s)
@@ -103,17 +129,24 @@ let peek t s = t.values.(s)
 let step t =
   (* Evaluate every register's next state from the settled values, then
      commit simultaneously. *)
-  let nexts =
-    Array.mapi
-      (fun s info ->
-        match info.Ir.kind with
-        | Ir.Reg { next; _ } -> Some (s, mask info.Ir.width (eval t.values t.design.Ir.signals next))
-        | _ -> None)
-      t.design.Ir.signals
-  in
-  Array.iter (function Some (s, v) -> t.values.(s) <- v | None -> ()) nexts;
+  let changed = ref false in
+  Array.iteri
+    (fun i (_, next, w) -> t.scratch.(i) <- mask w (eval t.values t.design.Ir.signals next))
+    t.regs;
+  Array.iteri
+    (fun i (s, _, _) ->
+      if t.values.(s) <> t.scratch.(i) then begin
+        t.values.(s) <- t.scratch.(i);
+        changed := true
+      end)
+    t.regs;
   t.clock <- t.clock + 1;
-  refresh t
+  t.settled <- not !changed;
+  (* Wires are pure functions of registers and inputs: an unchanged commit
+     leaves every wire where it was, so the refresh can be skipped. *)
+  if !changed then refresh t
+
+let settled t = t.settled
 
 let run t ~cycles =
   for _ = 1 to cycles do

@@ -22,6 +22,13 @@ val peek : t -> Ir.signal -> int
 val step : t -> unit
 (** Advance one clock edge. *)
 
+val settled : t -> bool
+(** True when the most recent {!step} committed no register change. A closed
+    design (no inputs) that settles has reached a fixed point of its
+    next-state function and will never change again — which is what a
+    permanent RTL-level deadlock looks like. [false] before the first step
+    and after {!set_input}. *)
+
 val run : t -> cycles:int -> unit
 
 val cycle : t -> int

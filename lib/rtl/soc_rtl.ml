@@ -1,4 +1,6 @@
 module System = Ermes_slm.System
+module Sim = Ermes_slm.Sim
+module Obs = Ermes_obs.Obs
 module B = Ir.Builder
 
 type t = {
@@ -37,22 +39,33 @@ let build sys =
   let limit = 1 lsl 30 in
   List.iter
     (fun p ->
-      if System.latency sys p >= limit then invalid_arg "Soc_rtl.build: latency too large")
+      if System.latency sys p >= limit then
+        invalid_arg
+          (Printf.sprintf
+             "Soc_rtl.build: process %S has latency %d, beyond the 2^30 limit of the RTL counters"
+             (System.process_name sys p) (System.latency sys p)))
     (System.processes sys);
   List.iter
     (fun c ->
-      if System.channel_latency sys c >= limit then
-        invalid_arg "Soc_rtl.build: channel latency too large";
-      match System.channel_kind sys c with
-      | System.Rendezvous | System.Fifo _ -> ()
-      | System.Multi_rate _ | System.Handshake _ ->
+      (* Name the channel and its kind: a rejected design must be
+         diagnosable from the message alone. *)
+      let reject what v =
         invalid_arg
           (Printf.sprintf
-             "Soc_rtl.build: channel %S is a %s channel; the RTL back end only \
-              lowers rendezvous and FIFO channels"
+             "Soc_rtl.build: channel %S (%s) has %s %d, beyond the 2^30 limit of the RTL counters"
              (System.channel_name sys c)
-             (System.string_of_kind (System.channel_kind sys c))))
+             (System.string_of_kind (System.channel_kind sys c))
+             what v)
+      in
+      if System.channel_latency sys c >= limit then
+        reject "latency" (System.channel_latency sys c);
+      match System.channel_kind sys c with
+      | System.Rendezvous -> ()
+      | System.Fifo depth -> if depth >= limit then reject "depth" depth
+      | System.Multi_rate { depth; _ } -> if depth >= limit then reject "depth" depth
+      | System.Handshake { hold } -> if hold >= limit then reject "hold" hold)
     (System.channels sys);
+  Obs.incr "rtl.builds";
   let b = B.create ~name:(sanitize (System.name sys) ^ "_ctrl") in
   let np = System.process_count sys and nc = System.channel_count sys in
   (* Per-process FSM state registers (created first so channel logic can
@@ -116,50 +129,87 @@ let build sys =
       fire
     end
   in
+  (* Rendezvous and valid/ready handshake share one lowering: the transfer
+     starts when both FSMs wait on the channel, both advance when it fires.
+     A positive [hold] adds a down-counter that keeps the channel occupied
+     for [hold] cycles after the fire — the consumer holding data before
+     acking, as the simulator's [Ack_done] event does — gating the next
+     request. [hold = 0] is exactly the rendezvous lowering, so the
+     Handshake{0} degeneracy is bit-identical IR by construction. *)
+  let rendezvous_logic c tag latency ~hold =
+    let request = Ir.And (Ir.Sig req_of.(c), Ir.Sig ack_of.(c)) in
+    let fire =
+      if hold = 0 then transfer_logic ~tag ~request ~latency
+      else begin
+        let hw = bits_for hold in
+        let hcnt = B.reg b ~name:(tag ^ "_hold") ~width:hw ~reset:0 in
+        let ready = Ir.Eq (Ir.Sig hcnt, c0 hw) in
+        let fire = transfer_logic ~tag ~request:(Ir.And (request, ready)) ~latency in
+        (* Loaded at the fire edge, so the channel is held for cycles
+           t+L .. t+L+hold-1 and the next transfer can start at t+L+hold —
+           the simulator's Ack_done instant. *)
+        B.drive b hcnt
+          (Ir.Mux
+             ( Ir.Sig fire,
+               Ir.Const (hold, hw),
+               Ir.Mux (ready, Ir.Sig hcnt, Ir.Sub (Ir.Sig hcnt, c1 hw)) ));
+        fire
+      end
+    in
+    entry_fire.(c) <- Ir.Sig fire;
+    exit_fire.(c) <- Ir.Sig fire;
+    fire_of.(c) <- fire
+  in
+  (* Buffered channels (FIFO and multi-rate): weighted enqueue/dequeue ports
+     over item and credit counters. The enqueue occupies the channel for its
+     latency; the dequeue side runs at {!System.get_side_latency} (one cycle
+     for buffered reads). At produce = consume = 1 every expression below
+     degenerates to the historical FIFO lowering, so Multi_rate{1,1,d} emits
+     bit-identical IR to Fifo d — the pinned degeneracy. *)
+  let buffered_logic c tag latency ~produce ~consume ~depth =
+    let w = bits_for depth in
+    let credits = B.reg b ~name:(tag ^ "_credits") ~width:w ~reset:depth in
+    let items = B.reg b ~name:(tag ^ "_items") ~width:w ~reset:0 in
+    (* counter >= k; at k = 1 this is the historical [counter <> 0] test. *)
+    let at_least counter k =
+      if k = 1 then Ir.Not (Ir.Eq (Ir.Sig counter, c0 w))
+      else Ir.Not (Ir.Lt (Ir.Sig counter, Ir.Const (k, w)))
+    in
+    let enq_req =
+      B.wire b ~name:(tag ^ "_enq_req") ~width:1
+        (Ir.And (Ir.Sig req_of.(c), at_least credits produce))
+    in
+    let enq_fire = transfer_logic ~tag:(tag ^ "_enq") ~request:(Ir.Sig enq_req) ~latency in
+    (* Credits: consumed at enqueue completion, returned at dequeue
+       completion. Consuming at completion rather than start is safe
+       because the enqueue unit stays busy for the whole transfer — no
+       second enqueue can slip in — and preserves the invariant
+       credits + items = depth at every cycle. *)
+    let deq_fire =
+      transfer_logic ~tag:(tag ^ "_deq")
+        ~request:(Ir.And (Ir.Sig ack_of.(c), at_least items consume))
+        ~latency:(System.get_side_latency sys c)
+    in
+    let add cond k v = Ir.Mux (cond, Ir.Add (v, Ir.Const (k, w)), v) in
+    let sub cond k v = Ir.Mux (cond, Ir.Sub (v, Ir.Const (k, w)), v) in
+    B.drive b credits
+      (add (Ir.Sig deq_fire) consume (sub (Ir.Sig enq_fire) produce (Ir.Sig credits)));
+    B.drive b items
+      (add (Ir.Sig enq_fire) produce (sub (Ir.Sig deq_fire) consume (Ir.Sig items)));
+    entry_fire.(c) <- Ir.Sig enq_fire;
+    exit_fire.(c) <- Ir.Sig deq_fire;
+    fire_of.(c) <- deq_fire
+  in
   List.iter
     (fun c ->
       let tag = "ch_" ^ sanitize (System.channel_name sys c) in
       let latency = System.channel_latency sys c in
       match System.channel_kind sys c with
-      | System.Rendezvous ->
-        let fire =
-          transfer_logic ~tag ~request:(Ir.And (Ir.Sig req_of.(c), Ir.Sig ack_of.(c)))
-            ~latency
-        in
-        entry_fire.(c) <- Ir.Sig fire;
-        exit_fire.(c) <- Ir.Sig fire;
-        fire_of.(c) <- fire
-      | System.Fifo depth ->
-        let w = bits_for depth in
-        let credits = B.reg b ~name:(tag ^ "_credits") ~width:w ~reset:depth in
-        let items = B.reg b ~name:(tag ^ "_items") ~width:w ~reset:0 in
-        let enq_req =
-          B.wire b ~name:(tag ^ "_enq_req") ~width:1
-            (Ir.And (Ir.Sig req_of.(c), Ir.Not (Ir.Eq (Ir.Sig credits, c0 w))))
-        in
-        let enq_fire = transfer_logic ~tag:(tag ^ "_enq") ~request:(Ir.Sig enq_req) ~latency in
-        (* Credits: consumed at enqueue completion, returned at dequeue
-           completion. Consuming at completion rather than start is safe
-           because the enqueue unit stays busy for the whole transfer — no
-           second enqueue can slip in — and preserves the invariant
-           credits + items = depth at every cycle. *)
-        let deq_fire =
-          B.wire b
-            ~name:(tag ^ "_deq_fire")
-            ~width:1
-            (Ir.And (Ir.Sig ack_of.(c), Ir.Not (Ir.Eq (Ir.Sig items, c0 w))))
-        in
-        let one = c1 w in
-        let inc cond v = Ir.Mux (cond, Ir.Add (v, one), v) in
-        let dec cond v = Ir.Mux (cond, Ir.Sub (v, one), v) in
-        B.drive b credits (inc (Ir.Sig deq_fire) (dec (Ir.Sig enq_fire) (Ir.Sig credits)));
-        B.drive b items (inc (Ir.Sig enq_fire) (dec (Ir.Sig deq_fire) (Ir.Sig items)));
-        entry_fire.(c) <- Ir.Sig enq_fire;
-        exit_fire.(c) <- Ir.Sig deq_fire;
-        fire_of.(c) <- deq_fire
-      | System.Multi_rate _ | System.Handshake _ ->
-        (* Rejected by the preamble check above. *)
-        assert false)
+      | System.Rendezvous -> rendezvous_logic c tag latency ~hold:0
+      | System.Handshake { hold } -> rendezvous_logic c tag latency ~hold
+      | System.Fifo depth -> buffered_logic c tag latency ~produce:1 ~consume:1 ~depth
+      | System.Multi_rate { produce; consume; depth } ->
+        buffered_logic c tag latency ~produce ~consume ~depth)
     (System.channels sys);
   (* Process FSMs: advance conditions per statement, next-state logic,
      computation counters, iteration counters. *)
@@ -262,24 +312,56 @@ let detect_period times =
     search 1
   end
 
-let measured_cycle_time ?(rounds = 48) ?(max_cycles = 200_000) sys =
+type measurement =
+  | Rtl_period of Ermes_tmg.Ratio.t
+  | Rtl_no_period
+  | Rtl_exhausted of { cycles : int; iterations : int }
+
+let cosim ?(rounds = 48) ?max_cycles ?monitor sys =
+  Obs.incr "rtl.cosim.runs";
   let rtl = build sys in
-  let sim = Interp.create rtl.design in
-  match System.sinks sys with
-  | [] -> invalid_arg "Soc_rtl.measured_cycle_time: no sink"
-  | sink :: _ ->
-    let iter = rtl.iterations_of.(sink) in
-    let completions = ref [] in
-    let seen = ref 0 in
-    let cycles = ref 0 in
-    while !seen < rounds && !cycles < max_cycles do
-      Interp.step sim;
-      incr cycles;
-      let v = Interp.peek sim iter in
-      if v > !seen then begin
-        (* At most one completion per cycle by construction. *)
-        completions := !cycles :: !completions;
-        seen := v
-      end
-    done;
-    if !seen < rounds then None else detect_period (List.rev !completions)
+  let ip = Interp.create rtl.design in
+  let monitor =
+    match monitor with
+    | Some p -> p
+    | None -> (
+      match System.sinks sys with
+      | [] -> invalid_arg "Soc_rtl.cosim: system has no sink to monitor"
+      | s :: _ -> s)
+  in
+  let max_cycles =
+    match max_cycles with
+    | Some m -> m
+    | None -> Sim.default_max_cycles ~max_iterations:rounds sys
+  in
+  let iter = rtl.iterations_of.(monitor) in
+  let completions = ref [] in
+  let seen = ref 0 in
+  let cycles = ref 0 in
+  let stuck = ref false in
+  while (not !stuck) && !seen < rounds && !cycles < max_cycles do
+    Interp.step ip;
+    incr cycles;
+    let v = Interp.peek ip iter in
+    if v > !seen then begin
+      (* At most one completion per cycle by construction. *)
+      completions := !cycles :: !completions;
+      seen := v
+    end
+    else if Interp.settled ip then
+      (* The design is closed (no inputs): a step that commits no register
+         change is a fixed point of the next-state function, so the
+         deadlock is permanent — no need to burn the rest of the budget. *)
+      stuck := true
+  done;
+  Obs.incr ~by:!cycles "rtl.interp.cycles";
+  if !seen < rounds then Rtl_exhausted { cycles = !cycles; iterations = !seen }
+  else
+    match detect_period (List.rev !completions) with
+    | Some p -> Rtl_period p
+    | None -> Rtl_no_period
+
+let measured_cycle_time ?(rounds = 48) ?(max_cycles = 200_000) sys =
+  match cosim ~rounds ~max_cycles sys with
+  | Rtl_period p -> Some p
+  | Rtl_no_period | Rtl_exhausted _ -> None

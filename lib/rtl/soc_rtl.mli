@@ -4,18 +4,26 @@
     paper's commercial flow would emit: one FSM per process — exactly the
     cyclic structure of Fig. 2(b): one state per [get]/[put] with a wait
     self-loop, a computation state with a latency down-counter — plus the
-    channel logic (rendezvous: request/acknowledge with a multi-cycle busy
-    counter; FIFO: enqueue/dequeue ports with item and credit counters).
-    Datapaths are abstract in the system model, so the RTL is the control
-    skeleton: every handshake wire, every stall, every state — no data.
+    channel logic for all four channel kinds (rendezvous: request/acknowledge
+    with a multi-cycle busy counter; FIFO and multi-rate: enqueue/dequeue
+    ports with weighted item and credit counters; valid/ready handshake: a
+    rendezvous whose hold down-counter keeps the channel occupied while the
+    consumer holds data before acking). Datapaths are abstract in the system
+    model, so the RTL is the control skeleton: every handshake wire, every
+    stall, every state — no data.
 
     The handshake timing is bit-exact with the discrete-event simulator
     ({!Ermes_slm.Sim}): a rendezvous that starts in cycle [t] with latency
     [L] lets both endpoint FSMs execute their next statement in cycle
-    [t + L]; computation of latency [L] occupies exactly [L] cycles. The
-    test suite checks that the interpreted RTL's steady-state cycle time
-    equals the simulator's and the TMG analysis' — a fourth independent
-    semantics of the same system. *)
+    [t + L]; computation of latency [L] occupies exactly [L] cycles; a
+    positive handshake hold keeps the channel busy until [t + L + hold];
+    buffered dequeues take {!Ermes_slm.System.get_side_latency} cycles. Two
+    degeneracies are pinned by construction (and by the test suite):
+    [Multi_rate {produce = 1; consume = 1; depth}] emits bit-identical IR to
+    [Fifo depth], and [Handshake {hold = 0}] emits bit-identical IR to
+    [Rendezvous]. The interpreted RTL is the fuzzer's ninth differential
+    oracle ({!Ermes_fault.Differential}): an independent semantics of the
+    same system, cross-checked against the analyses on every fuzz case. *)
 
 module System = Ermes_slm.System
 
@@ -29,15 +37,41 @@ type t = {
 }
 
 val build : System.t -> t
-(** @raise Invalid_argument on systems rejected by {!System.validate}, with
-    a process latency or channel latency beyond 2{^30} cycles, or containing
-    a [Multi_rate] or [Handshake] channel (the RTL back end lowers only
-    rendezvous and FIFO channels; see ROADMAP item 4). *)
+(** @raise Invalid_argument on systems rejected by {!System.validate}, or
+    whose process latency, channel latency, FIFO/multi-rate depth or
+    handshake hold exceeds 2{^30} (the RTL counter limit) — the message
+    names the offending process or channel and its kind. *)
+
+type measurement =
+  | Rtl_period of Ermes_tmg.Ratio.t
+      (** exact steady-state period of the monitor's completion times, per
+          monitor iteration *)
+  | Rtl_no_period
+      (** the monitor completed every round but its completion times are not
+          eventually periodic within the window — raise [rounds] *)
+  | Rtl_exhausted of { cycles : int; iterations : int }
+      (** the horizon was exhausted (or the design reached a register-level
+          fixed point) after [cycles] cycles with only [iterations] monitor
+          completions — what an RTL-level deadlock looks like *)
+
+val cosim :
+  ?rounds:int -> ?max_cycles:int -> ?monitor:System.process -> System.t -> measurement
+(** [cosim sys] interprets the generated RTL until [monitor] (default: the
+    first sink) completes [rounds] iterations (default 48) and classifies
+    the run. [max_cycles] defaults to {!Ermes_slm.Sim.default_max_cycles}
+    for the same [rounds] — the budget the discrete-event simulator would
+    get. A step that changes no register short-circuits to
+    [Rtl_exhausted]: the design is closed, so a settled step is a permanent
+    deadlock. Counts [rtl.cosim.runs] and [rtl.interp.cycles] on
+    {!Ermes_obs.Obs}.
+    @raise Invalid_argument as {!build}, or when the system has no sink and
+    no [monitor] was given. *)
 
 val measured_cycle_time :
   ?rounds:int -> ?max_cycles:int -> System.t -> Ermes_tmg.Ratio.t option
-(** Interpret the generated RTL until the first sink completes [rounds]
-    iterations (default 48) and detect the exact steady-state period of its
-    completion times, as {!Ermes_slm.Sim.steady_cycle_time} does. [None] when
-    the horizon ([max_cycles], default 200,000) is exhausted first — which is
-    what an RTL-level deadlock looks like. *)
+(** [Some p] iff {!cosim} finds a steady period: interpret the generated RTL
+    until the first sink completes [rounds] iterations (default 48) and
+    detect the exact steady-state period of its completion times, as
+    {!Ermes_slm.Sim.steady_cycle_time} does. [None] when the horizon
+    ([max_cycles], default 200,000) is exhausted first — which is what an
+    RTL-level deadlock looks like — or when no period is detected. *)

@@ -104,8 +104,8 @@ let load_for ~kind ~meta ~resume path =
 (* ---- fuzz ---------------------------------------------------------------- *)
 
 let fuzz_meta (c : Fuzz.config) =
-  Printf.sprintf "seed=%d cases=%d max_processes=%d rounds=%d" c.Fuzz.seed c.Fuzz.cases
-    c.Fuzz.max_processes c.Fuzz.rounds
+  Printf.sprintf "seed=%d cases=%d max_processes=%d rounds=%d rtl=%b" c.Fuzz.seed
+    c.Fuzz.cases c.Fuzz.max_processes c.Fuzz.rounds c.Fuzz.rtl
 
 let encode_fuzz_case ~case sys outcome =
   let b = Buffer.create 128 in

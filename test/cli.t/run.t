@@ -33,12 +33,11 @@ Buffer the critical channels and re-analyze:
   $ ermes fifo sys.soc --depth 1 --critical -o buffered.soc 2> fifo.log
   wrote buffered.soc
 
-Generate the RTL control skeleton and co-verify it:
+Generate the RTL control skeleton and co-simulate it against the analysis:
 
-  $ ermes rtl sys.soc --verify -o sys.v 2> rtl.log
+  $ ermes rtl sys.soc --emit sys.v --cosim
   wrote sys.v
-  $ cat rtl.log
-  RTL steady-state cycle time 3093; analysis 3093 (match)
+  cosim: RTL steady period 3093 (x1 unfolding = 3093); analysis 3093 (match)
   $ grep -c 'module' sys.v
   2
 
@@ -154,4 +153,4 @@ Resilience report: latency slack per component, verified by fault probes:
 Differential fuzzing is deterministic in the seed and must stay clean:
 
   $ ermes fuzz --seed 1 --cases 50 --no-repro 2>/dev/null
-  fuzz: seed 1, 50 cases: 41 live, 9 dead, 69 faults injected, 0 failure(s)
+  fuzz: seed 1, 50 cases: 26 live, 24 dead, 82 faults injected, 0 failure(s)

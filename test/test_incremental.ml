@@ -456,7 +456,7 @@ let failure_signature (f : Fuzz.failure) = (f.Fuzz.case, f.Fuzz.scenario, f.Fuzz
 
 let test_fuzz_jobs () =
   let config =
-    { Fuzz.seed = 7; cases = 12; max_processes = 8; rounds = 48; repro_dir = None }
+    { Fuzz.seed = 7; cases = 12; max_processes = 8; rounds = 48; rtl = true; repro_dir = None }
   in
   let s1 = Fuzz.run ~jobs:1 config in
   let s2 = Fuzz.run ~jobs:2 config in

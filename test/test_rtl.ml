@@ -99,6 +99,20 @@ let test_interp_wire_chain () =
   Interp.set_input sim i 20;
   Alcotest.(check int) "comb settles without a clock" 42 (Interp.peek sim w2)
 
+let test_interp_settled () =
+  (* A closed design that commits a step without changing any register has
+     reached a permanent fixed point — the cheap deadlock early-out the
+     co-simulator relies on. *)
+  let design, en, _, _ = counter_design ~width:3 in
+  let sim = Interp.create design in
+  Alcotest.(check bool) "not settled before the first step" false (Interp.settled sim);
+  Interp.step sim;
+  Alcotest.(check bool) "disabled counter is a fixed point" true (Interp.settled sim);
+  Interp.set_input sim en 1;
+  Alcotest.(check bool) "an input change un-settles" false (Interp.settled sim);
+  Interp.step sim;
+  Alcotest.(check bool) "counting is not settled" false (Interp.settled sim)
+
 let test_interp_input_validation () =
   let design, en, _, _ = counter_design ~width:3 in
   let sim = Interp.create design in
@@ -203,13 +217,58 @@ let test_soc_rtl_horizon () =
     (Soc_rtl.measured_cycle_time ~rounds:4 ~max_cycles:500 (Motivating.deadlocking ()) = None)
 
 let test_soc_rtl_limits () =
-  let sys = System.create () in
-  let src = System.add_simple_process sys ~latency:(1 lsl 30) ~area:0. "src" in
-  let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
-  ignore (System.add_channel sys ~name:"c" ~src ~dst:snk ~latency:1);
-  Alcotest.check_raises "latency too large"
-    (Invalid_argument "Soc_rtl.build: latency too large") (fun () ->
-      ignore (Soc_rtl.build sys))
+  (* Rejections name the offending process/channel and its kind: a refused
+     design must be diagnosable from the message alone. *)
+  let big = 1 lsl 30 in
+  let mk ~latency =
+    let sys = System.create () in
+    let src = System.add_simple_process sys ~latency ~area:0. "src" in
+    let snk = System.add_simple_process sys ~latency:1 ~area:0. "snk" in
+    let c = System.add_channel sys ~name:"c" ~src ~dst:snk ~latency:1 in
+    (sys, c)
+  in
+  let sys, _ = mk ~latency:big in
+  Alcotest.check_raises "process latency too large"
+    (Invalid_argument
+       (Printf.sprintf
+          "Soc_rtl.build: process \"src\" has latency %d, beyond the 2^30 limit of the \
+           RTL counters"
+          big))
+    (fun () -> ignore (Soc_rtl.build sys));
+  let sys, c = mk ~latency:1 in
+  System.set_channel_kind sys c (System.Fifo big);
+  Alcotest.check_raises "fifo depth too large"
+    (Invalid_argument
+       (Printf.sprintf
+          "Soc_rtl.build: channel \"c\" (fifo %d) has depth %d, beyond the 2^30 limit \
+           of the RTL counters"
+          big big))
+    (fun () -> ignore (Soc_rtl.build sys));
+  let sys, c = mk ~latency:1 in
+  System.set_channel_kind sys c (System.Handshake { hold = big });
+  Alcotest.check_raises "handshake hold too large"
+    (Invalid_argument
+       (Printf.sprintf
+          "Soc_rtl.build: channel \"c\" (handshake %d) has hold %d, beyond the 2^30 \
+           limit of the RTL counters"
+          big big))
+    (fun () -> ignore (Soc_rtl.build sys))
+
+let test_soc_rtl_degeneracy () =
+  (* The degenerate corners of the two new kinds route through the exact
+     same lowering code as the kinds they collapse to, so the emitted
+     Verilog is bit-identical — not merely behaviourally equivalent. *)
+  let verilog kind =
+    let sys = Motivating.suboptimal () in
+    List.iter (fun c -> System.set_channel_kind sys c kind) (System.channels sys);
+    Emit.to_verilog (Soc_rtl.build sys).Soc_rtl.design
+  in
+  Alcotest.(check string) "Multi_rate{1,1,d} lowers bit-identically to Fifo d"
+    (verilog (System.Fifo 3))
+    (verilog (System.Multi_rate { produce = 1; consume = 1; depth = 3 }));
+  Alcotest.(check string) "Handshake{0} lowers bit-identically to Rendezvous"
+    (verilog System.Rendezvous)
+    (verilog (System.Handshake { hold = 0 }))
 
 let prop_rtl_matches_des =
   Helpers.qtest ~count:30 "generated RTL = discrete-event simulation (random systems)"
@@ -236,6 +295,60 @@ let prop_rtl_matches_des_mixed_fifo =
         (System.channels sys);
       rtl_matches_des sys)
 
+(* The headline oracle property: across all four channel kinds mixed freely
+   over a random DAG, the interpreted RTL and the discrete-event simulator
+   measure the same steady cycle time at the monitor. *)
+let prop_rtl_matches_des_mixed_kinds =
+  Helpers.qtest ~count:300 "generated RTL = simulation across mixed channel kinds"
+    QCheck2.Gen.(
+      pair Helpers.dag_system_gen
+        (list_repeat 16 (triple (int_range 0 4) (int_range 1 3) (int_range 0 3))))
+    (fun (sys, draws) ->
+      let draws = Array.of_list draws in
+      List.iteri
+        (fun i c ->
+          let kind, mag, slack = draws.(i mod Array.length draws) in
+          match kind with
+          | 0 -> ()
+          | 1 -> System.set_channel_kind sys c (System.Fifo mag)
+          | 2 -> System.set_channel_kind sys c (System.Handshake { hold = mag - 1 + slack })
+          | 3 ->
+            System.set_channel_kind sys c
+              (System.Multi_rate { produce = 1; consume = 1; depth = mag })
+          | _ ->
+            (* Equal rates > 1 keep the repetition vector of the random DAG
+               consistent (imbalanced rates would fail validation on most
+               topologies) while still exercising the weighted counters;
+               genuinely imbalanced rates are covered by the fuzz oracle's
+               repetition-vector-driven generator. *)
+            let rate = mag + 1 in
+            System.set_channel_kind sys c
+              (System.Multi_rate { produce = rate; consume = rate; depth = rate + slack }))
+        (System.channels sys);
+      rtl_matches_des sys)
+
+(* Horizon agreement: when the simulator calls a permuted feedback system
+   deadlocked, the RTL run exhausts its budget without completing — and
+   when the simulator finds a period, the RTL finds the same one. *)
+let prop_rtl_deadlock_horizon =
+  Helpers.qtest ~count:40 "RTL stall horizon agrees with the simulator verdict"
+    QCheck2.Gen.(pair Helpers.feedback_system_gen (list_repeat 24 (int_range 0 1000)))
+    (fun (sys, draws) ->
+      Helpers.permute_orders sys draws;
+      match Sim.steady_cycle_time ~rounds:12 sys with
+      | Ok (Sim.Deadlock _) -> (
+        match Soc_rtl.cosim ~rounds:12 sys with
+        | Soc_rtl.Rtl_exhausted _ -> true
+        | Soc_rtl.Rtl_period _ | Soc_rtl.Rtl_no_period -> false)
+      | Ok (Sim.Period p) -> (
+        match Helpers.analyze_ct sys with
+        | Some ct when Ratio.to_float ct >= 2000. -> true (* keep the horizon sane *)
+        | _ -> (
+          match Soc_rtl.cosim ~rounds:12 sys with
+          | Soc_rtl.Rtl_period q -> Ratio.equal p q
+          | Soc_rtl.Rtl_exhausted _ | Soc_rtl.Rtl_no_period -> false))
+      | Ok (Sim.No_period | Sim.Timeout _) | Error _ -> true)
+
 let () =
   Alcotest.run "rtl"
     [
@@ -250,6 +363,7 @@ let () =
           Alcotest.test_case "counter" `Quick test_interp_counter;
           Alcotest.test_case "two-phase update" `Quick test_interp_two_phase;
           Alcotest.test_case "wire chain" `Quick test_interp_wire_chain;
+          Alcotest.test_case "settled fixed point" `Quick test_interp_settled;
           Alcotest.test_case "input validation" `Quick test_interp_input_validation;
         ] );
       ( "soc-rtl",
@@ -262,7 +376,14 @@ let () =
           Alcotest.test_case "fifo verilog" `Quick test_soc_rtl_fifo_verilog;
           Alcotest.test_case "interp determinism" `Quick test_interp_determinism;
           Alcotest.test_case "limits" `Quick test_soc_rtl_limits;
+          Alcotest.test_case "degenerate kinds bit-identical" `Quick test_soc_rtl_degeneracy;
         ] );
       ( "property",
-        [ prop_rtl_matches_des; prop_rtl_matches_des_feedback; prop_rtl_matches_des_mixed_fifo ] );
+        [
+          prop_rtl_matches_des;
+          prop_rtl_matches_des_feedback;
+          prop_rtl_matches_des_mixed_fifo;
+          prop_rtl_matches_des_mixed_kinds;
+          prop_rtl_deadlock_horizon;
+        ] );
     ]

@@ -475,7 +475,7 @@ let fuzz_resume_prop =
     QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 1000))
     (fun (seed, kill) ->
       let config =
-        { Fuzz.seed; cases = 10; max_processes = 6; rounds = 48; repro_dir = None }
+        { Fuzz.seed; cases = 10; max_processes = 6; rounds = 48; rtl = false; repro_dir = None }
       in
       let path = temp_path ".journal" in
       let full =
