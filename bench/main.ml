@@ -9,7 +9,7 @@
 
    Sections: table1 fig2 fig3 fig4 m1 fig6-timing fig6-area scalability
              ablation-mcm ablation-ordering ablation-dse incremental csr rtl
-             scale runtime micro   *)
+             scale runtime chaos micro   *)
 
 module System = Ermes_slm.System
 module Motivating = Ermes_slm.Motivating
@@ -1098,6 +1098,104 @@ let scale () =
       Verify.pp_violation v);
   repro "1e5 grid (acyclic) and 1e5 clusters-of-clusters verdicts certified"
 
+(* ------------------------------------------------------------------- chaos *)
+
+(* The chaos layer's standing claim: routing every syscall of the journal
+   and the daemon through the pluggable Io record costs nothing measurable
+   when no injector is installed. Benchmarked as min-over-reps on the two
+   hot paths — journal-append-shaped bulk writes and a serve-request-shaped
+   frame round trip — and gated loudly at 5% so the claim cannot rot. *)
+let chaos_bench () =
+  hr "Chaos layer - passthrough-Io overhead on the I/O hot paths";
+  let module Chaos = Ermes_chaos.Chaos in
+  let module Sproto = Ermes_serve.Proto in
+  let io = Chaos.Io.passthrough in
+  let reps = 7 in
+  (* Journal appends render the whole file and write it in one call; model
+     the write with render-sized buffers against /dev/null so the syscall
+     is real but storage noise is not. *)
+  let fd = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let payload = String.make 4096 'x' in
+  let n = if quick then 50_000 else 200_000 in
+  let (), t_direct =
+    min_time ~reps (fun () ->
+        for _ = 1 to n do
+          ignore (Unix.write_substring fd payload 0 (String.length payload))
+        done)
+  in
+  let (), t_io =
+    min_time ~reps (fun () ->
+        for _ = 1 to n do
+          ignore (io.Chaos.Io.write fd payload 0 (String.length payload))
+        done)
+  in
+  Unix.close fd;
+  let jx = t_io /. t_direct in
+  (* A serve request round trip: frame a small JSON request over a
+     socketpair, read it back and decode it — the daemon's per-request
+     socket work, with and without the Io indirection. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let req =
+    Sproto.frame
+      (Sproto.to_string
+         (Sproto.Obj [ ("id", Sproto.Int 1); ("verb", Sproto.Str "ping") ]))
+  in
+  let buf = Bytes.create 4096 in
+  let m = if quick then 20_000 else 50_000 in
+  let roundtrip write read =
+    let dec = Sproto.decoder () in
+    let wrote = write a req 0 (String.length req) in
+    if wrote <> String.length req then failwith "chaos bench: short pipe write";
+    let rec drain () =
+      match Sproto.next dec with
+      | Ok (Some p) -> p
+      | Ok None ->
+        let k = read b buf 0 (Bytes.length buf) in
+        Sproto.feed dec buf k;
+        drain ()
+      | Error e -> failwith ("chaos bench: " ^ e)
+    in
+    match Sproto.parse_request (drain ()) with
+    | Ok r -> if r.Sproto.verb <> "ping" then failwith "chaos bench: bad verb"
+    | Error e -> failwith ("chaos bench: " ^ e)
+  in
+  let (), t_frame_direct =
+    min_time ~reps (fun () ->
+        for _ = 1 to m do
+          roundtrip
+            (fun fd s off len -> Unix.write_substring fd s off len)
+            Unix.read
+        done)
+  in
+  let (), t_frame_io =
+    min_time ~reps (fun () ->
+        for _ = 1 to m do
+          roundtrip io.Chaos.Io.write io.Chaos.Io.read
+        done)
+  in
+  Unix.close a;
+  Unix.close b;
+  let fx = t_frame_io /. t_frame_direct in
+  repro "%d 4 KiB writes:          direct %7.2f ms   via Io %7.2f ms  (%.3fx)"
+    n (1000. *. t_direct) (1000. *. t_io) jx;
+  repro "%d framed round trips:    direct %7.2f ms   via Io %7.2f ms  (%.3fx)"
+    m
+    (1000. *. t_frame_direct)
+    (1000. *. t_frame_io)
+    fx;
+  metric "chaos.journal_write_direct_s" t_direct;
+  metric "chaos.journal_write_io_s" t_io;
+  metric "chaos.journal_write_overhead_x" jx;
+  metric "chaos.frame_roundtrip_direct_s" t_frame_direct;
+  metric "chaos.frame_roundtrip_io_s" t_frame_io;
+  metric "chaos.frame_roundtrip_overhead_x" fx;
+  if jx > 1.05 || fx > 1.05 then
+    failwith
+      (Printf.sprintf
+         "chaos bench: passthrough Io exceeds the 5%% overhead budget (journal \
+          %.3fx, frame %.3fx)"
+         jx fx)
+
 (* -------------------------------------------------------------------- main *)
 
 let sections =
@@ -1120,6 +1218,7 @@ let sections =
     ("rtl", rtl_bench);
     ("scale", scale);
     ("runtime", runtime);
+    ("chaos", chaos_bench);
     ("micro", micro);
   ]
 

@@ -158,19 +158,11 @@ let fails sys ~rounds ~rtl scenario =
   | exception _ -> true
 
 (* Greedy shrink: drop whole faults while the failure reproduces, then halve
-   magnitudes fault by fault to a fixpoint. *)
+   magnitudes fault by fault to a fixpoint — the {!Shrink} discipline, with
+   the halving step specific to fault scenarios. *)
 let shrink sys ~rounds ~rtl scenario =
   let fails sc = fails sys ~rounds ~rtl sc in
-  let rec drop sc =
-    let rec try_drop pre = function
-      | [] -> None
-      | f :: rest ->
-        let cand = List.rev_append pre rest in
-        if fails cand then Some cand else try_drop (f :: pre) rest
-    in
-    match try_drop [] sc with Some sc' -> drop sc' | None -> sc
-  in
-  let halve = function
+  let step = function
     | Fault.Latency_jitter { channel; delta } when abs delta > 1 ->
       Some (Fault.Latency_jitter { channel; delta = delta / 2 })
     | Fault.Process_slowdown { process; delta } when delta > 1 ->
@@ -179,25 +171,7 @@ let shrink sys ~rounds ~rtl scenario =
       Some (Fault.Channel_stall { channel; at_transfer; cycles = cycles / 2 })
     | _ -> None
   in
-  let rec reduce sc =
-    let arr = Array.of_list sc in
-    let improved = ref None in
-    (try
-       Array.iteri
-         (fun i f ->
-           match halve f with
-           | None -> ()
-           | Some f' ->
-             let cand = Array.to_list (Array.mapi (fun j g -> if j = i then f' else g) arr) in
-             if fails cand then begin
-               improved := Some cand;
-               raise Exit
-             end)
-         arr
-     with Exit -> ());
-    match !improved with Some sc' -> reduce sc' | None -> sc
-  in
-  reduce (drop scenario)
+  Shrink.minimize ~fails ~step scenario
 
 let one_line s = String.map (function '\n' -> ' ' | c -> c) s
 

@@ -1,0 +1,34 @@
+let drop ~fails items =
+  let rec go items =
+    let rec try_drop pre = function
+      | [] -> None
+      | x :: rest ->
+        let cand = List.rev_append pre rest in
+        if fails cand then Some cand else try_drop (x :: pre) rest
+    in
+    match try_drop [] items with Some items' -> go items' | None -> items
+  in
+  go items
+
+let reduce ~fails ~step items =
+  let rec go items =
+    let arr = Array.of_list items in
+    let improved = ref None in
+    (try
+       Array.iteri
+         (fun i x ->
+           match step x with
+           | None -> ()
+           | Some x' ->
+             let cand = Array.to_list (Array.mapi (fun j y -> if j = i then x' else y) arr) in
+             if fails cand then begin
+               improved := Some cand;
+               raise Exit
+             end)
+         arr
+     with Exit -> ());
+    match !improved with Some items' -> go items' | None -> items
+  in
+  go items
+
+let minimize ~fails ~step items = reduce ~fails ~step (drop ~fails items)

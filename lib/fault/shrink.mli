@@ -1,0 +1,23 @@
+(** Greedy list minimization — the shrinking discipline the fuzzer
+    established, factored out so every failure-shrinking client (fuzz
+    scenarios, chaos fault plans) reduces counterexamples the same way.
+
+    The contract mirrors QuickCheck-style shrinking without the generator
+    coupling: given a list for which [fails] holds, produce a (locally)
+    minimal sublist with element magnitudes reduced, for which [fails] still
+    holds. [fails] must be deterministic — it is re-evaluated on every
+    candidate. *)
+
+val drop : fails:('a list -> bool) -> 'a list -> 'a list
+(** Repeatedly remove the first element whose removal keeps the list
+    failing, to a fixpoint: the result fails, and removing any single
+    element stops it failing. *)
+
+val reduce : fails:('a list -> bool) -> step:('a -> 'a option) -> 'a list -> 'a list
+(** Repeatedly replace the first element that [step] can weaken (e.g. halve
+    a magnitude) while the list keeps failing, to a fixpoint. *)
+
+val minimize : fails:('a list -> bool) -> step:('a -> 'a option) -> 'a list -> 'a list
+(** {!drop} then {!reduce} — the standard two-phase greedy shrink.
+    Precondition: [fails] holds for the input (otherwise the input is
+    returned unchanged). *)

@@ -8,7 +8,50 @@ module Fuzz = Ermes_fault.Fuzz
 module Fault = Ermes_fault.Fault
 module Differential = Ermes_fault.Differential
 
+module Obs = Ermes_obs.Obs
+
 let system_fingerprint sys = Printf.sprintf "%08x" (Journal.crc32 (Soc_format.print sys))
+
+(* ---- degrade-instead-of-crash journal sink -------------------------------
+
+   A campaign mid-wave must never die because the disk filled up (or the
+   chaos layer said it did): the first I/O failure from the journal disables
+   checkpointing for the rest of the run, warns once on stderr, and bumps
+   [runtime.checkpoint.disabled] — the campaign itself continues and its
+   report is unaffected. *)
+
+type sink = { mutable sj : Journal.t option }
+
+let describe_io_error = function
+  | Unix.Unix_error (e, fn, _) -> Printf.sprintf "%s: %s" fn (Unix.error_message e)
+  | Sys_error m -> m
+  | e -> Printexc.to_string e
+
+let disable_sink sink ~path e =
+  sink.sj <- None;
+  Obs.incr "runtime.checkpoint.disabled";
+  Printf.eprintf
+    "ermes: warning: checkpointing disabled (%s: %s); the campaign continues without \
+     checkpoints\n\
+     %!"
+    (Filename.basename path) (describe_io_error e)
+
+let sink_start ?io ~meta ~kind path =
+  Obs.incr ~by:0 "runtime.checkpoint.disabled";
+  match Journal.start ?io ~meta ~kind path with
+  | j -> { sj = Some j }
+  | exception ((Unix.Unix_error _ | Sys_error _) as e) ->
+    let sink = { sj = None } in
+    disable_sink sink ~path e;
+    sink
+
+let sink_append sink payload =
+  match sink.sj with
+  | None -> ()
+  | Some j -> (
+    try Journal.append j payload
+    with (Unix.Unix_error _ | Sys_error _) as e ->
+      disable_sink sink ~path:(Journal.path j) e)
 
 (* ---- payload token streams ----------------------------------------------
 
@@ -165,7 +208,7 @@ let decode_fuzz_case sys payload =
     Some (case, outcome)
   with Bad -> None
 
-let fuzz_run ?log ?jobs ~path ~resume config =
+let fuzz_run ?io ?log ?jobs ~path ~resume config =
   let meta = fuzz_meta config in
   match load_for ~kind:"fuzz" ~meta ~resume path with
   | Error e -> Error e
@@ -177,9 +220,9 @@ let fuzz_run ?log ?jobs ~path ~resume config =
         | Some case -> Hashtbl.replace table case payload
         | None -> ())
       entries;
-    let j = Journal.start ~meta ~kind:"fuzz" path in
+    let sink = sink_start ?io ~meta ~kind:"fuzz" path in
     let checkpoint ~case sys outcome =
-      Journal.append j (encode_fuzz_case ~case sys outcome)
+      sink_append sink (encode_fuzz_case ~case sys outcome)
     in
     let lookup ~case sys =
       match Hashtbl.find_opt table case with
@@ -259,7 +302,8 @@ let dse_meta ~max_iterations ~reorder ~area_budget ~tct sys =
     (match area_budget with None -> "none" | Some a -> Printf.sprintf "%h" a)
     max_iterations
 
-let dse_run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~path ~resume ~tct sys =
+let dse_run ?io ?(max_iterations = 16) ?(reorder = true) ?area_budget ~path ~resume ~tct
+    sys =
   let meta = dse_meta ~max_iterations ~reorder ~area_budget ~tct sys in
   match load_for ~kind:"dse" ~meta ~resume path with
   | Error e -> Error e
@@ -275,8 +319,8 @@ let dse_run ?(max_iterations = 16) ?(reorder = true) ?area_budget ~path ~resume 
         | None -> List.rev acc)
     in
     let snaps = prefix [] entries in
-    let j = Journal.start ~meta ~kind:"dse" path in
-    let checkpoint snap = Journal.append j (encode_dse_snapshot snap) in
+    let sink = sink_start ?io ~meta ~kind:"dse" path in
+    let checkpoint snap = sink_append sink (encode_dse_snapshot snap) in
     Ok (Explore.run ~max_iterations ~reorder ?area_budget ~checkpoint ~resume:snaps ~tct sys)
 
 (* ---- oracle -------------------------------------------------------------- *)
@@ -314,7 +358,7 @@ let decode_oracle_slice payload =
     Some (slice, { Oracle.slice_best; slice_evaluated; slice_deadlocked })
   with Bad -> None
 
-let oracle_search ?limit ?jobs ~path ~resume sys =
+let oracle_search ?io ?limit ?jobs ~path ~resume sys =
   let meta = oracle_meta sys in
   match load_for ~kind:"oracle" ~meta ~resume path with
   | Error e -> Error e
@@ -326,7 +370,7 @@ let oracle_search ?limit ?jobs ~path ~resume sys =
         | Some (slice, outcome) -> Hashtbl.replace table slice outcome
         | None -> ())
       entries;
-    let j = Journal.start ~meta ~kind:"oracle" path in
-    let checkpoint ~slice outcome = Journal.append j (encode_oracle_slice ~slice outcome) in
+    let sink = sink_start ?io ~meta ~kind:"oracle" path in
+    let checkpoint ~slice outcome = sink_append sink (encode_oracle_slice ~slice outcome) in
     let lookup ~slice = Hashtbl.find_opt table slice in
     Ok (Oracle.search ?limit ?jobs ~checkpoint ~resume:lookup sys)

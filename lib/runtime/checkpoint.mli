@@ -18,7 +18,15 @@
 
     Undecodable records degrade safely: the unit is recomputed (the
     campaigns are deterministic, so the outcome is the same). For the
-    sequential DSE history only the longest decodable prefix is replayed. *)
+    sequential DSE history only the longest decodable prefix is replayed.
+
+    Journal I/O failures degrade safely too: the first [Unix.Unix_error]
+    (e.g. a persistent [ENOSPC]) or [Sys_error] out of the journal disables
+    checkpointing for the rest of the run — one stderr warning, one bump of
+    the [runtime.checkpoint.disabled] obs counter — and the campaign
+    continues to its normal report instead of crashing mid-wave. The [?io]
+    parameter threads an {!Ermes_chaos.Chaos.Io} into the journal so the
+    chaos layer can exercise exactly that path. *)
 
 module System = Ermes_slm.System
 module Explore = Ermes_core.Explore
@@ -42,6 +50,7 @@ val decode_fuzz_case : System.t -> string -> (int * Fuzz.case_outcome) option
     case's own (regenerated) system. *)
 
 val fuzz_run :
+  ?io:Ermes_chaos.Chaos.Io.t ->
   ?log:(string -> unit) ->
   ?jobs:int ->
   path:string ->
@@ -61,6 +70,7 @@ val decode_dse_snapshot : string -> Explore.snapshot option
 (** Exposed for the test suite. *)
 
 val dse_run :
+  ?io:Ermes_chaos.Chaos.Io.t ->
   ?max_iterations:int ->
   ?reorder:bool ->
   ?area_budget:float ->
@@ -80,6 +90,7 @@ val decode_oracle_slice : string -> (int * Oracle.slice_outcome) option
 (** Exposed for the test suite. *)
 
 val oracle_search :
+  ?io:Ermes_chaos.Chaos.Io.t ->
   ?limit:int ->
   ?jobs:int ->
   path:string ->

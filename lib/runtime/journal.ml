@@ -1,4 +1,5 @@
 module Obs = Ermes_obs.Obs
+module Chaos = Ermes_chaos.Chaos
 
 (* ---- CRC-32 (IEEE 802.3 / zlib polynomial, table-driven) ---------------- *)
 
@@ -61,6 +62,7 @@ type t = {
   header : string;  (* the full header line, CRC included *)
   mutable entries_rev : string list;
   mutable count : int;
+  io : Chaos.Io.t;
 }
 
 let render j =
@@ -74,23 +76,55 @@ let render j =
     (List.rev j.entries_rev);
   Buffer.contents buf
 
-(* Crash safety: render the complete journal into a sibling tmp file, then
-   atomically rename it over the live path. A SIGKILL at any point leaves
-   either the previous complete journal or the new one — never a torn
-   half-write at the published name. *)
+(* A full write through the Io hooks: retries EINTR, continues after short
+   writes. A zero-byte write on a regular file is a broken Io — surface it
+   as the disk-full condition it behaves like rather than spinning. *)
+let write_all io fd data =
+  let len = String.length data in
+  let off = ref 0 in
+  while !off < len do
+    match io.Chaos.Io.write fd data !off (len - !off) with
+    | 0 -> raise (Unix.Unix_error (Unix.ENOSPC, "write", "zero-byte write"))
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+(* Durability on the directory too: the rename itself is only on disk once
+   the containing directory's metadata is. Best-effort — some filesystems
+   refuse fsync on a directory fd, and that must not fail a checkpoint. *)
+let fsync_dir io dir =
+  match Unix.openfile dir [ Unix.O_RDONLY; Unix.O_CLOEXEC ] 0 with
+  | exception Unix.Unix_error (_, _, _) -> ()
+  | fd ->
+    (try io.Chaos.Io.fsync fd with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Crash safety: render the complete journal into a sibling tmp file, fsync
+   it, atomically rename it over the live path, then fsync the directory. A
+   SIGKILL at any point leaves either the previous complete journal or the
+   new one — never a torn half-write at the published name — and the fsyncs
+   extend that guarantee to power loss: the data is on the platter before
+   the name points at it. *)
 let persist j =
   let tmp = j.path ^ ".tmp" in
-  Out_channel.with_open_bin tmp (fun oc ->
-      Out_channel.output_string oc (render j);
-      Out_channel.flush oc);
-  Sys.rename tmp j.path
+  let data = render j in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_CLOEXEC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all j.io fd data;
+      j.io.Chaos.Io.fsync fd);
+  j.io.Chaos.Io.rename tmp j.path;
+  fsync_dir j.io (Filename.dirname j.path)
 
 let header_line ~kind ~meta =
   let prefix = Printf.sprintf "%s %d %s %s" magic version (escape kind) (escape meta) in
   Printf.sprintf "%s %08x" prefix (crc32 prefix)
 
-let start ?(meta = "") ~kind path =
-  let j = { path; header = header_line ~kind ~meta; entries_rev = []; count = 0 } in
+let start ?(io = Chaos.Io.passthrough) ?(meta = "") ~kind path =
+  let j = { path; header = header_line ~kind ~meta; entries_rev = []; count = 0; io } in
   persist j;
   j
 

@@ -4,10 +4,20 @@
     record) so an interrupted campaign — even one killed with SIGKILL — can
     resume where it stopped. Durability comes from never mutating the live
     file in place: every write renders the {e whole} journal (versioned
-    header + all records, each with its own CRC-32) into [FILE.tmp] and
-    atomically renames it over [FILE]. At any instant the on-disk file is a
-    complete, self-consistent journal — a kill can only lose the record
-    being written, never corrupt what was already persisted.
+    header + all records, each with its own CRC-32) into [FILE.tmp], fsyncs
+    it, atomically renames it over [FILE], and fsyncs the containing
+    directory (best-effort). At any instant the on-disk file is a complete,
+    self-consistent journal — a kill can only lose the record being written,
+    never corrupt what was already persisted — and the fsync pair extends
+    the guarantee to power loss, not just SIGKILL.
+
+    All file operations go through an {!Ermes_chaos.Chaos.Io} record
+    (default: the bare syscalls), so the chaos layer can inject ENOSPC,
+    short writes, EINTR storms and torn renames; the write loop already
+    retries EINTR and continues short writes. An injected (or real) I/O
+    failure surfaces from {!start}/{!append} as [Unix.Unix_error] or
+    [Sys_error] — {!Checkpoint} degrades to checkpoint-disabled on it
+    rather than crashing a campaign.
 
     The format is line-oriented text. Header:
     [ermes-journal 1 <kind> <meta> <crc32>] where [kind] names the campaign
@@ -35,14 +45,17 @@ val unescape : string -> string
 
 type t
 
-val start : ?meta:string -> kind:string -> string -> t
+val start : ?io:Ermes_chaos.Chaos.Io.t -> ?meta:string -> kind:string -> string -> t
 (** [start ~kind file] creates (or truncates) the journal at [file] and
     persists its header. [meta] is an arbitrary configuration fingerprint
-    (escaped for you). *)
+    (escaped for you). [io] (default {!Ermes_chaos.Chaos.Io.passthrough})
+    is used for every persistence of this journal. *)
 
 val append : t -> string -> unit
 (** Append one record payload (any bytes) and persist the whole journal
-    atomically. *)
+    atomically. Raises [Unix.Unix_error] (e.g. [ENOSPC]) or [Sys_error] on
+    an I/O failure; the published file still holds the previous complete
+    journal. *)
 
 val path : t -> string
 val records : t -> string list

@@ -282,6 +282,9 @@ let feed d bytes n = Buffer.add_subbytes d.buf bytes 0 n
 
 let buffered d = Buffer.length d.buf
 
+let pending d =
+  d.poisoned = None && (d.expecting <> None || Buffer.length d.buf > 0)
+
 (* Drop the first [k] bytes of the buffer. *)
 let consume d k =
   let s = Buffer.contents d.buf in

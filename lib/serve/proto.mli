@@ -80,6 +80,12 @@ val next : decoder -> (string option, string) result
 val buffered : decoder -> int
 (** Bytes currently held by the decoder (diagnostics). *)
 
+val pending : decoder -> bool
+(** A frame is partially buffered: the decoder holds bytes (or a parsed
+    length prefix) that {!next} cannot yet complete. The server's
+    per-connection frame-read deadline keys off this — a client holding a
+    half-frame open is a slow-loris, not an idle peer. *)
+
 (** {1 Requests and replies} *)
 
 type request = {

@@ -1,6 +1,7 @@
 module Obs = Ermes_obs.Obs
 module Supervise = Ermes_runtime.Supervise
 module Cancel = Supervise.Cancel
+module Chaos = Ermes_chaos.Chaos
 open Proto
 
 type config = {
@@ -10,6 +11,7 @@ type config = {
   workers : int;
   client_cap : int;
   idle_timeout_s : float;
+  frame_deadline_s : float;
   session_ttl_s : float;
   session_cap : int;
   cache_capacity : int;
@@ -18,6 +20,7 @@ type config = {
   max_deadline_ms : int;
   crash_budget : int;
   rounds : int;
+  io : Chaos.Io.t;
 }
 
 let default_config ~socket =
@@ -28,6 +31,7 @@ let default_config ~socket =
     workers = 2;
     client_cap = 8;
     idle_timeout_s = 300.;
+    frame_deadline_s = 10.;
     session_ttl_s = 900.;
     session_cap = 8;
     cache_capacity = 256;
@@ -36,6 +40,7 @@ let default_config ~socket =
     max_deadline_ms = 120_000;
     crash_budget = 1000;
     rounds = 10_000;
+    io = Chaos.Io.passthrough;
   }
 
 (* ---- degradation ladder --------------------------------------------------- *)
@@ -61,6 +66,8 @@ type conn = {
   mutable handshaken : bool;
   mutable in_flight : int;
   mutable last_activity : float;
+  mutable frame_started : float option;
+      (* a partial frame has been pending since this instant *)
   mutable closing : bool;  (* close once the outbox drains *)
   cancels : (int, Cancel.t) Hashtbl.t;  (* request id → its deadline token *)
 }
@@ -91,6 +98,10 @@ type t = {
   started : float;
 }
 
+(* Every time source and socket/file operation goes through [cfg.io], so the
+   chaos layer can interpose; the passthrough default is the bare syscalls. *)
+let now srv = srv.cfg.io.Chaos.Io.clock ()
+
 let mode srv =
   let live = Atomic.get srv.live_workers in
   if live <= 0 || Atomic.get srv.crashes >= srv.cfg.crash_budget then Metrics_only
@@ -107,14 +118,14 @@ let push_completion srv c =
   try ignore (Unix.write srv.wake_w (Bytes.make 1 'w') 0 1)
   with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
 
-let with_elapsed ~t0 reply =
-  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+let with_elapsed srv ~t0 reply =
+  let ms = (now srv -. t0) *. 1000. in
   match reply with
   | Obj fields -> Obj (fields @ [ ("elapsed_ms", Float ms) ])
   | other -> other
 
 let run_job srv job =
-  let t0 = Unix.gettimeofday () in
+  let t0 = now srv in
   let reply =
     match Cancel.status job.jcancel with
     | Some reason ->
@@ -132,7 +143,7 @@ let run_job srv job =
           Supervise.default_policy with
           Supervise.max_attempts = srv.cfg.max_attempts;
           timeout_s = Some budget;
-          clock = Unix.gettimeofday;
+          clock = srv.cfg.io.Chaos.Io.clock;
           quarantine = true;
         }
       in
@@ -163,7 +174,7 @@ let run_job srv job =
           ~extra:[ ("attempts", Int f.Supervise.attempts) ])
   in
   push_completion srv
-    { cconn = job.jconn; cid = job.jid; creply = with_elapsed ~t0 reply }
+    { cconn = job.jconn; cid = job.jid; creply = with_elapsed srv ~t0 reply }
 
 let worker_loop srv =
   let rec loop () =
@@ -217,14 +228,14 @@ let drop_conn conns conn ~reason =
     conn.cancels;
   (try Unix.close conn.fd with Unix.Unix_error _ -> ())
 
-let flush_conn conns conn =
+let flush_conn srv conns conn =
   let rec go () =
     match Queue.peek_opt conn.outq with
     | None -> ()
     | Some head -> (
       let len = String.length head - conn.out_off in
       match
-        Unix.write_substring conn.fd head conn.out_off len
+        srv.cfg.io.Chaos.Io.write conn.fd head conn.out_off len
       with
       | n ->
         if n = len then begin
@@ -250,7 +261,7 @@ let metrics_fields srv ~connections =
   let cs = Cache.stats srv.deps.Handler.cache in
   [
     ("mode", Str (mode_name (mode srv)));
-    ("uptime_s", Float (Unix.gettimeofday () -. srv.started));
+    ("uptime_s", Float (now srv -. srv.started));
     ( "workers",
       Obj
         [
@@ -337,14 +348,14 @@ let admit srv conn (req : Proto.request) =
            ~extra:[ ("retry_after_ms", Int 25) ])
     end
     else begin
-      let now = Unix.gettimeofday () in
+      let now = now srv in
       let deadline_ms =
         match int_member "deadline_ms" req.body with
         | Some d when d > 0 -> min d srv.cfg.max_deadline_ms
         | _ -> srv.cfg.default_deadline_ms
       in
       let deadline_s = float_of_int deadline_ms /. 1000. in
-      let cancel = Cancel.make ~deadline_s ~clock:Unix.gettimeofday () in
+      let cancel = Cancel.make ~deadline_s ~clock:srv.cfg.io.Chaos.Io.clock () in
       let job =
         {
           jconn = conn.key;
@@ -424,10 +435,10 @@ let handle_payload srv conns conn payload =
 let read_buf = Bytes.create 65536
 
 let handle_readable srv conns conn =
-  match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+  match srv.cfg.io.Chaos.Io.read conn.fd read_buf 0 (Bytes.length read_buf) with
   | 0 -> drop_conn conns conn ~reason:"eof"
   | n ->
-    conn.last_activity <- Unix.gettimeofday ();
+    conn.last_activity <- now srv;
     feed conn.dec read_buf n;
     let rec drain () =
       match next conn.dec with
@@ -440,7 +451,11 @@ let handle_readable srv conns conn =
         send conn (error_reply ~id:0 ~verb:"?" ~status:"bad-request" e);
         conn.closing <- true
     in
-    drain ()
+    drain ();
+    (* The frame-read deadline clock: starts when bytes of an incomplete
+       frame are first seen, clears the moment the decoder holds nothing. *)
+    if conn.closing || not (Proto.pending conn.dec) then conn.frame_started <- None
+    else if conn.frame_started = None then conn.frame_started <- Some conn.last_activity
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error ((ECONNRESET | EBADF), _, _) ->
     drop_conn conns conn ~reason:"read error"
@@ -462,7 +477,7 @@ let drain_completions srv conns =
       | Some conn ->
         conn.in_flight <- max 0 (conn.in_flight - 1);
         Hashtbl.remove conn.cancels c.cid;
-        conn.last_activity <- Unix.gettimeofday ();
+        conn.last_activity <- now srv;
         send conn c.creply)
     pending
 
@@ -497,7 +512,7 @@ let listen_tcp port =
   Unix.set_nonblock fd;
   fd
 
-let accept_conn conns next_key lfd =
+let accept_conn srv conns next_key lfd =
   match Unix.accept lfd with
   | fd, addr ->
     Unix.set_nonblock fd;
@@ -520,7 +535,8 @@ let accept_conn conns next_key lfd =
         client = Printf.sprintf "anon-%d" key;
         handshaken = false;
         in_flight = 0;
-        last_activity = Unix.gettimeofday ();
+        last_activity = now srv;
+        frame_started = None;
         closing = false;
         cancels = Hashtbl.create 4;
       }
@@ -544,6 +560,7 @@ let register_counters () =
       "crashes";
       "workers_lost";
       "bad_frames";
+      "frame_timeouts";
       "cache_hits";
       "cache_misses";
       "sessions_opened";
@@ -576,7 +593,8 @@ let shutdown srv conns listeners workers =
   drain_completions srv conns;
   List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
   (* Best-effort flush of the goodbyes, bounded so a dead peer cannot hang
-     the exit. *)
+     the exit. Real time on purpose: a chaos-skewed clock must not stretch
+     the shutdown window. *)
   let give_up = Unix.gettimeofday () +. 2.0 in
   let rec flush_all () =
     let waiting =
@@ -596,7 +614,7 @@ let shutdown srv conns listeners workers =
                 (fun _ c acc -> if c.fd = fd then Some c else acc)
                 conns None
             with
-            | Some c -> flush_conn conns c
+            | Some c -> flush_conn srv conns c
             | None -> ())
           ws
       | exception Unix.Unix_error (EINTR, _, _) -> ());
@@ -615,7 +633,7 @@ let serve srv listeners =
   let workers =
     List.init srv.cfg.workers (fun _ -> Domain.spawn (fun () -> worker_loop srv))
   in
-  let last_sweep = ref (Unix.gettimeofday ()) in
+  let last_sweep = ref (now srv) in
   let rec loop () =
     if Atomic.get srv.stop then shutdown srv conns listeners workers
     else begin
@@ -632,7 +650,7 @@ let serve srv listeners =
         if List.mem srv.wake_r readable then drain_completions srv conns;
         List.iter
           (fun lfd ->
-            if List.mem lfd readable then accept_conn conns next_key lfd)
+            if List.mem lfd readable then accept_conn srv conns next_key lfd)
           listeners;
         let by_fd fd =
           Hashtbl.fold
@@ -649,16 +667,40 @@ let serve srv listeners =
         List.iter
           (fun fd ->
             match by_fd fd with
-            | Some conn -> flush_conn conns conn
+            | Some conn -> flush_conn srv conns conn
             | None -> ())
           writable);
       (* Completions may have landed while we were busy; pick them up even
          if the wake byte raced the select call. *)
       drain_completions srv conns;
-      Hashtbl.iter (fun _ c -> if pending_output c then flush_conn conns c) conns;
-      let now = Unix.gettimeofday () in
-      if now -. !last_sweep >= 1.0 then begin
+      Hashtbl.iter (fun _ c -> if pending_output c then flush_conn srv conns c) conns;
+      let now = now srv in
+      if Float.abs (now -. !last_sweep) >= 1.0 then begin
         last_sweep := now;
+        (* Slow-loris defence: a connection that has held a partial frame
+           longer than the frame deadline is answered bad-request and
+           closed — it must not pin a slot until the (much longer) idle
+           reaper fires. Runs before the idle sweep so the reply is queued
+           while the connection is still live. *)
+        let stuck =
+          Hashtbl.fold
+            (fun _ c acc ->
+              match c.frame_started with
+              | Some t0 when (not c.closing) && now -. t0 > srv.cfg.frame_deadline_s ->
+                c :: acc
+              | _ -> acc)
+            conns []
+        in
+        List.iter
+          (fun c ->
+            Obs.incr "serve.frame_timeouts";
+            send c
+              (error_reply ~id:0 ~verb:"?" ~status:"bad-request"
+                 (Printf.sprintf "frame not completed within %.0f s"
+                    srv.cfg.frame_deadline_s));
+            c.frame_started <- None;
+            c.closing <- true)
+          stuck;
         let idle =
           Hashtbl.fold
             (fun _ c acc ->
@@ -683,7 +725,7 @@ let serve srv listeners =
   in
   loop ()
 
-let run cfg =
+let run ?stop cfg =
   if cfg.workers < 1 then Error "serve: need at least one worker"
   else if cfg.queue_capacity < 0 then Error "serve: negative queue capacity"
   else begin
@@ -710,10 +752,13 @@ let run cfg =
       Error
         (Printf.sprintf "serve: %s(%s): %s" fn arg (Unix.error_message err))
     | listeners ->
-      Printf.eprintf "ermes serve: listening on %s%s\n%!" cfg.socket
-        (match cfg.tcp_port with
-        | None -> ""
-        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p);
+      (* An embedded daemon (tests, [ermes chaos]) stays quiet: its stderr
+         belongs to the harness running it. *)
+      if stop = None then
+        Printf.eprintf "ermes serve: listening on %s%s\n%!" cfg.socket
+          (match cfg.tcp_port with
+          | None -> ""
+          | Some p -> Printf.sprintf " and 127.0.0.1:%d" p);
       let wake_r, wake_w = Unix.pipe () in
       Unix.set_nonblock wake_r;
       Unix.set_nonblock wake_w;
@@ -725,7 +770,7 @@ let run cfg =
               Handler.cache = Cache.create ~capacity:cfg.cache_capacity;
               sessions =
                 Session.create_table ~max_per_client:cfg.session_cap
-                  ~ttl_s:cfg.session_ttl_s ~clock:Unix.gettimeofday ();
+                  ~ttl_s:cfg.session_ttl_s ~clock:cfg.io.Chaos.Io.clock ();
               rounds = cfg.rounds;
             };
           queue = Admission.create ~capacity:cfg.queue_capacity;
@@ -735,13 +780,21 @@ let run cfg =
           wake_w;
           live_workers = Atomic.make cfg.workers;
           crashes = Atomic.make 0;
-          stop = Atomic.make false;
-          started = Unix.gettimeofday ();
+          stop = (match stop with Some s -> s | None -> Atomic.make false);
+          started = cfg.io.Chaos.Io.clock ();
         }
       in
-      let request_stop _ = Atomic.set srv.stop true in
-      Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
-      Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+      (* With an external [stop] handle the caller owns lifecycle (an
+         embedded daemon — e.g. under an [ermes chaos] campaign) and the
+         process's signal dispositions are not ours to change; SIGPIPE
+         stays ignored either way, dead peers are an I/O error, not a
+         signal. *)
+      (match stop with
+      | Some _ -> ()
+      | None ->
+        let request_stop _ = Atomic.set srv.stop true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop));
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       serve srv listeners;
       (try Unix.close wake_r with Unix.Unix_error _ -> ());

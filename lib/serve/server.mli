@@ -36,6 +36,10 @@ type config = {
   workers : int;  (** worker domains (≥ 1) *)
   client_cap : int;  (** max in-flight requests per connection *)
   idle_timeout_s : float;  (** reap connections idle this long *)
+  frame_deadline_s : float;
+      (** answer [bad-request] and close a connection that has held a
+          partial frame this long — a slow-loris client must not pin a
+          connection slot until the idle reaper fires *)
   session_ttl_s : float;  (** reap incremental sessions idle this long *)
   session_cap : int;  (** max sessions per client name *)
   cache_capacity : int;  (** warm-cache entries *)
@@ -46,17 +50,27 @@ type config = {
       (** cumulative crashed requests before the daemon circuit-breaks to
           metrics-only service *)
   rounds : int;  (** simulation horizon for batch [simulate] jobs *)
+  io : Ermes_chaos.Chaos.Io.t;
+      (** every socket read/write and time source of the daemon; the
+          passthrough default is the bare syscalls, and the chaos layer
+          injects EINTR storms and clock skew through it *)
 }
 
 val default_config : socket:string -> config
 (** 64-deep queue, 2 workers, 8 in-flight per client, 300 s connection
-    idle timeout, 900 s session TTL, 8 sessions/client, 256 cache entries,
-    3 attempts, 30 s default / 120 s max deadline, crash budget 1000,
-    10_000 simulation rounds. *)
+    idle timeout, 10 s frame-read deadline, 900 s session TTL, 8
+    sessions/client, 256 cache entries, 3 attempts, 30 s default / 120 s
+    max deadline, crash budget 1000, 10_000 simulation rounds, passthrough
+    I/O. *)
 
-val run : config -> (unit, string) result
+val run : ?stop:bool Atomic.t -> config -> (unit, string) result
 (** Serve until SIGTERM/SIGINT. [Error] when the daemon cannot start
     (socket in use by a live daemon, bind failure, bad config); once
     serving it only returns via a clean shutdown. Installs
     [Unix.gettimeofday] as the {!Ermes_obs.Obs} clock and enables the sink
-    so [metrics] works without any tracing flag. *)
+    so [metrics] works without any tracing flag.
+
+    With [stop] the caller owns the lifecycle instead of the signals: no
+    SIGTERM/SIGINT handlers are installed and setting the atomic makes the
+    loop shut down cleanly within its select tick — this is how an
+    embedded daemon (tests, [ermes chaos]) runs in a spawned domain. *)

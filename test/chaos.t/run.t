@@ -1,0 +1,45 @@
+Deterministic I/O chaos (DESIGN.md §16): seeded fault plans — ENOSPC, short
+writes, EINTR storms, torn or skipped renames, clock skew — injected into
+the checkpoint journal, the fuzz and DSE campaigns and the batch engine,
+checking the standing crash-safety invariants. The serve target is covered
+by test_serve and the CI chaos-smoke job; it is left out here only to keep
+the cram run fast.
+
+The acceptance contract: the same seed draws the same plans, wave for wave,
+and reaches the same verdict — byte for byte, twice:
+
+  $ ermes chaos --seed 11 --waves 2 --target journal,fuzz,dse,batch > first.out 2> first.err
+  $ ermes chaos --seed 11 --waves 2 --target journal,fuzz,dse,batch > second.out 2> second.err
+  $ cmp first.out second.out && cmp first.err second.err && echo deterministic
+  deterministic
+  $ cat first.out
+  wave 1 journal [enospc@3] ok
+  wave 1 fuzz [rename-skip@1,eintr:5@3] ok
+  wave 1 dse [skew:28@11] ok
+  wave 1 batch [skew:1@6] ok
+  wave 2 journal [rename-torn@4] ok
+  wave 2 fuzz [skew:10@1,short:8@4,rename-skip@2] ok
+  wave 2 dse [rename-torn@3,eintr:1@5] ok
+  wave 2 batch [skew:7@12,skew:-14@10,skew:29@7] ok
+  chaos: seed 11, 2 wave(s) over journal,fuzz,dse,batch: all invariants hold
+
+A handwritten plan replays one exact schedule. ENOSPC on the second journal
+write — the header lands, the first record does not, and the disk stays
+full — makes the checkpointed fuzz campaign degrade to checkpoint-disabled
+with a single warning and continue to the very same summary; resuming from
+the stale journal with healthy I/O then reproduces the uninterrupted run:
+
+  $ ermes chaos --plan enospc@2 --target fuzz 2> degrade.err
+  wave 1 fuzz [enospc@2] ok
+  chaos: seed 1, 1 wave(s) over fuzz: all invariants hold
+  $ cat degrade.err
+  ermes: warning: checkpointing disabled (fuzz.journal: write: No space left on device); the campaign continues without checkpoints
+
+Invalid input is the usual exit 1:
+
+  $ ermes chaos --plan nonsense --target fuzz
+  ermes: bad --plan: bad fault "nonsense"
+  [1]
+  $ ermes chaos --target disk
+  ermes: unknown chaos target disk (expected journal, fuzz, dse, batch, serve or all)
+  [1]

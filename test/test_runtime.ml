@@ -21,6 +21,8 @@ module Supervise = Ermes_runtime.Supervise
 module Journal = Ermes_runtime.Journal
 module Checkpoint = Ermes_runtime.Checkpoint
 module Batch = Ermes_runtime.Batch
+module Chaos = Ermes_chaos.Chaos
+module Obs = Ermes_obs.Obs
 
 let contains = Astring_contains.contains
 
@@ -495,6 +497,186 @@ let fuzz_resume_prop =
       Sys.remove path;
       same_summary && same_journal)
 
+(* Stronger than the record-level kill points above: cut the journal at
+   every *byte* and load it. Recovery must yield a CRC-valid prefix of the
+   appended records (or report damage) — never raise, never invent or
+   reorder records. *)
+let test_journal_byte_truncation_sweep () =
+  let path = temp_path ".journal" in
+  let payloads =
+    [ "alpha"; "beta beta"; "%25 escaped"; "tab\ttab"; "last one" ]
+  in
+  let j = Journal.start ~meta:"m=1" ~kind:"sweep" path in
+  List.iter (Journal.append j) payloads;
+  let full = read_file path in
+  for cut = 0 to String.length full do
+    Out_channel.with_open_bin path (fun oc ->
+        Out_channel.output_string oc (String.sub full 0 cut));
+    match Journal.load path with
+    | exception e ->
+      Alcotest.failf "cut %d: load raised %s" cut (Printexc.to_string e)
+    | Error _ -> () (* a damaged header is reported, not repaired *)
+    | Ok l ->
+      let k = List.length l.Journal.entries in
+      if
+        k > List.length payloads
+        || l.Journal.entries <> List.filteri (fun i _ -> i < k) payloads
+      then Alcotest.failf "cut %d: recovered a non-prefix" cut
+  done;
+  Sys.remove path
+
+(* The degrade contract under injected I/O faults: a persistent ENOSPC on
+   the checkpoint journal disables checkpointing (one counter bump) while
+   the campaign still runs to the very same summary. *)
+let test_fuzz_enospc_degrades () =
+  let config =
+    { Fuzz.seed = 5; cases = 3; max_processes = 5; rounds = 48; rtl = false; repro_dir = None }
+  in
+  let path = temp_path ".journal" in
+  let plain =
+    match Checkpoint.fuzz_run ~path ~resume:false config with
+    | Ok s -> s
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove path;
+  let was_enabled = Obs.enabled () in
+  Obs.enable ();
+  let before = Obs.counter "runtime.checkpoint.disabled" in
+  let inj = Chaos.injector [ Chaos.Write_enospc { op = 2 } ] in
+  let chaotic =
+    match Checkpoint.fuzz_run ~io:(Chaos.io inj) ~path ~resume:false config with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "campaign did not degrade: %s" e
+  in
+  let disabled = Obs.counter "runtime.checkpoint.disabled" - before in
+  if not was_enabled then Obs.disable ();
+  Alcotest.(check int) "counted one degrade" 1 disabled;
+  Alcotest.(check bool) "summary unchanged" true
+    (fuzz_fingerprint plain = fuzz_fingerprint chaotic);
+  if Sys.file_exists path then Sys.remove path
+
+(* ---- chaos layer ---------------------------------------------------------- *)
+
+let test_chaos_spec_roundtrip () =
+  let plans =
+    [
+      [];
+      [ Chaos.Write_enospc { op = 3 } ];
+      [
+        Chaos.Write_short { op = 1; bytes = 5 };
+        Chaos.Read_eintr { op = 2; times = 4 };
+        Chaos.Rename_skip { op = 9 };
+        Chaos.Rename_torn { op = 7 };
+        Chaos.Clock_skew { op = 2; skew_s = -12.5 };
+      ];
+    ]
+  in
+  List.iter
+    (fun p ->
+      match Chaos.parse_spec (Chaos.to_spec p) with
+      | Ok q ->
+        Alcotest.(check string) "round-trip" (Chaos.to_spec p) (Chaos.to_spec q)
+      | Error e -> Alcotest.fail e)
+    plans;
+  match Chaos.parse_spec "bogus@x" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let test_chaos_gen_deterministic () =
+  for seed = 1 to 25 do
+    let a = Chaos.gen ~seed ~kinds:Chaos.file_kinds in
+    let b = Chaos.gen ~seed ~kinds:Chaos.file_kinds in
+    Alcotest.(check string) "same plan" (Chaos.to_spec a) (Chaos.to_spec b);
+    Alcotest.(check bool) "non-empty" true (a <> [])
+  done;
+  Alcotest.(check bool) "derive stable" true (Chaos.derive 7 3 = Chaos.derive 7 3);
+  Alcotest.(check bool) "derive varies" true (Chaos.derive 7 3 <> Chaos.derive 7 4)
+
+let test_chaos_sticky_enospc () =
+  let inj = Chaos.injector [ Chaos.Write_enospc { op = 1 } ] in
+  let io = Chaos.io inj in
+  let path = temp_path ".bin" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600 in
+  let enospc f =
+    match f () with
+    | exception Unix.Unix_error (Unix.ENOSPC, _, _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "first write fails" true
+    (enospc (fun () -> io.Chaos.Io.write fd "abc" 0 3));
+  Alcotest.(check bool) "disk stays full" true
+    (enospc (fun () -> io.Chaos.Io.write fd "abc" 0 3));
+  Unix.close fd;
+  Sys.remove path;
+  Alcotest.(check bool) "injections logged" true (Chaos.injected_count inj >= 2)
+
+(* A short write persists exactly its prefix; the caller's retry with the
+   rest reassembles the full payload — the POSIX contract write_all is
+   built on. *)
+let test_chaos_short_write () =
+  let inj = Chaos.injector [ Chaos.Write_short { op = 1; bytes = 2 } ] in
+  let io = Chaos.io inj in
+  let path = temp_path ".bin" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600 in
+  let n1 = io.Chaos.Io.write fd "hello" 0 5 in
+  Alcotest.(check int) "short" 2 n1;
+  let n2 = io.Chaos.Io.write fd "hello" n1 (5 - n1) in
+  Alcotest.(check int) "rest" 3 n2;
+  Unix.close fd;
+  Alcotest.(check string) "bytes persisted" "hello" (read_file path);
+  Sys.remove path
+
+(* An EINTR storm holds the operation counter still, so the caller's retry
+   lands on the same logical operation and eventually succeeds. *)
+let test_chaos_eintr_storm () =
+  let inj = Chaos.injector [ Chaos.Write_eintr { op = 1; times = 3 } ] in
+  let io = Chaos.io inj in
+  let path = temp_path ".bin" in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o600 in
+  let interrupted = ref 0 in
+  let rec persist () =
+    match io.Chaos.Io.write fd "data" 0 4 with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      incr interrupted;
+      persist ()
+  in
+  Alcotest.(check int) "written after the storm" 4 (persist ());
+  Alcotest.(check int) "three interruptions" 3 !interrupted;
+  Unix.close fd;
+  Sys.remove path
+
+let test_chaos_clock_skew () =
+  let inj =
+    Chaos.injector [ Chaos.Clock_skew { op = 2; skew_s = 100. } ]
+  in
+  let io = Chaos.io inj in
+  let t1 = io.Chaos.Io.clock () in
+  let t2 = io.Chaos.Io.clock () in
+  Alcotest.(check bool) "second reading jumps" true (t2 -. t1 >= 99.);
+  let t3 = io.Chaos.Io.clock () in
+  Alcotest.(check bool) "skew is cumulative, not repeated" true
+    (t3 -. t2 < 99.)
+
+(* halve must reach a fixpoint (None) in finitely many steps — the shrink
+   loop's termination depends on it. *)
+let test_chaos_halve_terminates () =
+  let rec steps n f =
+    if n > 64 then Alcotest.fail "halve does not terminate"
+    else match Chaos.halve f with None -> n | Some f' -> steps (n + 1) f'
+  in
+  List.iter
+    (fun f -> ignore (steps 0 f))
+    [
+      Chaos.Write_short { op = 1; bytes = 1000 };
+      Chaos.Write_eintr { op = 1; times = 9 };
+      Chaos.Read_eintr { op = 3; times = 1 };
+      Chaos.Clock_skew { op = 1; skew_s = -40. };
+      Chaos.Write_enospc { op = 5 };
+      Chaos.Rename_skip { op = 2 };
+      Chaos.Rename_torn { op = 2 };
+    ]
+
 let dse_resume_prop =
   Helpers.qtest ~count:8 "dse: resume(kill point) == uninterrupted run"
     QCheck2.Gen.(pair Helpers.feedback_system_gen (pair (int_range 0 1000) (int_range 0 2)))
@@ -825,7 +1007,26 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail" `Quick test_journal_torn_tail;
           Alcotest.test_case "bad header" `Quick test_journal_bad_header;
+          Alcotest.test_case "byte truncation sweep" `Quick
+            test_journal_byte_truncation_sweep;
           journal_escape_prop;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "spec round-trip" `Quick test_chaos_spec_roundtrip;
+          Alcotest.test_case "gen deterministic" `Quick
+            test_chaos_gen_deterministic;
+          Alcotest.test_case "sticky enospc" `Quick test_chaos_sticky_enospc;
+          Alcotest.test_case "short write persists prefix" `Quick
+            test_chaos_short_write;
+          Alcotest.test_case "eintr storm retries to success" `Quick
+            test_chaos_eintr_storm;
+          Alcotest.test_case "clock skew cumulative" `Quick
+            test_chaos_clock_skew;
+          Alcotest.test_case "halve terminates" `Quick
+            test_chaos_halve_terminates;
+          Alcotest.test_case "fuzz enospc degrades and continues" `Quick
+            test_fuzz_enospc_degrades;
         ] );
       ( "checkpoint",
         [

@@ -20,6 +20,7 @@ module Proto = Ermes_serve.Proto
 module Admission = Ermes_serve.Admission
 module Cache = Ermes_serve.Cache
 module Session = Ermes_serve.Session
+module Server = Ermes_serve.Server
 
 let contains = Astring_contains.contains
 
@@ -479,6 +480,130 @@ let test_explicit_cancel_classified_timed_out () =
   | Supervise.Timed_out _ -> ()
   | _ -> Alcotest.fail "explicit cancel not classified Timed_out"
 
+(* ---- frame-read deadline --------------------------------------------------- *)
+
+(* [Proto.pending] is what the server's slow-loris deadline keys off: true
+   exactly while a frame is partially buffered on a healthy decoder. *)
+let test_proto_pending () =
+  let d = Proto.decoder () in
+  let feed s = Proto.feed d (Bytes.of_string s) (String.length s) in
+  Alcotest.(check bool) "fresh" false (Proto.pending d);
+  feed "5";
+  Alcotest.(check bool) "partial length prefix" true (Proto.pending d);
+  feed "\nab";
+  (match Proto.next d with Ok None -> () | _ -> Alcotest.fail "frame early");
+  Alcotest.(check bool) "partial payload" true (Proto.pending d);
+  feed "cde";
+  (match Proto.next d with
+  | Ok (Some "abcde") -> ()
+  | _ -> Alcotest.fail "frame not decoded");
+  Alcotest.(check bool) "drained" false (Proto.pending d);
+  feed "bogus!\n";
+  (match Proto.next d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad prefix not poisoned");
+  Alcotest.(check bool) "poisoned is not pending" false (Proto.pending d)
+
+(* The daemon end to end, embedded via [?stop]: a slow-loris connection
+   holding a half-frame open is answered bad-request and closed within the
+   frame deadline — long before the idle reaper — while a well-behaved
+   connection on the same daemon keeps being served. *)
+let test_frame_deadline_end_to_end () =
+  let dir = Filename.temp_file "ermes_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let socket = Filename.concat dir "s.sock" in
+  let stop = Atomic.make false in
+  let cfg =
+    {
+      (Server.default_config ~socket) with
+      Server.workers = 1;
+      frame_deadline_s = 0.5;
+    }
+  in
+  let dom = Domain.spawn (fun () -> Server.run ~stop cfg) in
+  let rec connect tries =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX socket) with
+    | () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.;
+      fd
+    | exception Unix.Unix_error _ when tries > 0 ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.05;
+      connect (tries - 1)
+  in
+  let send fd payload =
+    let s = Proto.frame payload in
+    let rec go off =
+      if off < String.length s then
+        go (off + Unix.write_substring fd s off (String.length s - off))
+    in
+    go 0
+  in
+  let buf = Bytes.create 4096 in
+  let recv fd dec =
+    let rec go () =
+      match Proto.next dec with
+      | Ok (Some p) -> p
+      | Error e -> Alcotest.failf "bad frame from daemon: %s" e
+      | Ok None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> Alcotest.fail "connection closed before a reply"
+        | n ->
+          Proto.feed dec buf n;
+          go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+    in
+    go ()
+  in
+  let status payload =
+    match Proto.of_string payload with
+    | Ok j -> Proto.str_member "status" j
+    | Error e -> Alcotest.failf "unparseable reply: %s" e
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      ignore (Domain.join dom : (unit, string) result);
+      (try Sys.remove socket with Sys_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let loris = connect 100 in
+      let half = "64\n{\"half" in
+      ignore (Unix.write_substring loris half 0 (String.length half));
+      let good = connect 5 in
+      let gdec = Proto.decoder () in
+      send good (Proto.to_string (Proto.hello_request ~client:"t"));
+      Alcotest.(check (option string)) "hello ok" (Some "ok")
+        (status (recv good gdec));
+      let ldec = Proto.decoder () in
+      let reply = recv loris ldec in
+      Alcotest.(check (option string)) "loris cut with bad-request"
+        (Some "bad-request") (status reply);
+      (match Proto.of_string reply with
+      | Ok j ->
+        Alcotest.(check bool) "names the frame deadline" true
+          (match Proto.str_member "error" j with
+          | Some e -> contains e "frame"
+          | None -> false)
+      | Error e -> Alcotest.fail e);
+      (let rec eof () =
+         match Unix.read loris buf 0 (Bytes.length buf) with
+         | 0 -> ()
+         | _ -> eof ()
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> eof ()
+         | exception Unix.Unix_error _ -> ()
+       in
+       eof ());
+      send good
+        (Proto.to_string
+           (Proto.Obj [ ("id", Proto.Int 1); ("verb", Proto.Str "ping") ]));
+      Alcotest.(check (option string)) "good client still served" (Some "ok")
+        (status (recv good gdec));
+      (try Unix.close loris with Unix.Unix_error _ -> ());
+      try Unix.close good with Unix.Unix_error _ -> ())
+
 (* ---- registration ---------------------------------------------------------- *)
 
 let () =
@@ -528,5 +653,11 @@ let () =
             test_deadline_classified_timed_out;
           Alcotest.test_case "explicit cancel classified Timed_out" `Quick
             test_explicit_cancel_classified_timed_out;
+        ] );
+      ( "frame deadline",
+        [
+          Alcotest.test_case "Proto.pending" `Quick test_proto_pending;
+          Alcotest.test_case "slow-loris cut, good client served" `Quick
+            test_frame_deadline_end_to_end;
         ] );
     ]
